@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Each benchmark runs its experiment exactly once (``pedantic`` mode): the
+experiments are deterministic end-to-end simulations, so repeated timing
+rounds would only multiply runtime without improving the measurement.
+The experiment's result table is printed so ``--benchmark-only`` output
+doubles as the figure reproduction record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+
+
+def run_once(benchmark, runner, **params):
+    """Run an experiment once under the benchmark timer and print it."""
+    result = benchmark.pedantic(lambda: runner(**params), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    return result
+
+
+@pytest.fixture()
+def bench(benchmark):
+    """Convenience fixture: ``bench(runner, **params) -> ExperimentResult``."""
+
+    def _run(runner, **params):
+        return run_once(benchmark, runner, **params)
+
+    return _run

@@ -1,0 +1,40 @@
+"""Benches: ablations for the design decisions documented in DESIGN.md."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_join_mode(bench):
+    result = bench(ablations.run_join_mode, n_nodes=600, rounds=40, seed=42)
+    rows = {row["join_mode"]: row for row in result.rows}
+    # The mass-conserving symmetric join converges to (near-)exact
+    # fractions and the exact system size; the literal Fig. 1 rule floors
+    # at percent-level bias and breaks the size estimate.
+    assert rows["symmetric"]["points_err_max"] < 1e-6
+    assert rows["literal"]["points_err_max"] > 1e-3
+    true_size = rows["symmetric"]["true_size"]
+    assert abs(rows["symmetric"]["size_estimate_median"] - true_size) < 0.01 * true_size
+    assert abs(rows["literal"]["size_estimate_median"] - true_size) > 0.2 * true_size
+
+
+def test_ablation_lcut_variant(bench):
+    result = bench(ablations.run_lcut_variant, n_nodes=800, instances=6, seed=42)
+    incremental = [r["err_max"] for r in result.filter(variant="lcut").rows]
+    global_div = [r["err_max"] for r in result.filter(variant="lcut_global").rows]
+    # The incremental variant converges: its final maximum error is far
+    # below its starting point and is (weakly) monotone after instance 1.
+    assert incremental[-1] < 0.4 * incremental[0]
+    assert all(b <= a * 1.1 for a, b in zip(incremental[1:], incremental[2:]))
+    # The literal global re-division oscillates on step CDFs: its maximum
+    # error stays high (brackets around steps regress between instances).
+    assert global_div[-1] > incremental[-1]
+
+
+def test_ablation_exchange_kernel(bench):
+    result = bench(ablations.run_exchange_kernel, n_nodes=800, rounds=60, seed=42)
+    sequential = [r["points_err_max"] for r in result.filter(kernel="sequential").rows]
+    matching = [r["points_err_max"] for r in result.filter(kernel="matching").rows]
+    # Both kernels converge exponentially ...
+    assert sequential[-1] < 1e-6
+    assert matching[-1] < 1e-3
+    # ... with sequential push–pull converging at least as fast per round.
+    assert sequential[-1] <= matching[-1]

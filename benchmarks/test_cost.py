@@ -1,0 +1,30 @@
+"""Bench: §VII-I — per-node communication cost (size-independent)."""
+
+from repro.experiments import cost
+
+
+def test_cost(bench):
+    result = bench(cost.run, sizes=(300, 1_000), seed=42)
+    model = result.filter(system="adam2-model").rows[0]
+    measured = result.filter(system="adam2-measured").rows
+
+    # The paper's headline accounting at λ=50, 25 rounds, 3 instances:
+    # ~800-byte messages, ~150 messages and ~120 kB sent per node,
+    # ~1.6 kB/s upstream over ~75 seconds.
+    assert 700 <= model["message_bytes"] <= 1000
+    assert model["messages_per_node"] == 150
+    assert 100 <= model["kbytes_per_node"] <= 140
+    assert 1.2 <= model["upstream_kbps"] <= 2.0
+    assert model["seconds"] == 75
+
+    # Measured traffic is close to the model and — crucially —
+    # independent of the system size.
+    for row in measured:
+        assert 0.6 * model["kbytes_per_node"] <= row["kbytes_per_node"] <= 1.1 * model["kbytes_per_node"]
+    small, large = measured[0], measured[1]
+    assert abs(small["kbytes_per_node"] - large["kbytes_per_node"]) < 0.15 * small["kbytes_per_node"]
+
+    # Random sampling needs an order of magnitude more messages for
+    # comparable accuracy.
+    sampling = result.filter(system="sampling").rows
+    assert sampling[-1]["messages_per_node"] >= 10 * model["messages_per_node"]

@@ -1,0 +1,21 @@
+"""Bench: §VII-F — dynamic attribute distributions."""
+
+from repro.experiments import dynamic
+
+
+def test_dynamic_distributions(bench):
+    result = bench(
+        dynamic.run,
+        n_nodes=800,
+        drift_rates=(0.0, 0.003, 0.03),
+        seed=42,
+    )
+
+    def err(rate, instance):
+        return result.filter(drift_per_round=rate, instance=instance).rows[0]["err_avg"]
+
+    # The end-of-instance error grows with the drift rate ...
+    assert err(0.03, "normal") > err(0.003, "normal") > err(0.0, "normal")
+    # ... and shortening the instance reduces the drift contribution
+    # (paper §VII-F: gossiping faster trades nothing away).
+    assert err(0.03, "short") < err(0.03, "normal")

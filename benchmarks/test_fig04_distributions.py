@@ -1,0 +1,15 @@
+"""Bench: Figure 4 — true CDFs of the BOINC-like attributes."""
+
+from repro.experiments import fig04_distributions
+
+
+def test_fig04_distributions(bench):
+    result = bench(fig04_distributions.run, n_samples=20_000, seed=42)
+    rows = {row["attribute"]: row for row in result.rows}
+    # The paper's Figure 4 signature: RAM is a step function (most of the
+    # probability mass on a handful of exact values), CPU is smooth.
+    assert rows["ram"]["top5_step_mass"] > 0.5
+    assert rows["cpu"]["top5_step_mass"] < 0.05
+    # Domains span orders of magnitude, as in the BOINC census.
+    assert rows["cpu"]["max"] / rows["cpu"]["min"] > 50
+    assert rows["ram"]["max"] / rows["ram"]["min"] > 10

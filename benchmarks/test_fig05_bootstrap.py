@@ -1,0 +1,19 @@
+"""Bench: Figure 5 — uniform vs neighbour-based bootstrap for MinMax."""
+
+from repro.experiments import fig05_bootstrap
+
+
+def test_fig05_bootstrap(bench):
+    result = bench(fig05_bootstrap.run, n_nodes=600, instances=8, seed=42)
+
+    def final_err(attr, mode):
+        rows = result.filter(attribute=attr, bootstrap=mode).rows
+        return rows[-1]["err_max"]
+
+    # Neighbour-based bootstrap converges far better on the stepped RAM
+    # attribute (paper: "clearly demonstrates ... significantly improves
+    # the algorithm's convergence").
+    assert final_err("ram", "neighbour") < 0.5 * final_err("ram", "uniform")
+    # The smooth CPU attribute converges quickly either way.
+    assert final_err("cpu", "neighbour") < 0.05
+    assert final_err("cpu", "uniform") < 0.1

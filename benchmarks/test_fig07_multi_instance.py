@@ -1,0 +1,25 @@
+"""Bench: Figure 7 — HCut vs MinMax vs LCut over consecutive instances."""
+
+from repro.experiments import fig07_multi_instance
+
+
+def test_fig07_multi_instance(bench):
+    result = bench(fig07_multi_instance.run, n_nodes=800, instances=5, seed=42)
+
+    def series(attr, heuristic, key):
+        return [r[key] for r in result.filter(attribute=attr, heuristic=heuristic).rows]
+
+    # MinMax hunts the steps: its Err_m on RAM improves by several x
+    # across instances and ends best-in-class (paper §VII-C).
+    ram_minmax = series("ram", "minmax", "err_max")
+    assert ram_minmax[-1] < 0.4 * ram_minmax[0]
+    assert ram_minmax[-1] <= min(series("ram", "hcut", "err_max")[-1], series("ram", "lcut", "err_max")[-1]) * 1.5
+
+    # LCut wins the average error (paper: order-of-magnitude class lead;
+    # we assert a clear win).
+    assert series("ram", "lcut", "err_avg")[-1] < series("ram", "hcut", "err_avg")[-1]
+    assert series("cpu", "lcut", "err_avg")[-1] < series("cpu", "minmax", "err_avg")[-1]
+
+    # All heuristics do well on the smooth CPU attribute.
+    for heuristic in ("hcut", "minmax", "lcut"):
+        assert series("cpu", heuristic, "err_max")[-1] < 0.05

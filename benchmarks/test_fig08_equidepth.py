@@ -1,0 +1,21 @@
+"""Bench: Figure 8 — EquiDepth phases vs Adam2 instances."""
+
+from repro.experiments import fig08_equidepth
+
+
+def test_fig08_equidepth(bench):
+    result = bench(fig08_equidepth.run, n_nodes=700, phases=4, seed=42)
+
+    def series(attr, system, key):
+        return [r[key] for r in result.filter(attribute=attr, system=system).rows]
+
+    # EquiDepth does not refine across phases: its error is essentially
+    # constant (paper: "generates the same error in every phase").
+    for attr in ("cpu", "ram"):
+        eq = series(attr, "equidepth", "err_max")
+        assert max(eq) < 2.5 * min(eq)
+
+    # After a few instances Adam2 is clearly ahead on both metrics.
+    assert series("ram", "minmax", "err_max")[-1] < series("ram", "equidepth", "err_max")[-1]
+    assert series("ram", "lcut", "err_avg")[-1] < series("ram", "equidepth", "err_avg")[-1]
+    assert series("cpu", "lcut", "err_avg")[-1] < series("cpu", "equidepth", "err_avg")[-1]

@@ -1,0 +1,23 @@
+"""Bench: Figure 9 — random-sampling error vs sample count."""
+
+from repro.experiments import fig09_sampling
+
+
+def test_fig09_sampling(bench):
+    result = bench(
+        fig09_sampling.run,
+        population=20_000,
+        sample_counts=(10, 100, 1_000, 10_000),
+        repeats=3,
+        seed=42,
+    )
+
+    for attr in ("cpu", "ram"):
+        rows = result.filter(attribute=attr).rows
+        errs = [r["err_max"] for r in rows]
+        # Error shrinks steadily with the sample count (DKW: ~1/sqrt(s)).
+        assert errs[-1] < errs[1] < errs[0]
+        # 10^3–10^4 samples reach the few-percent accuracy band that
+        # Adam2 reaches with ~150 messages (paper Fig. 9 / §VII-I).
+        assert rows[-1]["err_max"] < 0.02
+        assert rows[-1]["messages"] >= 10_000

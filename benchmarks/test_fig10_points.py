@@ -1,0 +1,26 @@
+"""Bench: Figure 10 — influence of the number of interpolation points."""
+
+from repro.experiments import fig10_points
+
+
+def test_fig10_points(bench):
+    result = bench(
+        fig10_points.run,
+        n_nodes=600,
+        point_counts=(10, 50, 100),
+        instances=4,
+        seed=42,
+    )
+
+    def err(attr, system, points, key):
+        return result.filter(attribute=attr, system=system, points=points).rows[0][key]
+
+    # More interpolation points bring better accuracy (allowing the
+    # paper's noted random wiggle: compare the extremes of the sweep).
+    for attr in ("cpu", "ram"):
+        assert err(attr, "minmax", 100, "err_max") < err(attr, "minmax", 10, "err_max")
+        assert err(attr, "lcut", 100, "err_avg") < err(attr, "lcut", 10, "err_avg")
+
+    # Adam2 beats EquiDepth at matched point counts on the RAM attribute.
+    assert err("ram", "minmax", 50, "err_max") < err("ram", "equidepth", 50, "err_max")
+    assert err("ram", "lcut", 50, "err_avg") < err("ram", "equidepth", 50, "err_avg")

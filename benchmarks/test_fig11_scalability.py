@@ -1,0 +1,20 @@
+"""Bench: Figure 11 — accuracy vs system size."""
+
+from repro.experiments import fig11_scalability
+
+
+def test_fig11_scalability(bench):
+    result = bench(
+        fig11_scalability.run,
+        sizes=(100, 300, 1_000, 3_000),
+        instances=4,
+        seed=42,
+    )
+    for attr in ("cpu", "ram"):
+        rows = result.filter(attribute=attr).rows
+        max_errs = [r["err_max"] for r in rows]
+        # Err_m stays within the same order of magnitude across sizes.
+        assert max(max_errs) < 20 * min(max_errs)
+        # The per-node cost model is size-independent by construction;
+        # the accuracy here confirms the protocol itself is too.
+        assert max_errs[-1] < 0.2

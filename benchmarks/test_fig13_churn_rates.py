@@ -1,0 +1,25 @@
+"""Bench: Figure 13 — impact of the churn rate on accuracy."""
+
+from repro.experiments import fig13_churn_rates
+
+
+def test_fig13_churn_rates(bench):
+    result = bench(
+        fig13_churn_rates.run,
+        n_nodes=500,
+        instances=5,
+        churn_rates=(0.0, 0.001, 0.01, 0.1),
+        seed=42,
+        attributes=("ram",),
+    )
+
+    def err(system, rate, key):
+        return result.filter(attribute="ram", system=system, churn_rate=rate).rows[0][key]
+
+    # High resilience: at the paper's reference churn (0.1 %/round) the
+    # accuracy stays within a small factor of the churn-free run.
+    assert err("minmax", 0.001, "err_max") < 3 * max(err("minmax", 0.0, "err_max"), 0.05)
+    assert err("lcut", 0.001, "err_avg") < 3 * max(err("lcut", 0.0, "err_avg"), 0.01)
+    # Accuracy clearly degrades only at extreme churn (paper: ~1 %/round
+    # is where degradation starts; 10 %/round must be visibly worse).
+    assert err("lcut", 0.1, "err_avg") > err("lcut", 0.001, "err_avg")

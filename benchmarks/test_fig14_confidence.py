@@ -1,0 +1,29 @@
+"""Bench: Figure 14 — accuracy of the dynamic confidence estimation."""
+
+from repro.experiments import fig14_confidence
+
+
+def test_fig14_confidence(bench):
+    result = bench(
+        fig14_confidence.run,
+        n_nodes=700,
+        verification_counts=(10, 40, 80),
+        instances=3,
+        seed=42,
+        attributes=("ram",),
+    )
+
+    def err(metric, v):
+        return result.filter(attribute="ram", metric=metric, verification_points=v).rows[0][
+            "estimation_error"
+        ]
+
+    # The average error can be self-estimated usefully with a few dozen
+    # verification points (paper: ~10 % relative error at 20 points; we
+    # assert the same regime).
+    assert err("average", 40) < 0.6
+    assert err("average", 80) <= err("average", 10) * 1.5
+    # The maximum error is intrinsically harder to estimate (single-point
+    # property) — allow it to be rough, but it must be computable and
+    # improve or hold with more points.
+    assert err("maximum", 80) < 1.5

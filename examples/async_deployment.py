@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Adam2 under deployment conditions: real clocks, latency, message loss.
+
+The paper evaluates Adam2 in synchronous simulation rounds; a deployment
+has none of that: every node gossips on its own drifting timer, messages
+take tens to hundreds of milliseconds, and some are lost.  This example
+runs one estimation campaign on the event-driven engine across network
+conditions and shows the protocol's accuracy at the interpolation points
+surviving all of them — the property that justifies the paper's
+round-based evaluation.
+"""
+
+import numpy as np
+
+from repro.asyncsim import AsyncAdam2, AsyncEngine, LatencyModel
+from repro.core import Adam2Config, EmpiricalCDF
+from repro.overlay import FullMeshOverlay
+from repro.rngs import make_rng
+from repro.workloads import boinc_ram_mb
+
+N_NODES = 500
+SCENARIOS = [
+    ("datacenter", LatencyModel(0.0005, 0.002), 0.0),
+    ("WAN", LatencyModel(0.02, 0.2), 0.0),
+    ("lossy WAN (20% loss)", LatencyModel(0.02, 0.2), 0.2),
+]
+
+
+def main() -> None:
+    print(f"Adam2 on the event-driven engine — {N_NODES} nodes, 1 s gossip period\n")
+    print(f"{'scenario':>22}  {'est.':>5}  {'worst point err':>16}  {'median N^':>9}  {'msgs':>7}")
+    for label, latency, loss in SCENARIOS:
+        rng = make_rng(17)
+        config = Adam2Config(points=30, rounds_per_instance=30)
+        protocol = AsyncAdam2(config, scheduler="manual")
+        engine = AsyncEngine(
+            FullMeshOverlay([]), protocol, rng,
+            gossip_period=1.0, period_jitter=0.1, latency=latency, loss_rate=loss,
+        )
+        engine.populate(boinc_ram_mb().sample(N_NODES, make_rng(18)))
+        engine.run_for(2.0)
+        protocol.trigger_instance(engine)
+        engine.run_for(45.0)
+
+        truth = EmpiricalCDF(engine.attribute_values())
+        estimates = protocol.estimates(engine)
+        worst = max(
+            np.abs(truth.evaluate(e.thresholds) - e.fractions).max()
+            for e in estimates[:60]
+        )
+        sizes = [a.size_estimate for a in protocol.adam2_nodes(engine) if a.current_estimate]
+        print(
+            f"{label:>22}  {len(estimates):>5}  {worst:>16.2e}  "
+            f"{np.median(sizes):>9.0f}  {engine.messages_sent:>7}"
+        )
+    print(
+        "\nCDF accuracy survives every scenario. Note the size estimate's"
+        "\nbias under loss: a lost response leaves the responder averaged"
+        "\nbut not the initiator, duplicating weight mass — push-pull"
+        "\naveraging needs acknowledgements (or FIFO transport) for exact"
+        "\ncounting on lossy networks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Estimation quality under membership churn (paper §VII-G).
+
+Runs Adam2 campaigns at increasing replacement-churn rates — from the
+paper's reference rate (0.1 %/round ≈ 15-minute sessions at a 1 s gossip
+period) up to 10 %/round — and shows that the estimate survives churn
+rates an order of magnitude beyond what deployed P2P systems exhibit.
+"""
+
+from repro import Adam2Config, Adam2Simulation, boinc_ram_mb
+
+
+def main() -> None:
+    print("Adam2 under churn — RAM distribution, 1,000 nodes, 5 instances")
+    print(f"{'churn/round':>12}  {'Err_m':>9}  {'Err_a':>10}  note")
+    for rate in (0.0, 0.001, 0.01, 0.1):
+        sim = Adam2Simulation(
+            workload=boinc_ram_mb(),
+            n_nodes=1_000,
+            config=Adam2Config(points=50, rounds_per_instance=30, selection="minmax"),
+            seed=11,
+            churn_rate=rate,
+        )
+        sim.run_instances(5)
+        errors = sim.system_errors()
+        if rate == 0.001:
+            note = "paper's reference churn (15-min sessions)"
+        elif rate == 0.01:
+            note = "10x reference — where degradation starts"
+        elif rate == 0.1:
+            note = "100x reference"
+        else:
+            note = "no churn"
+        print(f"{rate:>12.3f}  {errors.maximum:>9.4f}  {errors.average:>10.6f}  {note}")
+
+
+if __name__ == "__main__":
+    main()

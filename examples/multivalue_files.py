@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Multiple attribute values per node: a file-size census (paper §IV).
+
+Each node stores a set of files; the system estimates the distribution of
+*file sizes across all files at all nodes* (not per-node aggregates).
+Per the paper, each node feeds two quantities into the averaging
+protocol: its count of files at or below each threshold, and its total
+file count; the CDF value is the ratio of the two averages.  This runs on
+the object-per-node engine, whose ``InstanceState`` implements the
+multi-value scheme natively.
+"""
+
+import numpy as np
+
+from repro.core import Adam2Config, Adam2Protocol, EmpiricalCDF
+from repro.metrics import cdf_errors
+from repro.rngs import make_rng, spawn
+from repro.simulation import Engine
+from repro.overlay import FullMeshOverlay
+
+
+N_NODES = 250
+
+
+def main() -> None:
+    rng = make_rng(13)
+    config = Adam2Config(points=30, rounds_per_instance=30, selection="lcut")
+    protocol = Adam2Protocol(config, scheduler="manual")
+    overlay = FullMeshOverlay([])
+    engine = Engine(overlay=overlay, protocols=[protocol], rng=spawn(rng))
+
+    # Give every node a random set of 1..20 log-normally sized files (kB).
+    for _ in range(N_NODES):
+        n_files = int(rng.integers(1, 21))
+        sizes = np.rint(rng.lognormal(mean=np.log(150.0), sigma=1.2, size=n_files))
+        engine.add_node(np.maximum(sizes, 1.0))
+
+    protocol.trigger_instance(engine)
+    engine.run(config.rounds_per_instance + 1)
+
+    all_files = engine.attribute_values()
+    truth = EmpiricalCDF(all_files)
+    node = next(iter(engine.nodes.values()))
+    estimate = node.state[protocol.name].current_estimate
+    errors = cdf_errors(truth, estimate)
+
+    print(f"File-size census: {N_NODES} nodes, {all_files.size} files total")
+    print(f"  Err_m = {errors.maximum:.4f}, Err_a = {errors.average:.6f}")
+    print()
+    print("  fraction of files with size <= x:")
+    for x in (50, 150, 500, 2000):
+        true = truth.evaluate(np.asarray([float(x)]))[0]
+        est = estimate.evaluate(np.asarray([float(x)]))[0]
+        print(f"    x = {x:>5} kB: estimated {est:.3f}  (true {true:.3f})")
+
+
+if __name__ == "__main__":
+    main()

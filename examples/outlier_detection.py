@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Decentralised outlier detection from the estimated distribution.
+
+The paper (§I) motivates distribution estimation with defect/intrusion
+detection: a node that knows the global distribution of a health metric
+can flag values that are globally extreme — not merely extreme among its
+direct neighbours.  Here, a small fraction of nodes report corrupted
+readings (the faulty-sensor model of §VII); after one Adam2 estimation
+campaign every node can classify any reading by its estimated rank.
+"""
+
+import numpy as np
+
+from repro import Adam2Config, Adam2Simulation
+from repro.rngs import make_rng
+from repro.workloads import FaultModel, inject_faults
+from repro.workloads.base import SampledWorkload
+from repro.workloads.synthetic import lognormal_workload
+
+N_NODES = 1_000
+FAULT_RATE = 0.01
+TAIL = 0.995  # readings above this estimated rank are flagged
+
+
+def main() -> None:
+    rng = make_rng(21)
+    clean = lognormal_workload(median=200.0, sigma=0.6).sample(N_NODES, rng)
+    model = FaultModel(rate=FAULT_RATE, absurd_high=1e9, plausible_max=1e7)
+    readings = inject_faults(clean, model, rng)
+    # NaN readings never make it onto the wire; nodes report their last
+    # good value instead.
+    readings = np.where(np.isnan(readings), clean, readings)
+    truly_faulty = readings != clean
+
+    sim = Adam2Simulation(
+        workload=SampledWorkload(readings, name="sensor_reading"),
+        n_nodes=N_NODES,
+        config=Adam2Config(points=40, rounds_per_instance=30, selection="minmax"),
+        seed=5,
+    )
+    # Pin the population to the actual readings (sampling with
+    # replacement would duplicate/drop some).
+    sim.values = readings.copy()
+    estimate = sim.run_instances(3).estimate
+
+    ranks = estimate.evaluate(sim.values)
+    flagged = ranks > TAIL
+    negative = sim.values < 0  # impossible readings: flag outright
+    flagged |= negative
+
+    tp = int((flagged & truly_faulty).sum())
+    fp = int((flagged & ~truly_faulty).sum())
+    fn = int((~flagged & truly_faulty).sum())
+    print(f"Decentralised outlier detection over {N_NODES} nodes")
+    print(f"  corrupted readings injected : {int(truly_faulty.sum())}")
+    print(f"  flagged by estimated rank   : {int(flagged.sum())}")
+    print(f"  true positives              : {tp}")
+    print(f"  false positives             : {fp}")
+    print(f"  missed                      : {fn}")
+    print()
+    print("  example classifications:")
+    for idx in np.flatnonzero(truly_faulty)[:3]:
+        print(f"    node {idx}: reading {sim.values[idx]:.3g} -> rank {ranks[idx]:.4f} (flagged)")
+    for idx in np.flatnonzero(~truly_faulty)[:3]:
+        print(f"    node {idx}: reading {sim.values[idx]:.3g} -> rank {ranks[idx]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Self-tuning accuracy via dynamic confidence estimation (paper §VI).
+
+An application wants the average CDF error below a target *without*
+knowing the true distribution.  Each campaign runs with verification
+points enabled; the nodes' own accuracy self-assessment (``EstErr_a``)
+drives the tuning loop: while the self-estimated error is above target,
+double the number of interpolation points and run another instance.  The
+ground truth is shown only to audit the loop — the decisions never use it.
+"""
+
+import numpy as np
+
+from repro import Adam2Config, Adam2Simulation, boinc_ram_mb
+
+TARGET_AVG_ERROR = 5e-4
+MAX_POINTS = 160
+
+
+def main() -> None:
+    points = 20
+    print("Self-tuning Adam2 — target EstErr_a <= %.0e\n" % TARGET_AVG_ERROR)
+    print(f"{'instance':>8}  {'points':>6}  {'EstErr_a (self)':>16}  {'Err_a (true)':>13}  decision")
+
+    sim = Adam2Simulation(
+        workload=boinc_ram_mb(),
+        n_nodes=1_000,
+        config=Adam2Config(
+            points=points,
+            rounds_per_instance=30,
+            selection="lcut",
+            verification_points=20,
+            verification_target="average",
+        ),
+        seed=3,
+    )
+    for instance_no in range(1, 9):
+        result = sim.run_instance(confidence_sample=48)
+        self_estimate = float(np.mean(result.est_erra))
+        true_error = result.errors_entire.average
+        if self_estimate <= TARGET_AVG_ERROR and instance_no > 1:
+            print(f"{instance_no:>8}  {points:>6}  {self_estimate:>16.2e}  {true_error:>13.2e}  target met — stop")
+            break
+        decision = "refine again"
+        if self_estimate > TARGET_AVG_ERROR and points < MAX_POINTS and instance_no >= 2:
+            points = min(points * 2, MAX_POINTS)
+            # Reconfigure: later instances carry more interpolation points.
+            sim.config = Adam2Config(
+                points=points,
+                rounds_per_instance=30,
+                selection="lcut",
+                verification_points=20,
+                verification_target="average",
+            )
+            decision = f"increase points to {points}"
+        print(f"{instance_no:>8}  {points:>6}  {self_estimate:>16.2e}  {true_error:>13.2e}  {decision}")
+    else:
+        print("\nstopped at the instance budget")
+
+
+if __name__ == "__main__":
+    main()

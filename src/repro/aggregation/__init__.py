@@ -1,0 +1,14 @@
+"""Generic gossip aggregation substrate.
+
+Standalone implementations of the push–pull aggregation primitives that
+Adam2 builds on [Jelasity, Montresor & Babaoglu, TOCS 2005]: epidemic
+averaging, epidemic extrema, and inverse-weight system-size estimation.
+They run as protocols on the :mod:`repro.simulation` engine and are also
+useful on their own (e.g. the examples estimate a global mean load).
+"""
+
+from repro.aggregation.averaging import AveragingProtocol
+from repro.aggregation.extrema import ExtremaProtocol
+from repro.aggregation.counting import SizeEstimationProtocol
+
+__all__ = ["AveragingProtocol", "ExtremaProtocol", "SizeEstimationProtocol"]

@@ -1,0 +1,57 @@
+"""Inverse-weight system-size estimation.
+
+One designated node enters the averaging protocol with weight 1, everyone
+else with 0; the average converges to ``1/N`` so each node estimates the
+population size as the inverse of its weight — the mechanism Adam2 embeds
+in every aggregation instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.core.sizing import size_from_weight
+from repro.simulation.engine import Engine, Protocol
+from repro.simulation.node_base import SimNode
+
+__all__ = ["SizeEstimationProtocol"]
+
+
+class SizeEstimationProtocol(Protocol):
+    """Epidemic size estimation with a single unit of weight."""
+
+    name = "size"
+
+    def __init__(self, value_bytes: int = 8):
+        self.value_bytes = value_bytes
+        self._initiator_assigned = False
+
+    def on_node_added(self, node: SimNode, engine: Engine) -> None:
+        weight = 0.0
+        if not self._initiator_assigned:
+            weight = 1.0
+            self._initiator_assigned = True
+        node.state[self.name] = weight
+
+    def on_node_removed(self, node: SimNode, engine: Engine) -> None:
+        # Departing weight is lost, exactly as in the real protocol; the
+        # estimate inflates under churn until a new instance restarts it.
+        return None
+
+    def exchange(self, initiator: SimNode, responder: SimNode, engine: Engine) -> tuple[int, int]:
+        mean = (initiator.state[self.name] + responder.state[self.name]) / 2.0
+        initiator.state[self.name] = mean
+        responder.state[self.name] = mean
+        return self.value_bytes, self.value_bytes
+
+    def estimates(self, engine: Engine) -> list[float]:
+        """Per-node size estimates (only nodes the weight has reached)."""
+        out = []
+        for node in engine.nodes.values():
+            weight = node.state[self.name]
+            if weight > 0:
+                out.append(size_from_weight(weight))
+        if not out:
+            raise SimulationError("weight has not reached any node yet")
+        return out

@@ -1,0 +1,53 @@
+"""Epidemic minimum/maximum aggregation.
+
+Min/max are idempotent merges, so the epidemic converges in O(log N)
+rounds with no accuracy loss — this is how Adam2 discovers the global
+attribute extremes that anchor its interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.simulation.engine import Engine, Protocol
+from repro.simulation.node_base import SimNode
+
+__all__ = ["ExtremaProtocol"]
+
+
+class ExtremaProtocol(Protocol):
+    """Continuous epidemic min/max of a scalar per node."""
+
+    def __init__(
+        self,
+        initial: Callable[[SimNode], float] | None = None,
+        name: str = "extrema",
+        value_bytes: int = 16,
+    ):
+        self.name = name
+        self.initial = initial or (lambda node: node.value)
+        self.value_bytes = value_bytes
+
+    def on_node_added(self, node: SimNode, engine: Engine) -> None:
+        value = float(self.initial(node))
+        node.state[self.name] = (value, value)
+
+    def exchange(self, initiator: SimNode, responder: SimNode, engine: Engine) -> tuple[int, int]:
+        lo_a, hi_a = initiator.state[self.name]
+        lo_b, hi_b = responder.state[self.name]
+        merged = (min(lo_a, lo_b), max(hi_a, hi_b))
+        initiator.state[self.name] = merged
+        responder.state[self.name] = merged
+        return self.value_bytes, self.value_bytes
+
+    def extremes(self, engine: Engine) -> tuple[float, float]:
+        """The (min, max) pair every node would report if fully converged."""
+        los, his = zip(*(node.state[self.name] for node in engine.nodes.values()))
+        return min(los), max(his)
+
+    def converged(self, engine: Engine) -> bool:
+        """True when every node holds identical extreme estimates."""
+        pairs = {node.state[self.name] for node in engine.nodes.values()}
+        return len(pairs) == 1

@@ -1,0 +1,8 @@
+"""Result containers and plain-text reporting for experiments."""
+
+from repro.analysis.results import ExperimentResult
+from repro.analysis.series import Series
+from repro.analysis.report import format_table, format_series
+from repro.analysis.export import read_csv, write_csv
+
+__all__ = ["ExperimentResult", "Series", "format_table", "format_series", "write_csv", "read_csv"]

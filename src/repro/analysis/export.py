@@ -1,0 +1,74 @@
+"""CSV export/import for experiment results.
+
+Figures are typically plotted outside this library (gnuplot, matplotlib,
+spreadsheets); :func:`write_csv` dumps any :class:`ExperimentResult` into
+a plain CSV with a commented header carrying the experiment parameters,
+and :func:`read_csv` round-trips it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.analysis.results import ExperimentResult
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(result: ExperimentResult, path: str | Path) -> None:
+    """Write a result's rows as CSV (params in a ``#`` header line)."""
+    path = Path(path)
+    columns = result.columns()
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        meta = {"name": result.name, "description": result.description, "params": result.params}
+        fh.write(f"# {json.dumps(meta)}\n")
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path) -> ExperimentResult:
+    """Load a result written by :func:`write_csv`.
+
+    Cells are parsed back to int/float where possible; empty cells are
+    dropped from their row (matching the sparse-row semantics of
+    :class:`ExperimentResult`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such result file: {path}")
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.startswith("#"):
+            raise ReproError(f"{path} is missing the metadata header")
+        try:
+            meta = json.loads(first.lstrip("# ").strip())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"malformed metadata header in {path}") from exc
+        reader = csv.DictReader(fh)
+        result = ExperimentResult(
+            name=meta.get("name", path.stem),
+            description=meta.get("description", ""),
+            params=meta.get("params", {}),
+        )
+        for raw in reader:
+            row = {}
+            for key, cell in raw.items():
+                if cell == "" or cell is None:
+                    continue
+                row[key] = _parse(cell)
+            result.add_row(**row)
+    return result
+
+
+def _parse(cell: str):
+    for caster in (int, float):
+        try:
+            return caster(cell)
+        except ValueError:
+            continue
+    return cell

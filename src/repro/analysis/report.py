@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results (no plotting dependency).
+
+The benchmark harness and the CLI print the same rows/series the paper's
+tables and figures report; these helpers format them as aligned ASCII so
+``EXPERIMENTS.md`` can embed them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.results import ExperimentResult
+from repro.analysis.series import Series
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting (scientific for small floats)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 0.01:
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return f"{value:.3e}"
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned ASCII table."""
+    lines = [f"== {result.name} =="]
+    if result.description:
+        lines.append(result.description)
+    if result.params:
+        lines.append("params: " + ", ".join(f"{k}={v}" for k, v in result.params.items()))
+    columns = result.columns()
+    if not columns:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in result.rows]
+    widths = [max(len(col), *(len(r[i]) for r in cells)) if cells else len(col) for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series_list: Iterable[Series], x_label: str = "x") -> str:
+    """Render several series as one table keyed by x."""
+    series_list = list(series_list)
+    xs: dict[float, None] = {}
+    for series in series_list:
+        for x in series.x:
+            xs.setdefault(x)
+    result = ExperimentResult(name="series")
+    for x in xs:
+        row: dict[str, Any] = {x_label: x}
+        for series in series_list:
+            try:
+                row[series.label] = series.y[series.x.index(x)]
+            except ValueError:
+                row[series.label] = ""
+        result.add_row(**row)
+    # Drop the decorative header the table formatter would add.
+    return "\n".join(format_table(result).splitlines()[1:])

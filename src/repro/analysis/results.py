@@ -1,0 +1,53 @@
+"""Generic experiment result container.
+
+Every experiment produces an :class:`ExperimentResult`: an identifying
+name, the parameters it ran with, and a list of uniform row dicts — the
+same rows the paper's corresponding table or figure plots.  Keeping the
+shape generic lets the reporting, benchmark and CLI layers treat all
+experiments identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment run."""
+
+    name: str
+    description: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(fields)
+
+    def columns(self) -> list[str]:
+        """Union of row keys, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def column(self, key: str) -> list[Any]:
+        """Extract one column (missing cells raise)."""
+        try:
+            return [row[key] for row in self.rows]
+        except KeyError:
+            raise ReproError(f"column {key!r} missing from result {self.name!r}") from None
+
+    def filter(self, **match: Any) -> "ExperimentResult":
+        """Rows whose fields equal all of ``match``."""
+        rows = [r for r in self.rows if all(r.get(k) == v for k, v in match.items())]
+        return ExperimentResult(self.name, self.description, dict(self.params), rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)

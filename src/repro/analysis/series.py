@@ -1,0 +1,44 @@
+"""Named (x, y) series, the unit of a figure reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["Series"]
+
+
+@dataclass
+class Series:
+    """One curve of a figure: a label and matching x/y sequences."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ReproError(f"series {self.label!r}: x and y lengths differ")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def final(self) -> float:
+        if not self.y:
+            raise ReproError(f"series {self.label!r} is empty")
+        return self.y[-1]
+
+    def min_y(self) -> float:
+        if not self.y:
+            raise ReproError(f"series {self.label!r} is empty")
+        return float(np.min(self.y))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.x, dtype=float), np.asarray(self.y, dtype=float)

@@ -1,0 +1,149 @@
+"""Adam2 on the asynchronous engine.
+
+The adapter reuses :class:`repro.core.node.Adam2Node` state and merge
+semantics, but the exchange is genuinely asynchronous: the request carries
+a snapshot of the sender's instance states; the responder replies with its
+own *pre-merge* snapshots and then merges the received ones; the initiator
+merges the response whenever it arrives.  When both states are unchanged
+in flight this is exactly the symmetric (mass-conserving) exchange; under
+concurrency small conservation violations occur and average out — the
+realistic behaviour the round-based model idealises away.
+
+Instance TTLs count the node's *own* timer fires, so an instance lasts
+``rounds_per_instance`` local gossip periods, matching the paper's
+round-based TTL in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.rngs import spawn
+from repro.core.cdf import EstimatedCDF
+from repro.core.config import Adam2Config
+from repro.core.instance import InstanceState
+from repro.core.node import Adam2Node
+from repro.asyncsim.engine import AsyncEngine, AsyncProtocol
+from repro.simulation.node_base import SimNode
+
+__all__ = ["AsyncAdam2"]
+
+
+class AsyncAdam2(AsyncProtocol):
+    """Adam2 as an asynchronous gossip protocol.
+
+    Args:
+        config: protocol parameters shared by all nodes.
+        scheduler: ``"manual"`` (instances via :meth:`trigger_instance`)
+            or ``"probabilistic"`` (the paper's self-selection).
+        neighbour_sample: attribute values collected for the
+            neighbour-based bootstrap.
+    """
+
+    name = "adam2-async"
+
+    def __init__(self, config: Adam2Config, scheduler: str = "manual", neighbour_sample: int | None = None):
+        self.config = config
+        self.scheduler = scheduler
+        self.neighbour_sample = neighbour_sample or max(config.points, 20)
+
+    # ------------------------------------------------------------------
+    # AsyncProtocol interface
+    # ------------------------------------------------------------------
+
+    def on_node_added(self, node: SimNode, engine: AsyncEngine) -> None:
+        node.state[self.name] = Adam2Node(node.node_id, node.values, self.config, spawn(node.rng))
+
+    def on_timer(self, node: SimNode, engine: AsyncEngine) -> Any | None:
+        adam2: Adam2Node = node.state[self.name]
+        adam2.end_of_round()
+        if self.scheduler == "probabilistic" and adam2.should_start_instance():
+            self._start_at(node, engine)
+        if not adam2.instances:
+            return None
+        return self._snapshots(adam2)
+
+    def on_request(self, node: SimNode, payload: Any, engine: AsyncEngine) -> Any | None:
+        adam2: Adam2Node = node.state[self.name]
+        response: dict = {}
+        for iid, remote in payload.items():
+            local = adam2.instances.get(iid)
+            if local is None:
+                if remote.ttl <= 1 or iid in adam2.finished_ids:
+                    continue  # nearly expired or already terminated here
+                local = adam2.join_instance(remote)
+            # Snapshot after joining but before merging: the initiator
+            # merging this response completes a mass-conserving symmetric
+            # exchange (see DESIGN.md on the literal Fig. 1 join rule).
+            response[iid] = local.snapshot()
+            local.merge_from(remote)
+        # Also piggyback instances the sender has not seen yet, so
+        # instances spread on responses as well as requests.
+        for iid, state in adam2.instances.items():
+            if iid not in response and iid not in payload:
+                response[iid] = state.snapshot()
+        return response or None
+
+    def on_response(self, node: SimNode, payload: Any, engine: AsyncEngine) -> None:
+        adam2: Adam2Node = node.state[self.name]
+        self._merge_payload(adam2, payload)
+
+    def payload_bytes(self, payload: Any) -> int:
+        return max(len(payload), 1) * self.config.message_bytes()
+
+    # ------------------------------------------------------------------
+    # Instance management
+    # ------------------------------------------------------------------
+
+    def trigger_instance(self, engine: AsyncEngine, node: SimNode | None = None) -> Hashable:
+        if node is None:
+            ids = list(engine.nodes)
+            node = engine.nodes[ids[int(engine.rng.integers(0, len(ids)))]]
+        return self._start_at(node, engine)
+
+    def _start_at(self, node: SimNode, engine: AsyncEngine) -> Hashable:
+        adam2: Adam2Node = node.state[self.name]
+        neighbour_ids = [i for i in engine.overlay.neighbours(node.node_id) if i in engine.nodes]
+        if neighbour_ids:
+            if len(neighbour_ids) > self.neighbour_sample:
+                picks = node.rng.choice(len(neighbour_ids), size=self.neighbour_sample, replace=False)
+                neighbour_ids = [neighbour_ids[int(i)] for i in picks]
+            neighbour_values = np.concatenate([engine.nodes[i].values for i in neighbour_ids])
+        else:
+            neighbour_values = node.values
+        return adam2.start_instance(neighbour_values=neighbour_values)
+
+    # ------------------------------------------------------------------
+    # Payload handling
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _snapshots(adam2: Adam2Node) -> dict:
+        return {iid: state.snapshot() for iid, state in adam2.instances.items()}
+
+    @staticmethod
+    def _merge_payload(adam2: Adam2Node, payload: dict) -> None:
+        for iid, remote in payload.items():
+            local = adam2.instances.get(iid)
+            if local is None:
+                if remote.ttl <= 1 or iid in adam2.finished_ids:
+                    continue  # nearly expired or already terminated here
+                local = adam2.join_instance(remote)
+            local.merge_from(remote)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def estimates(self, engine: AsyncEngine) -> list[EstimatedCDF]:
+        out = []
+        for node in engine.nodes.values():
+            estimate = node.state[self.name].current_estimate
+            if estimate is not None:
+                out.append(estimate)
+        return out
+
+    def adam2_nodes(self, engine: AsyncEngine) -> list[Adam2Node]:
+        return [node.state[self.name] for node in engine.nodes.values()]

@@ -1,0 +1,194 @@
+"""The asynchronous gossip engine.
+
+Every node owns a timer firing every ``gossip_period`` seconds (with
+multiplicative jitter, so nodes drift apart as real clocks do).  On a
+timer fire the node's protocol builds a request payload for one overlay
+neighbour; the request is delivered after a sampled network latency, the
+response after another.  There are no global rounds — only local clocks
+and in-flight messages.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rngs import spawn
+from repro.asyncsim.events import EventQueue
+from repro.overlay.base import Overlay
+from repro.simulation.node_base import SimNode
+
+__all__ = ["AsyncEngine", "AsyncProtocol", "LatencyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """One-way message latency: uniform in ``[minimum, maximum]`` seconds."""
+
+    minimum: float = 0.02
+    maximum: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0 or self.maximum < self.minimum:
+            raise ConfigurationError(f"invalid latency range [{self.minimum}, {self.maximum}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.maximum == self.minimum:
+            return self.minimum
+        return float(rng.uniform(self.minimum, self.maximum))
+
+
+class AsyncProtocol(ABC):
+    """A gossip protocol runnable on the asynchronous engine."""
+
+    name: str = "async-protocol"
+
+    @abstractmethod
+    def on_node_added(self, node: SimNode, engine: "AsyncEngine") -> None:
+        """Initialise per-node state."""
+
+    @abstractmethod
+    def on_timer(self, node: SimNode, engine: "AsyncEngine") -> Any | None:
+        """Local clock tick; returns a request payload or ``None``."""
+
+    @abstractmethod
+    def on_request(self, node: SimNode, payload: Any, engine: "AsyncEngine") -> Any | None:
+        """Handle a delivered request; returns the response payload."""
+
+    @abstractmethod
+    def on_response(self, node: SimNode, payload: Any, engine: "AsyncEngine") -> None:
+        """Handle a delivered response."""
+
+    def payload_bytes(self, payload: Any) -> int:
+        """Wire-size model for accounting (default: flat 64 B)."""
+        return 64
+
+
+class AsyncEngine:
+    """Discrete-event gossip simulator with per-node clocks."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        protocol: AsyncProtocol,
+        rng: np.random.Generator,
+        gossip_period: float = 1.0,
+        period_jitter: float = 0.05,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+    ):
+        if gossip_period <= 0:
+            raise ConfigurationError("gossip period must be positive")
+        if not 0.0 <= period_jitter < 1.0:
+            raise ConfigurationError("period jitter must be in [0, 1)")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError("loss rate must be in [0, 1)")
+        self.overlay = overlay
+        self.protocol = protocol
+        self.rng = rng
+        self.gossip_period = gossip_period
+        self.period_jitter = period_jitter
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self.queue = EventQueue()
+        self.nodes: dict[int, SimNode] = {}
+        self.messages_sent = 0
+        self.messages_lost = 0
+        self.bytes_sent = 0
+        self._next_node_id = 0
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def add_node(self, values: float | np.ndarray, bootstrap: list[int] | None = None) -> SimNode:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        node = SimNode(node_id, values, spawn(self.rng))
+        self.nodes[node_id] = node
+        self.overlay.add_node(node_id, bootstrap)
+        self.protocol.on_node_added(node, self)
+        # Random phase so timers are spread across the period.
+        self.queue.schedule_in(
+            float(node.rng.uniform(0, self.gossip_period)), lambda: self._fire_timer(node_id)
+        )
+        return node
+
+    def populate(self, values: np.ndarray) -> list[SimNode]:
+        return [self.add_node(v) for v in np.asarray(values, dtype=float)]
+
+    def remove_node(self, node_id: int) -> None:
+        if self.nodes.pop(node_id, None) is None:
+            raise SimulationError(f"cannot remove unknown node {node_id}")
+        self.overlay.remove_node(node_id)
+        # Pending timers and deliveries for this node become no-ops.
+
+    def attribute_values(self) -> np.ndarray:
+        if not self.nodes:
+            raise SimulationError("system is empty")
+        return np.concatenate([node.values for node in self.nodes.values()])
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_for(self, duration: float, max_events: int | None = None) -> int:
+        """Advance the simulation by ``duration`` seconds of virtual time."""
+        if duration < 0:
+            raise SimulationError("duration must be non-negative")
+        return self.queue.run_until(self.queue.now + duration, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_period(self, node: SimNode) -> float:
+        if self.period_jitter == 0.0:
+            return self.gossip_period
+        factor = 1.0 + float(node.rng.uniform(-self.period_jitter, self.period_jitter))
+        return self.gossip_period * factor
+
+    def _fire_timer(self, node_id: int) -> None:
+        node = self.nodes.get(node_id)
+        if node is None:
+            return  # departed; timer dies with it
+        payload = self.protocol.on_timer(node, self)
+        if payload is not None:
+            peer_id = self.overlay.select_neighbour(node_id, self.rng)
+            if peer_id is not None and peer_id in self.nodes:
+                self._send(node_id, peer_id, payload, is_request=True)
+        self.queue.schedule_in(self._next_period(node), lambda: self._fire_timer(node_id))
+
+    def _send(self, sender: int, receiver: int, payload, is_request: bool) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += self.protocol.payload_bytes(payload)
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            return
+        delay = self.latency.sample(self.rng)
+        if is_request:
+            self.queue.schedule_in(delay, lambda: self._deliver_request(sender, receiver, payload))
+        else:
+            self.queue.schedule_in(delay, lambda: self._deliver_response(receiver, payload))
+
+    def _deliver_request(self, sender: int, receiver: int, payload) -> None:
+        node = self.nodes.get(receiver)
+        if node is None:
+            return  # receiver departed while the message was in flight
+        response = self.protocol.on_request(node, payload, self)
+        if response is not None and sender in self.nodes:
+            self._send(receiver, sender, response, is_request=False)
+
+    def _deliver_response(self, receiver: int, payload) -> None:
+        node = self.nodes.get(receiver)
+        if node is None:
+            return
+        self.protocol.on_response(node, payload, self)

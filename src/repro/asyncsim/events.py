@@ -1,0 +1,59 @@
+"""Discrete-event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks.
+
+    Ties in time are broken by insertion order (a monotonically increasing
+    sequence number), which keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._sequence = 0
+        self.now: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, at: float, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to fire at absolute time ``at``."""
+        if at < self.now:
+            raise SimulationError(f"cannot schedule into the past ({at} < {self.now})")
+        heapq.heappush(self._heap, (at, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self.now + delay, callback)
+
+    def pop(self) -> Callable[[], Any]:
+        """Remove and return the next callback, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        at, _, callback = heapq.heappop(self._heap)
+        self.now = at
+        return callback
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> int:
+        """Fire events until the clock passes ``deadline``; returns count."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= deadline:
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"exceeded {max_events} events before {deadline}")
+            callback = self.pop()
+            callback()
+            fired += 1
+        self.now = max(self.now, deadline)
+        return fired

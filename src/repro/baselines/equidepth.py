@@ -1,0 +1,72 @@
+"""EquiDepth as a protocol on the object-per-node engine.
+
+Same algorithm as :class:`repro.fastsim.equidepth.EquiDepthSimulation`
+(see that module's docstring for the protocol description); this variant
+exists so EquiDepth can run side by side with other protocols on the
+:mod:`repro.simulation` engine — under its churn models, overlays and
+network accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.cdf import EstimatedCDF
+from repro.fastsim.equidepth import merge_histograms
+from repro.simulation.engine import Engine, Protocol
+from repro.simulation.node_base import SimNode
+
+__all__ = ["EquiDepthProtocol"]
+
+
+class EquiDepthProtocol(Protocol):
+    """Gossip equi-depth histogram synopses.
+
+    Args:
+        synopsis_size: synopsis bound (histogram bin count).
+        value_bytes: wire-size model per synopsis entry.
+    """
+
+    name = "equidepth"
+
+    def __init__(self, synopsis_size: int = 50, value_bytes: int = 16):
+        if synopsis_size < 2:
+            raise ConfigurationError("synopsis size must be >= 2")
+        self.synopsis_size = synopsis_size
+        self.value_bytes = value_bytes
+
+    def on_node_added(self, node: SimNode, engine: Engine) -> None:
+        node.state[self.name] = (node.values.copy(), np.full(node.values.size, 1.0 / node.values.size))
+
+    def start_phase(self, engine: Engine) -> None:
+        """Reset all synopses (a new phase, paper Fig. 8)."""
+        for node in engine.nodes.values():
+            self.on_node_added(node, engine)
+
+    def exchange(self, initiator: SimNode, responder: SimNode, engine: Engine) -> tuple[int, int]:
+        values_a, weights_a = initiator.state[self.name]
+        values_b, weights_b = responder.state[self.name]
+        merged_v, merged_w = merge_histograms(values_a, weights_a, values_b, weights_b, self.synopsis_size)
+        initiator.state[self.name] = (merged_v, merged_w)
+        responder.state[self.name] = (merged_v.copy(), merged_w.copy())
+        payload = self.value_bytes * merged_v.size
+        return payload, payload
+
+    def estimate(self, node: SimNode) -> EstimatedCDF:
+        """The node's current equi-depth CDF estimate."""
+        values, weights = node.state[self.name]
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        weights = weights[order]
+        cumulative = np.cumsum(weights)
+        fractions = cumulative / cumulative[-1]
+        return EstimatedCDF(
+            thresholds=values,
+            fractions=fractions,
+            minimum=float(values[0]),
+            maximum=float(values[-1]),
+        )
+
+    def estimates(self, engine: Engine) -> list[EstimatedCDF]:
+        return [self.estimate(node) for node in engine.nodes.values()]

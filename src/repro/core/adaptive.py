@@ -1,0 +1,110 @@
+"""Accuracy self-tuning driven by confidence estimation (paper §VI).
+
+The paper's motivation for dynamic confidence estimation is that an
+application can "dynamically tune the algorithm parameters — such as the
+number of interpolation points and the number of executed instances —
+according to application-specific accuracy requirements".
+:class:`AccuracyController` packages that loop as library code: after each
+instance it inspects the nodes' self-assessed error and decides whether to
+stop (target met), run another refinement instance, or increase ``λ``.
+No ground truth is ever consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.core.config import Adam2Config
+
+__all__ = ["AccuracyController", "TuningDecision"]
+
+
+@dataclass(frozen=True, slots=True)
+class TuningDecision:
+    """The controller's verdict after one instance.
+
+    Attributes:
+        action: ``"stop"`` (target met), ``"refine"`` (run another
+            instance with the same parameters), or ``"grow"`` (increase
+            the interpolation point count and run again).
+        config: the configuration to use for the next instance (equal to
+            the current one unless ``action == "grow"``).
+        estimated_error: the self-assessed error that drove the decision.
+    """
+
+    action: str
+    config: Adam2Config
+    estimated_error: float
+
+
+class AccuracyController:
+    """Drives Adam2 towards a target self-estimated error.
+
+    Args:
+        target: the self-estimated error to reach (``EstErr_a`` when the
+            config's verification target is ``"average"``, ``EstErr_m``
+            for ``"maximum"``).
+        max_points: upper bound for the interpolation point count.
+        growth_factor: multiplier applied to ``λ`` on a ``grow`` decision.
+        patience: instances with the same ``λ`` before growing; refinement
+            heuristics typically need 2–3 instances to converge at a given
+            ``λ``, so growing earlier wastes points.
+    """
+
+    def __init__(
+        self,
+        target: float,
+        max_points: int = 200,
+        growth_factor: float = 2.0,
+        patience: int = 2,
+    ):
+        if target <= 0:
+            raise ConfigurationError("target error must be positive")
+        if max_points < 2:
+            raise ConfigurationError("max_points must be >= 2")
+        if growth_factor <= 1.0:
+            raise ConfigurationError("growth_factor must exceed 1")
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        self.target = target
+        self.max_points = max_points
+        self.growth_factor = growth_factor
+        self.patience = patience
+        self._instances_at_current_points = 0
+        self._previous_error: float | None = None
+
+    def decide(self, config: Adam2Config, estimated_error: float) -> TuningDecision:
+        """Decide the next step given the latest self-assessment.
+
+        The controller stops when the estimate is at or below the target;
+        keeps refining while the estimate is still improving or patience
+        remains; and grows ``λ`` once refinement at the current size has
+        plateaued above the target.
+        """
+        if config.verification_points < 1:
+            raise ConfigurationError("confidence-driven tuning needs verification points")
+        if estimated_error < 0:
+            raise ConfigurationError("estimated error cannot be negative")
+        self._instances_at_current_points += 1
+
+        if estimated_error <= self.target:
+            return TuningDecision("stop", config, estimated_error)
+
+        plateaued = (
+            self._previous_error is not None
+            and estimated_error > 0.7 * self._previous_error
+        )
+        self._previous_error = estimated_error
+        exhausted_patience = self._instances_at_current_points >= self.patience
+        if (plateaued and exhausted_patience) and config.points < self.max_points:
+            new_points = min(int(config.points * self.growth_factor), self.max_points)
+            self._instances_at_current_points = 0
+            self._previous_error = None
+            return TuningDecision("grow", replace(config, points=new_points), estimated_error)
+        return TuningDecision("refine", config, estimated_error)
+
+    def reset(self) -> None:
+        """Forget history (e.g. when the attribute distribution shifts)."""
+        self._instances_at_current_points = 0
+        self._previous_error = None

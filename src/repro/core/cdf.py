@@ -1,0 +1,125 @@
+"""Ground-truth and estimated cumulative distribution functions.
+
+The ground truth ``F`` is always the *empirical* CDF of the attribute
+values held by the live node population — exactly the paper's definition
+``F(x) = |{p : A(p) <= x}| / N`` — never an analytic form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.interpolation import InterpolationSet, assemble_polyline
+
+__all__ = ["EmpiricalCDF", "EstimatedCDF"]
+
+
+class EmpiricalCDF:
+    """The exact CDF of a finite population of attribute values."""
+
+    def __init__(self, values: np.ndarray):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise EstimationError("EmpiricalCDF requires a non-empty 1-D value array")
+        if not np.all(np.isfinite(values)):
+            raise EstimationError("EmpiricalCDF values must be finite")
+        self._sorted = np.sort(values)
+
+    @property
+    def size(self) -> int:
+        """Number of population values ``N``."""
+        return int(self._sorted.size)
+
+    @property
+    def minimum(self) -> float:
+        return float(self._sorted[0])
+
+    @property
+    def maximum(self) -> float:
+        return float(self._sorted[-1])
+
+    def evaluate(self, xs: np.ndarray | float) -> np.ndarray:
+        """``F(x)``: fraction of values at or below each ``x``."""
+        xs = np.asarray(xs, dtype=float)
+        return np.searchsorted(self._sorted, xs, side="right") / self._sorted.size
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray:
+        """Smallest value ``v`` with ``F(v) >= q`` (generalised inverse)."""
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q > 1)):
+            raise EstimationError("quantile levels must lie in [0, 1]")
+        ranks = np.clip(np.ceil(q * self._sorted.size).astype(int) - 1, 0, self._sorted.size - 1)
+        return self._sorted[ranks]
+
+    def support(self) -> np.ndarray:
+        """The distinct attribute values present in the population."""
+        return np.unique(self._sorted)
+
+    def __call__(self, xs):
+        return self.evaluate(xs)
+
+
+class EstimatedCDF:
+    """A node's final CDF approximation ``F_p`` (linear interpolation).
+
+    Built from an :class:`InterpolationSet` (or raw threshold/fraction
+    arrays plus extremes) at the end of an aggregation instance.  The
+    estimate is 0 strictly below the tracked minimum, 1 at and above the
+    tracked maximum, and piecewise linear in between.
+    """
+
+    def __init__(
+        self,
+        thresholds: np.ndarray,
+        fractions: np.ndarray,
+        minimum: float,
+        maximum: float,
+        system_size: float | None = None,
+    ):
+        self._xs, self._ys = assemble_polyline(thresholds, fractions, minimum, maximum)
+        self.thresholds = np.sort(np.asarray(thresholds, dtype=float))
+        self.fractions = np.asarray(fractions, dtype=float)[np.argsort(np.asarray(thresholds, dtype=float), kind="stable")]
+        self.minimum = float(minimum)
+        self.maximum = float(maximum)
+        #: estimated system size (``1/w``), if the instance aggregated one.
+        self.system_size = system_size
+
+    @classmethod
+    def from_interpolation(cls, h: InterpolationSet, system_size: float | None = None) -> "EstimatedCDF":
+        return cls(h.thresholds, h.fractions, h.minimum, h.maximum, system_size)
+
+    def evaluate(self, xs: np.ndarray | float) -> np.ndarray:
+        """``F_p(x)`` for each ``x``."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.interp(xs, self._xs, self._ys)
+        ys = np.where(xs < self.minimum, 0.0, ys)
+        ys = np.where(xs >= self.maximum, 1.0, ys)
+        return ys
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray:
+        """Approximate inverse: smallest ``x`` with ``F_p(x) >= q``.
+
+        Uses the interpolation polyline; exact on the polyline vertices.
+        """
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q > 1)):
+            raise EstimationError("quantile levels must lie in [0, 1]")
+        ys = self._ys
+        xs = self._xs
+        idx = np.searchsorted(ys, q, side="left")
+        idx = np.clip(idx, 1, ys.size - 1)
+        y_lo, y_hi = ys[idx - 1], ys[idx]
+        x_lo, x_hi = xs[idx - 1], xs[idx]
+        rise = np.where(y_hi > y_lo, y_hi - y_lo, 1.0)
+        out = x_lo + (x_hi - x_lo) * np.clip((q - y_lo) / rise, 0.0, 1.0)
+        out = np.where(q <= ys[0], xs[0], out)
+        out = np.where(q >= ys[-1], xs[-1], out)
+        return out
+
+    def polyline(self) -> tuple[np.ndarray, np.ndarray]:
+        """The anchored interpolation polyline ``(xs, ys)``."""
+        return self._xs.copy(), self._ys.copy()
+
+    def __call__(self, xs):
+        return self.evaluate(xs)

@@ -1,0 +1,145 @@
+"""Dynamic confidence estimation (paper §VI).
+
+The instance initiator selects *verification points* ``V`` in addition to
+the interpolation points ``H``.  Verification fractions are aggregated with
+the same averaging protocol (so they are near-exact at instance end), but
+they do **not** participate in the interpolation.  Each node then compares
+its interpolated CDF against the verification fractions to estimate its own
+approximation error — enabling applications to trade accuracy for overhead
+without any external ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.interpolation import interpolate_matrix
+
+__all__ = [
+    "ConfidenceReport",
+    "select_verification_points",
+    "estimate_errors",
+    "estimate_errors_matrix",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceReport:
+    """A node's self-assessment of its CDF approximation accuracy.
+
+    Attributes:
+        est_maximum: ``EstErr_m(p)`` — max |F_p(t'_i) − f'_i| over V.
+        est_average: ``EstErr_a(p)`` — mean |F_p(t'_i) − f'_i| over V.
+        points: number of verification points used.
+    """
+
+    est_maximum: float
+    est_average: float
+    points: int
+
+
+def select_verification_points(
+    count: int,
+    target: str,
+    previous: EstimatedCDF | None,
+    minimum: float,
+    maximum: float,
+) -> np.ndarray:
+    """Choose verification thresholds for a new instance.
+
+    Args:
+        count: number of verification points.
+        target: ``"average"`` places them uniformly in ``[minimum,
+            maximum]`` (for estimating ``Err_a``); ``"maximum"``
+            iteratively bisects the widest *vertical* gap of the current
+            interpolation (for estimating ``Err_m``), seeking the
+            attribute values where the true CDF and the interpolation
+            most differ.
+        previous: the initiator's current CDF interpolation; required for
+            the ``"maximum"`` target.
+        minimum: attribute-domain lower bound.
+        maximum: attribute-domain upper bound.
+    """
+    if count < 0:
+        raise ConfigurationError("verification point count must be >= 0")
+    if count == 0:
+        return np.empty(0, dtype=float)
+    if maximum < minimum:
+        raise EstimationError(f"invalid domain [{minimum}, {maximum}]")
+    if target == "average" or previous is None:
+        if maximum == minimum:
+            return np.full(count, minimum)
+        # Uniform placement strictly inside the domain: the endpoints are
+        # already anchored by the extremes tracking.
+        return np.linspace(minimum, maximum, count + 2)[1:-1]
+    if target != "maximum":
+        raise ConfigurationError(f"unknown verification target {target!r}")
+
+    xs, ys = previous.polyline()
+    points = list(zip(xs.tolist(), ys.tolist()))
+    chosen: list[float] = []
+    for _ in range(count):
+        if len(points) < 2:
+            break
+        n = max(range(1, len(points)), key=lambda i: abs(points[i][1] - points[i - 1][1]))
+        mid_t = (points[n - 1][0] + points[n][0]) / 2.0
+        mid_f = (points[n - 1][1] + points[n][1]) / 2.0
+        chosen.append(mid_t)
+        points.insert(n, (mid_t, mid_f))
+    while len(chosen) < count:
+        chosen.append(chosen[-1] if chosen else minimum)
+    return np.sort(np.asarray(chosen, dtype=float))
+
+
+def estimate_errors(
+    estimate: EstimatedCDF,
+    verification_thresholds: np.ndarray,
+    verification_fractions: np.ndarray,
+) -> ConfidenceReport:
+    """Self-assess a CDF estimate against aggregated verification points."""
+    t = np.asarray(verification_thresholds, dtype=float)
+    f = np.asarray(verification_fractions, dtype=float)
+    if t.shape != f.shape or t.ndim != 1:
+        raise EstimationError("verification thresholds/fractions must be matching 1-D arrays")
+    if t.size == 0:
+        raise EstimationError("cannot estimate errors without verification points")
+    residual = np.abs(estimate.evaluate(t) - np.clip(f, 0.0, 1.0))
+    return ConfidenceReport(
+        est_maximum=float(residual.max()),
+        est_average=float(residual.mean()),
+        points=int(t.size),
+    )
+
+
+def estimate_errors_matrix(
+    thresholds: np.ndarray,
+    fractions: np.ndarray,
+    minimum: np.ndarray,
+    maximum: np.ndarray,
+    verification_thresholds: np.ndarray,
+    verification_fractions: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised confidence estimation over all nodes of an instance.
+
+    Args:
+        thresholds: shared interpolation thresholds, shape ``(k,)``.
+        fractions: per-node interpolation fractions, shape ``(n, k)``.
+        minimum: per-node minimum estimates, shape ``(n,)``.
+        maximum: per-node maximum estimates, shape ``(n,)``.
+        verification_thresholds: shared verification thresholds ``(v,)``.
+        verification_fractions: per-node verification fractions ``(n, v)``.
+
+    Returns:
+        ``(est_maximum, est_average)`` arrays of shape ``(n,)``.
+    """
+    vt = np.asarray(verification_thresholds, dtype=float)
+    vf = np.clip(np.asarray(verification_fractions, dtype=float), 0.0, 1.0)
+    if vt.size == 0:
+        raise EstimationError("cannot estimate errors without verification points")
+    predicted = interpolate_matrix(thresholds, fractions, minimum, maximum, vt)
+    residual = np.abs(predicted - vf)
+    return residual.max(axis=1), residual.mean(axis=1)

@@ -1,0 +1,143 @@
+"""Per-node state of one aggregation instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.core.interpolation import InterpolationSet
+
+__all__ = ["InstanceState"]
+
+
+@dataclass
+class InstanceState:
+    """Everything a peer stores for one running aggregation instance.
+
+    Attributes:
+        instance_id: unique instance identifier (assigned by initiator).
+        h: the interpolation structure (thresholds, fractions, extremes).
+        weight: system-size weight (1 at initiator, 0 elsewhere initially).
+        v_thresholds: shared verification thresholds (may be empty).
+        v_fractions: this node's averaged verification fractions.
+        count_average: averaged number of attribute values per node; 1.0
+            everywhere in single-value mode, ``|A(p)|`` initially in
+            multi-value mode (§IV, "Multiple Attribute Values per Node").
+        ttl: rounds remaining before this peer terminates the instance.
+        started_round: the engine round at which this peer joined.
+        initiator: whether this peer started the instance.
+    """
+
+    instance_id: Hashable
+    h: InterpolationSet
+    weight: float
+    v_thresholds: np.ndarray
+    v_fractions: np.ndarray
+    count_average: float
+    ttl: int
+    started_round: int = 0
+    initiator: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ProtocolError("instance TTL must be non-negative")
+        if self.v_thresholds.shape != self.v_fractions.shape:
+            raise ProtocolError("verification thresholds/fractions shape mismatch")
+
+    @classmethod
+    def initial(
+        cls,
+        instance_id: Hashable,
+        values: np.ndarray,
+        thresholds: np.ndarray,
+        v_thresholds: np.ndarray,
+        ttl: int,
+        initiator: bool,
+        started_round: int = 0,
+    ) -> "InstanceState":
+        """Initialise a peer's state on starting or joining an instance.
+
+        ``values`` is the peer's attribute value(s) as a 1-D array: a
+        single element in the standard protocol, several in multi-value
+        mode.  Fractions start as *counts at or below each threshold*
+        (the plain indicator when there is one value) and the
+        count-average column starts at ``len(values)``; at termination
+        the fractions are divided by the averaged count, which reduces to
+        the paper's single-value protocol when every node holds one
+        value.
+        """
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        if values.size == 0:
+            raise ProtocolError("a peer must hold at least one attribute value")
+        thresholds = np.sort(np.asarray(thresholds, dtype=float))
+        v_thresholds = np.sort(np.asarray(v_thresholds, dtype=float))
+        counts = (values[None, :] <= thresholds[:, None]).sum(axis=1).astype(float)
+        v_counts = (values[None, :] <= v_thresholds[:, None]).sum(axis=1).astype(float)
+        h = InterpolationSet(
+            thresholds=thresholds,
+            fractions=counts,
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+        return cls(
+            instance_id=instance_id,
+            h=h,
+            weight=1.0 if initiator else 0.0,
+            v_thresholds=v_thresholds,
+            v_fractions=v_counts,
+            count_average=float(values.size),
+            ttl=ttl,
+            started_round=started_round,
+            initiator=initiator,
+        )
+
+    def merge_from(self, other: "InstanceState") -> None:
+        """Average this state with a peer's state (in place).
+
+        Fractions, verification fractions, weights, and count averages
+        are averaged; extremes combine with min/max.  TTLs are *not*
+        merged: each peer counts down its own copy (adopted from the
+        instance message at join time), so termination stays within a
+        round of the initiator's deadline without letting the fastest
+        ticker's countdown propagate epidemically — min-merging TTLs is a
+        no-op under synchronous rounds but roughly doubles the countdown
+        rate under asynchronous per-node clocks.
+        """
+        if other.instance_id != self.instance_id:
+            raise ProtocolError("cannot merge states of different instances")
+        if not np.array_equal(self.h.thresholds, other.h.thresholds):
+            raise ProtocolError("instance thresholds diverged between peers")
+        self.h.fractions = (self.h.fractions + other.h.fractions) / 2.0
+        self.h.minimum = min(self.h.minimum, other.h.minimum)
+        self.h.maximum = max(self.h.maximum, other.h.maximum)
+        self.v_fractions = (self.v_fractions + other.v_fractions) / 2.0
+        self.weight = (self.weight + other.weight) / 2.0
+        self.count_average = (self.count_average + other.count_average) / 2.0
+
+    def snapshot(self) -> "InstanceState":
+        """Deep-enough copy for a symmetric exchange (arrays copied)."""
+        return InstanceState(
+            instance_id=self.instance_id,
+            h=self.h.copy(),
+            weight=self.weight,
+            v_thresholds=self.v_thresholds.copy(),
+            v_fractions=self.v_fractions.copy(),
+            count_average=self.count_average,
+            ttl=self.ttl,
+            started_round=self.started_round,
+            initiator=self.initiator,
+        )
+
+    def normalised_fractions(self) -> np.ndarray:
+        """Current fraction estimates ``f_i = avg_i / avg`` (§IV)."""
+        if self.count_average <= 0:
+            raise ProtocolError("count average is non-positive; instance not yet reached")
+        return self.h.fractions / self.count_average
+
+    def normalised_v_fractions(self) -> np.ndarray:
+        if self.count_average <= 0:
+            raise ProtocolError("count average is non-positive; instance not yet reached")
+        return self.v_fractions / self.count_average

@@ -1,0 +1,214 @@
+"""The ``H`` interpolation structure and linear CDF interpolation.
+
+``H`` is the paper's central data structure (§III): a sequence of
+``(t_i, f_i)`` pairs where ``f_i`` estimates the fraction of nodes whose
+attribute value is at or below the threshold ``t_i``, plus the tracked
+global attribute extremes.  The CDF estimate ``F_p`` is the linear
+interpolation through these points, anchored at ``(minimum, 0)`` from below
+and ``(maximum, 1)`` from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = ["InterpolationSet", "interpolate_matrix", "assemble_polyline"]
+
+
+def assemble_polyline(
+    thresholds: np.ndarray,
+    fractions: np.ndarray,
+    minimum: float,
+    maximum: float,
+    monotone: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the interpolation polyline ``(xs, ys)`` for a CDF estimate.
+
+    Anchors ``(minimum, 0)`` and ``(maximum, 1)`` are added unless a
+    threshold already sits at (or beyond) the corresponding extreme.  When
+    a threshold coincides with the minimum, its aggregated fraction wins
+    (the fraction of nodes *at* the minimum is exactly ``F(minimum)``).
+
+    Args:
+        thresholds: 1-D array of thresholds (need not be sorted).
+        fractions: matching 1-D array of fraction estimates.
+        minimum: tracked global attribute minimum.
+        maximum: tracked global attribute maximum.
+        monotone: clamp fractions to [0, 1] and enforce a non-decreasing
+            polyline (a CDF must be monotone; unconverged averages may
+            wiggle slightly).
+
+    Returns:
+        Sorted ``(xs, ys)`` arrays suitable for ``np.interp``.
+    """
+    thresholds = np.asarray(thresholds, dtype=float)
+    fractions = np.asarray(fractions, dtype=float)
+    if thresholds.shape != fractions.shape or thresholds.ndim != 1:
+        raise ProtocolError("thresholds and fractions must be matching 1-D arrays")
+    if thresholds.size == 0:
+        xs = np.array([minimum, maximum], dtype=float)
+        ys = np.array([0.0, 1.0])
+        return xs, ys
+    if not np.isfinite(minimum) or not np.isfinite(maximum) or maximum < minimum:
+        raise ProtocolError(f"invalid extremes [{minimum}, {maximum}]")
+
+    order = np.argsort(thresholds, kind="stable")
+    xs = thresholds[order]
+    ys = fractions[order]
+
+    # Collapse duplicate thresholds, keeping the largest fraction (the
+    # "at or below" semantics make the largest estimate the right one).
+    if xs.size > 1:
+        keep = np.empty(xs.size, dtype=bool)
+        keep[:-1] = xs[:-1] != xs[1:]
+        keep[-1] = True
+        if not keep.all():
+            ys = np.maximum.reduceat(ys, np.flatnonzero(np.concatenate(([True], keep[:-1]))))
+            xs = xs[keep]
+
+    if xs[0] > minimum:
+        xs = np.concatenate(([minimum], xs))
+        ys = np.concatenate(([0.0], ys))
+    if xs[-1] < maximum:
+        xs = np.concatenate((xs, [maximum]))
+        ys = np.concatenate((ys, [1.0]))
+
+    if monotone:
+        ys = np.maximum.accumulate(np.clip(ys, 0.0, 1.0))
+    return xs, ys
+
+
+def interpolate_matrix(
+    thresholds: np.ndarray,
+    fractions: np.ndarray,
+    minimum: np.ndarray,
+    maximum: np.ndarray,
+    query: np.ndarray,
+) -> np.ndarray:
+    """Evaluate many nodes' CDF estimates that share one threshold set.
+
+    This is the vectorised work-horse used by the fast simulator: all
+    nodes in an aggregation instance share the thresholds but hold their
+    own fraction vectors (rows of ``fractions``) and extreme estimates.
+
+    Args:
+        thresholds: shared sorted 1-D thresholds, shape ``(k,)``.
+        fractions: per-node fractions, shape ``(n, k)``.
+        minimum: per-node minimum estimates, shape ``(n,)``.
+        maximum: per-node maximum estimates, shape ``(n,)``.
+        query: points at which to evaluate, shape ``(q,)``.
+
+    Returns:
+        Array of shape ``(n, q)`` with ``F_p(query)`` per node ``p``.
+        Fractions are clamped to [0, 1] and made monotone per node.
+    """
+    thresholds = np.asarray(thresholds, dtype=float)
+    fractions = np.asarray(fractions, dtype=float)
+    query = np.asarray(query, dtype=float)
+    minimum = np.asarray(minimum, dtype=float)
+    maximum = np.asarray(maximum, dtype=float)
+    if fractions.ndim != 2 or fractions.shape[1] != thresholds.size:
+        raise ProtocolError("fractions must have shape (n, len(thresholds))")
+    if np.any(np.diff(thresholds) < 0):
+        raise ProtocolError("thresholds must be sorted")
+
+    n = fractions.shape[0]
+    frac = np.maximum.accumulate(np.clip(fractions, 0.0, 1.0), axis=1)
+
+    # Segment index for each query point within the shared thresholds:
+    # idx = number of thresholds strictly below the query point.
+    idx = np.searchsorted(thresholds, query, side="right")
+    out = np.empty((n, query.size), dtype=float)
+
+    inside = (idx > 0) & (idx < thresholds.size)
+    below = idx == 0
+    above = idx == thresholds.size
+
+    if inside.any():
+        j = idx[inside]
+        t_lo, t_hi = thresholds[j - 1], thresholds[j]
+        width = np.where(t_hi > t_lo, t_hi - t_lo, 1.0)
+        alpha = (query[inside] - t_lo) / width
+        out[:, inside] = frac[:, j - 1] + (frac[:, j] - frac[:, j - 1]) * alpha
+    if below.any():
+        # Interpolate from the per-node (minimum, 0) anchor to the first
+        # threshold; 0 strictly below the minimum.
+        q_below = query[below]
+        t0 = thresholds[0]
+        span = np.maximum(t0 - minimum[:, None], 1e-300)
+        alpha = (q_below[None, :] - minimum[:, None]) / span
+        alpha = np.clip(alpha, 0.0, 1.0)
+        out[:, below] = frac[:, :1] * alpha
+        out[:, below] = np.where(q_below[None, :] < minimum[:, None], 0.0, out[:, below])
+    if above.any():
+        # Interpolate from the last threshold to the (maximum, 1) anchor;
+        # 1 at and beyond the maximum.
+        q_above = query[above]
+        t_last = thresholds[-1]
+        span = np.maximum(maximum[:, None] - t_last, 1e-300)
+        alpha = np.clip((q_above[None, :] - t_last) / span, 0.0, 1.0)
+        last = frac[:, -1:]
+        out[:, above] = last + (1.0 - last) * alpha
+        out[:, above] = np.where(q_above[None, :] >= maximum[:, None], 1.0, out[:, above])
+    return out
+
+
+@dataclass
+class InterpolationSet:
+    """A node's ``H`` structure for one aggregation instance.
+
+    Attributes:
+        thresholds: sorted threshold values ``t_i`` (shared instance-wide).
+        fractions: this node's current averaged estimates ``f_i``.
+        minimum: this node's current estimate of the global minimum.
+        maximum: this node's current estimate of the global maximum.
+    """
+
+    thresholds: np.ndarray
+    fractions: np.ndarray
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_indicator(
+        cls, value: float, thresholds: np.ndarray, local_minimum: float | None = None, local_maximum: float | None = None
+    ) -> "InterpolationSet":
+        """Initialise ``H`` for a joining peer (paper Fig. 1, line 21).
+
+        The fractions start as the indicator ``1{A(p) <= t_i}`` and the
+        extremes as the peer's own value (or its known local extremes when
+        the peer holds multiple values).
+        """
+        thresholds = np.sort(np.asarray(thresholds, dtype=float))
+        fractions = (value <= thresholds).astype(float)
+        lo = value if local_minimum is None else local_minimum
+        hi = value if local_maximum is None else local_maximum
+        return cls(thresholds=thresholds, fractions=fractions, minimum=float(lo), maximum=float(hi))
+
+    def copy(self) -> "InterpolationSet":
+        return InterpolationSet(
+            thresholds=self.thresholds.copy(),
+            fractions=self.fractions.copy(),
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    def __len__(self) -> int:
+        return int(self.thresholds.size)
+
+    def polyline(self, monotone: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(xs, ys)`` interpolation polyline including anchors."""
+        return assemble_polyline(self.thresholds, self.fractions, self.minimum, self.maximum, monotone)
+
+    def evaluate(self, xs: np.ndarray) -> np.ndarray:
+        """Evaluate this node's interpolated CDF estimate at ``xs``."""
+        xp, fp = self.polyline()
+        xs = np.asarray(xs, dtype=float)
+        ys = np.interp(xs, xp, fp)
+        ys = np.where(xs < self.minimum, 0.0, ys)
+        ys = np.where(xs >= self.maximum, 1.0, ys)
+        return ys

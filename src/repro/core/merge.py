@@ -1,0 +1,53 @@
+"""Pairwise merge rules for gossip exchanges (paper Fig. 1, M ERGE).
+
+A gossip exchange between peers ``p`` and ``q`` averages the corresponding
+``f_i`` fraction estimates and the system-size weights, and combines the
+tracked attribute extremes with min/max (the paper's "treated specially"
+rule for the first and last points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.core.interpolation import InterpolationSet
+
+__all__ = ["merge_average", "merge_extremes", "merge_interpolation_sets"]
+
+
+def merge_average(mine: np.ndarray, theirs: np.ndarray) -> np.ndarray:
+    """Element-wise average of two fraction (or weight) vectors."""
+    mine = np.asarray(mine, dtype=float)
+    theirs = np.asarray(theirs, dtype=float)
+    if mine.shape != theirs.shape:
+        raise ProtocolError(f"cannot average shapes {mine.shape} and {theirs.shape}")
+    return (mine + theirs) / 2.0
+
+
+def merge_extremes(mine: tuple[float, float], theirs: tuple[float, float]) -> tuple[float, float]:
+    """Combine two ``(minimum, maximum)`` estimates epidemically."""
+    lo = min(mine[0], theirs[0])
+    hi = max(mine[1], theirs[1])
+    if hi < lo:
+        raise ProtocolError(f"merged extremes invalid: [{lo}, {hi}]")
+    return lo, hi
+
+
+def merge_interpolation_sets(mine: InterpolationSet, theirs: InterpolationSet) -> InterpolationSet:
+    """Full merge of two ``H`` structures from the same instance.
+
+    Both peers must carry the same thresholds (they were fixed by the
+    instance initiator); fractions average, extremes min/max.
+    """
+    if mine.thresholds.shape != theirs.thresholds.shape or not np.array_equal(
+        mine.thresholds, theirs.thresholds
+    ):
+        raise ProtocolError("cannot merge H structures with different thresholds")
+    lo, hi = merge_extremes((mine.minimum, mine.maximum), (theirs.minimum, theirs.maximum))
+    return InterpolationSet(
+        thresholds=mine.thresholds.copy(),
+        fractions=merge_average(mine.fractions, theirs.fractions),
+        minimum=lo,
+        maximum=hi,
+    )

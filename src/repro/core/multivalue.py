@@ -1,0 +1,67 @@
+"""Multiple attribute values per node (paper §IV, final subsection).
+
+To estimate the distribution of a *multiset* of values (e.g. the sizes of
+all files at all nodes), each node contributes two quantities to the
+averaging protocol: ``avg_i`` — its count of values at or below each
+threshold — and ``avg`` — its total number of values.  The CDF value at
+threshold ``t_i`` is then ``f_i = avg_i / avg``.  Note ``avg`` is a single
+scalar shared by all thresholds.
+
+:class:`repro.core.instance.InstanceState` implements this scheme natively
+(single-value mode is the degenerate case ``avg ≡ 1``); the helpers here
+expose the arithmetic directly for analysis and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = ["MultiValueState", "multivalue_fractions"]
+
+
+def multivalue_fractions(avg_counts: np.ndarray, avg_total: float) -> np.ndarray:
+    """Compute ``f_i = avg_i / avg`` with validation."""
+    avg_counts = np.asarray(avg_counts, dtype=float)
+    if avg_total <= 0:
+        raise ProtocolError(f"averaged value count must be positive, got {avg_total}")
+    return avg_counts / avg_total
+
+
+@dataclass
+class MultiValueState:
+    """The two averaged quantities of the multi-value scheme for one node.
+
+    Attributes:
+        counts: per-threshold counts ``|{a in A(p) : a <= t_i}|``,
+            averaged over gossip exchanges.
+        total: number of values ``|A(p)|``, averaged over exchanges.
+    """
+
+    counts: np.ndarray
+    total: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, thresholds: np.ndarray) -> "MultiValueState":
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        thresholds = np.asarray(thresholds, dtype=float)
+        if values.size == 0:
+            raise ProtocolError("node must hold at least one value")
+        counts = (values[None, :] <= thresholds[:, None]).sum(axis=1).astype(float)
+        return cls(counts=counts, total=float(values.size))
+
+    def merge(self, other: "MultiValueState") -> None:
+        """Symmetric averaging merge (both peers call this on exchange)."""
+        if self.counts.shape != other.counts.shape:
+            raise ProtocolError("cannot merge states with different threshold counts")
+        merged_counts = (self.counts + other.counts) / 2.0
+        merged_total = (self.total + other.total) / 2.0
+        self.counts = merged_counts
+        self.total = merged_total
+
+    def fractions(self) -> np.ndarray:
+        """Current CDF estimates at the thresholds."""
+        return multivalue_fractions(self.counts, self.total)

@@ -1,0 +1,27 @@
+"""Interpolation-point selection heuristics (paper §V).
+
+Bootstrap heuristics (no previous estimate): :class:`UniformSelection`,
+:class:`NeighbourBasedSelection`.  Refinement heuristics (given a previous
+estimate): :class:`HCutSelection`, :class:`MinMaxSelection`,
+:class:`LCutSelection`.
+"""
+
+from repro.core.selection.base import SelectionStrategy, get_selection, canonical_points, fill_unique
+from repro.core.selection.hcut import HCutSelection
+from repro.core.selection.lcut import GlobalLCutSelection, LCutSelection
+from repro.core.selection.minmax import MinMaxSelection
+from repro.core.selection.neighbour import NeighbourBasedSelection
+from repro.core.selection.uniform import UniformSelection
+
+__all__ = [
+    "SelectionStrategy",
+    "get_selection",
+    "canonical_points",
+    "fill_unique",
+    "UniformSelection",
+    "NeighbourBasedSelection",
+    "HCutSelection",
+    "MinMaxSelection",
+    "LCutSelection",
+    "GlobalLCutSelection",
+]

@@ -1,0 +1,129 @@
+"""Selection strategy interface and shared helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.core.cdf import EstimatedCDF
+
+__all__ = ["SelectionStrategy", "get_selection", "canonical_points", "fill_unique"]
+
+
+class SelectionStrategy(ABC):
+    """Chooses the ``λ`` thresholds for a new aggregation instance.
+
+    A strategy receives whatever context is available to the initiating
+    peer: the previous CDF estimate (``None`` before the first instance
+    completes) and a sample of attribute values observed at overlay
+    neighbours.  It returns a sorted array of ``lam`` thresholds.
+    """
+
+    #: Registry name, set by subclasses.
+    name: str = ""
+
+    @abstractmethod
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return ``lam`` sorted thresholds for the next instance."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+def canonical_points(previous: EstimatedCDF, lam: int) -> tuple[np.ndarray, np.ndarray]:
+    """Adapt a previous estimate's polyline to exactly ``lam`` points.
+
+    The refinement heuristics operate on the previous interpolation, so
+    its carefully refined vertex placement must be preserved.  When the
+    vertex count differs from ``lam`` (the first refinement sees the
+    bootstrap polyline with its two added anchor vertices; a caller may
+    also change ``λ`` between instances), the set is adjusted minimally:
+
+    * too many points: repeatedly drop the interior vertex whose removal
+      loses the least vertical information (smallest ``|f[i+1]−f[i−1]|``,
+      the MinMax removal criterion); endpoints are always kept;
+    * too few points: repeatedly bisect the widest vertical gap.
+    """
+    if lam < 2:
+        raise ConfigurationError("need lam >= 2")
+    xs, ys = previous.polyline()
+    points = list(zip(xs.tolist(), ys.tolist()))
+    while len(points) > lam and len(points) > 2:
+        m = min(range(1, len(points) - 1), key=lambda j: abs(points[j + 1][1] - points[j - 1][1]))
+        points.pop(m)
+    while len(points) < lam:
+        n = max(range(1, len(points)), key=lambda i: abs(points[i][1] - points[i - 1][1]))
+        midpoint = (
+            (points[n - 1][0] + points[n][0]) / 2.0,
+            (points[n - 1][1] + points[n][1]) / 2.0,
+        )
+        points.insert(n, midpoint)
+    ts = np.asarray([t for t, _ in points], dtype=float)
+    fs = np.asarray([f for _, f in points], dtype=float)
+    return ts, fs
+
+
+def fill_unique(thresholds: np.ndarray, lam: int, lo: float, hi: float) -> np.ndarray:
+    """Return exactly ``lam`` sorted thresholds inside ``[lo, hi]``.
+
+    Deduplicates, then repeatedly inserts the midpoint of the widest gap
+    (considering the domain endpoints) until ``lam`` values exist.  When
+    the domain is degenerate (``lo == hi``) duplicates are unavoidable and
+    the single value is repeated.
+    """
+    if lam < 1:
+        raise ConfigurationError("need lam >= 1")
+    if hi < lo:
+        raise EstimationError(f"invalid domain [{lo}, {hi}]")
+    vals = np.unique(np.clip(np.asarray(thresholds, dtype=float), lo, hi))
+    if vals.size > lam:
+        idx = np.linspace(0, vals.size - 1, lam).round().astype(int)
+        vals = vals[np.unique(idx)]
+    if hi == lo:
+        return np.full(lam, lo)
+    points = list(vals)
+    if not points:
+        points = [lo, hi] if lam >= 2 else [lo]
+    while len(points) < lam:
+        candidates = [lo] + points + [hi] if (points[0] > lo or points[-1] < hi) else points
+        gaps = np.diff(np.asarray(candidates))
+        if gaps.size == 0 or gaps.max() <= 0:
+            points.append(points[-1])
+            continue
+        g = int(np.argmax(gaps))
+        midpoint = (candidates[g] + candidates[g + 1]) / 2.0
+        points.append(midpoint)
+        points.sort()
+    return np.asarray(points[:lam], dtype=float)
+
+
+def get_selection(name: str) -> SelectionStrategy:
+    """Instantiate a selection strategy by registry name."""
+    from repro.core.selection.hcut import HCutSelection
+    from repro.core.selection.lcut import GlobalLCutSelection, LCutSelection
+    from repro.core.selection.minmax import MinMaxSelection
+    from repro.core.selection.neighbour import NeighbourBasedSelection
+    from repro.core.selection.uniform import UniformSelection
+
+    registry = {
+        "uniform": UniformSelection,
+        "neighbour": NeighbourBasedSelection,
+        "hcut": HCutSelection,
+        "minmax": MinMaxSelection,
+        "lcut": LCutSelection,
+        "lcut_global": GlobalLCutSelection,
+    }
+    try:
+        return registry[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown selection strategy {name!r}; expected one of {sorted(registry)}"
+        ) from None

@@ -1,0 +1,38 @@
+"""HCut refinement: equal CDF quantiles of the previous estimate (§V-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.selection.base import SelectionStrategy, fill_unique
+
+__all__ = ["HCutSelection"]
+
+
+class HCutSelection(SelectionStrategy):
+    """Thresholds dividing the previous estimate into equal quantiles.
+
+    Places the new interpolation points so that consecutive points are
+    separated by equal *vertical* (CDF) distance along the previous
+    approximation, bounding the expected maximum error to roughly
+    ``1/(λ+1)`` when the CDF is smooth and stable.  Step CDFs defeat it:
+    many quantiles collapse onto the same attribute value at a step, so
+    the deduplicated points are back-filled with widest-gap midpoints.
+    """
+
+    name = "hcut"
+
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if previous is None:
+            raise EstimationError("HCut needs a previous estimate; use a bootstrap heuristic first")
+        quantiles = np.linspace(0.0, 1.0, lam)
+        thresholds = previous.quantile(quantiles)
+        return fill_unique(thresholds, lam, previous.minimum, previous.maximum)

@@ -1,0 +1,119 @@
+"""LCut refinement: equal Euclidean arc-length along the previous curve.
+
+LCut (§V-B) optimises the *average* error ``Err_a``: it places points so
+that consecutive interpolation points are separated by equal Euclidean
+distance along the previous polyline, with the horizontal axis scaled by
+``max − min`` so both coordinates have comparable ranges.  Relative to
+HCut (equal vertical division) this spends points on long flat stretches
+as well as on steep rises, shrinking the area between the true and
+estimated curves.
+
+Two implementations are provided:
+
+* :class:`LCutSelection` (registry name ``"lcut"``) — an *incremental*
+  equalisation: starting from the previous points, repeatedly split the
+  longest segment at its midpoint while removing the interior point whose
+  neighbours are closest together (the exact analogue of the paper's
+  MinMax loop with Euclidean length in place of vertical distance).
+  Because existing points move only when it shortens the longest segment,
+  the brackets around CDF steps are preserved between instances and the
+  refinement converges monotonically.
+* :class:`GlobalLCutSelection` (``"lcut_global"``) — the literal one-shot
+  division of the curve into ``λ − 1`` equal-length segments.  On step
+  CDFs this variant oscillates: the vertex bracketing a step from below
+  is not guaranteed to be a division point, so a step's bracket can
+  regress to the previous flat-region point (we keep it as an ablation;
+  see the ``ablation_lcut`` benchmark).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.selection.base import SelectionStrategy, canonical_points, fill_unique
+
+__all__ = ["LCutSelection", "GlobalLCutSelection"]
+
+
+def _segment_length(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return float(np.hypot(b[0] - a[0], b[1] - a[1]))
+
+
+class LCutSelection(SelectionStrategy):
+    """Incremental equal-arc-length selection (stabilised LCut)."""
+
+    name = "lcut"
+
+    #: Safety bound on refinement iterations, as a multiple of ``λ``.
+    max_iteration_factor: int = 20
+
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if previous is None:
+            raise EstimationError("LCut needs a previous estimate; use a bootstrap heuristic first")
+        span = previous.maximum - previous.minimum
+        if span <= 0:
+            return np.full(lam, previous.minimum)
+        ts, fs = canonical_points(previous, lam)
+        # Normalised coordinates: x scaled by (max − min), y already in [0,1].
+        h: list[tuple[float, float]] = sorted(zip((ts / span).tolist(), fs.tolist()))
+        h_old = list(h)
+
+        for _ in range(self.max_iteration_factor * max(lam, 2)):
+            if len(h) < 2 or len(h_old) < 3:
+                break
+            n = max(range(1, len(h)), key=lambda i: _segment_length(h[i - 1], h[i]))
+            longest = _segment_length(h[n - 1], h[n])
+            m = min(range(1, len(h_old) - 1), key=lambda j: _segment_length(h_old[j - 1], h_old[j + 1]))
+            narrowest = _segment_length(h_old[m - 1], h_old[m + 1])
+            if not longest > narrowest:
+                break
+            new_point = (
+                (h[n - 1][0] + h[n][0]) / 2.0,
+                (h[n - 1][1] + h[n][1]) / 2.0,
+            )
+            removed = h_old.pop(m)
+            if removed in h:
+                h.remove(removed)
+            bisect.insort(h, new_point)
+
+        thresholds = np.asarray([t * span for t, _ in h], dtype=float)
+        return fill_unique(thresholds, lam, previous.minimum, previous.maximum)
+
+
+class GlobalLCutSelection(SelectionStrategy):
+    """The literal global equal-length division of the previous curve."""
+
+    name = "lcut_global"
+
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if previous is None:
+            raise EstimationError("LCut needs a previous estimate; use a bootstrap heuristic first")
+        xs, ys = previous.polyline()
+        span = previous.maximum - previous.minimum
+        if span <= 0:
+            return np.full(lam, previous.minimum)
+        nx = (xs - previous.minimum) / span
+        seg_len = np.hypot(np.diff(nx), np.diff(ys))
+        cumulative = np.concatenate(([0.0], np.cumsum(seg_len)))
+        total = cumulative[-1]
+        if total <= 0:
+            return np.full(lam, previous.minimum)
+        targets = np.linspace(0.0, total, lam)
+        thresholds = np.interp(targets, cumulative, xs)
+        return fill_unique(thresholds, lam, previous.minimum, previous.maximum)

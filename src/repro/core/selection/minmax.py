@@ -1,0 +1,74 @@
+"""MinMax refinement: split wide vertical gaps, merge tight clusters.
+
+Direct implementation of the paper's Figure 3 pseudocode.  MinMax is the
+heuristic of choice for *step* CDFs (e.g. installed RAM): by repeatedly
+splitting the steepest fragment of the interpolated curve while removing
+the midpoint of the flattest three-point cluster, it migrates points onto
+the steps over successive aggregation instances.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.selection.base import SelectionStrategy, canonical_points, fill_unique
+
+__all__ = ["MinMaxSelection"]
+
+
+class MinMaxSelection(SelectionStrategy):
+    """The paper's MinMax interpolation-point selection (Fig. 3).
+
+    The working set ``H`` starts as the previous interpolation; each
+    iteration finds the widest vertical gap between consecutive points of
+    ``H`` and the narrowest three-point vertical span in ``H_old``.  While
+    the gap exceeds the span, the cluster midpoint is removed from both
+    sets and the gap's interpolated midpoint is added to ``H`` — so the
+    point count is invariant and newly added midpoints are never removal
+    candidates (they exist only in ``H``).
+    """
+
+    name = "minmax"
+
+    #: Safety bound on refinement iterations, as a multiple of ``λ``.
+    max_iteration_factor: int = 20
+
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if previous is None:
+            raise EstimationError("MinMax needs a previous estimate; use a bootstrap heuristic first")
+        ts, fs = canonical_points(previous, lam)
+        h: list[tuple[float, float]] = sorted(zip(ts.tolist(), fs.tolist()))
+        h_old = list(h)
+
+        for _ in range(self.max_iteration_factor * max(lam, 2)):
+            if len(h) < 2 or len(h_old) < 3:
+                break
+            n = max(range(1, len(h)), key=lambda i: abs(h[i][1] - h[i - 1][1]))
+            widest = abs(h[n][1] - h[n - 1][1])
+            # Interior points only: the endpoints anchor the attribute
+            # domain and must never be removed.
+            m = min(range(1, len(h_old) - 1), key=lambda j: abs(h_old[j + 1][1] - h_old[j - 1][1]))
+            narrowest = abs(h_old[m + 1][1] - h_old[m - 1][1])
+            if not widest > narrowest:
+                break
+            new_point = (
+                (h[n - 1][0] + h[n][0]) / 2.0,
+                (h[n - 1][1] + h[n][1]) / 2.0,
+            )
+            removed = h_old.pop(m)
+            if removed in h:
+                h.remove(removed)
+            bisect.insort(h, new_point)
+
+        thresholds = np.asarray([t for t, _ in h], dtype=float)
+        return fill_unique(thresholds, lam, previous.minimum, previous.maximum)

@@ -1,0 +1,42 @@
+"""Neighbour-based bootstrap selection (paper §V, §VII-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.selection.base import SelectionStrategy, fill_unique
+
+__all__ = ["NeighbourBasedSelection"]
+
+
+class NeighbourBasedSelection(SelectionStrategy):
+    """Bootstrap thresholds from attribute values observed at neighbours.
+
+    The initiator takes a random subset of the attribute values of its
+    overlay neighbours as the initial thresholds.  Because those values
+    are themselves drawn from the target distribution, the points land
+    where the distribution has mass, which bootstraps MinMax (and the
+    other refinement heuristics) dramatically faster than uniform
+    placement on skewed distributions (Fig. 5).
+    """
+
+    name = "neighbour"
+
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if neighbour_values is None or np.asarray(neighbour_values).size == 0:
+            raise EstimationError("neighbour-based selection needs neighbour attribute values")
+        values = np.asarray(neighbour_values, dtype=float)
+        if values.size >= lam:
+            picked = rng.choice(values, size=lam, replace=False)
+        else:
+            picked = values
+        lo, hi = float(values.min()), float(values.max())
+        return fill_unique(np.sort(picked), lam, lo, hi)

@@ -1,0 +1,45 @@
+"""Uniform bootstrap selection: evenly spaced thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.selection.base import SelectionStrategy
+
+__all__ = ["UniformSelection"]
+
+
+class UniformSelection(SelectionStrategy):
+    """Spread thresholds at uniform intervals within the attribute domain.
+
+    The paper's simplest bootstrap (§V): with no prior knowledge of the
+    distribution, place the ``λ`` points evenly between the smallest and
+    largest attribute value known to the initiator — here, the extremes of
+    the previous estimate when available, else of the neighbour sample.
+    Performs poorly on skewed distributions (Fig. 5), which motivates the
+    neighbour-based bootstrap.
+    """
+
+    name = "uniform"
+
+    def select(
+        self,
+        lam: int,
+        previous: EstimatedCDF | None,
+        rng: np.random.Generator,
+        neighbour_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if previous is not None:
+            lo, hi = previous.minimum, previous.maximum
+        elif neighbour_values is not None and np.asarray(neighbour_values).size > 0:
+            values = np.asarray(neighbour_values, dtype=float)
+            lo, hi = float(values.min()), float(values.max())
+        else:
+            raise EstimationError(
+                "uniform selection needs a previous estimate or neighbour values to define the domain"
+            )
+        if hi == lo:
+            return np.full(lam, lo)
+        return np.linspace(lo, hi, lam)

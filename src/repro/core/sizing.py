@@ -1,0 +1,31 @@
+"""System-size estimation from averaged weights (paper §IV).
+
+Each instance runs the averaging protocol over a weight variable that is 1
+at the unique initiator and 0 elsewhere; the average converges to ``1/N``,
+so each node recovers ``N`` as the inverse of its converged weight.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimationError
+
+__all__ = ["size_from_weight"]
+
+
+def size_from_weight(weight: float) -> float:
+    """Convert a converged averaging weight into a system-size estimate.
+
+    Args:
+        weight: the node's weight at instance end; must be positive (a
+            node that merged with the epidemic at least once holds a
+            strictly positive weight once the initiator's unit of mass
+            has reached it).
+
+    Raises:
+        EstimationError: if the weight is non-positive, which means the
+            initiator's weight never reached this node (instance too
+            short or the overlay was partitioned).
+    """
+    if weight <= 0.0:
+        raise EstimationError(f"cannot invert non-positive weight {weight}")
+    return 1.0 / weight

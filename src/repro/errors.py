@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class.  Lower-level substrates define subclasses
+here rather than locally, which keeps failure handling uniform across the
+simulator, the overlay and the protocol layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (malformed message, bad merge)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class OverlayError(ReproError):
+    """Overlay/membership operation failed (e.g. no neighbours available)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/trace could not be generated or parsed."""
+
+
+class EstimationError(ReproError):
+    """A CDF estimate is unusable (e.g. queried before any instance ran)."""

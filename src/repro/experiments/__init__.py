@@ -1,0 +1,13 @@
+"""Experiment reproductions: one module per paper figure/table.
+
+Every experiment exposes ``run(**params) -> ExperimentResult`` with
+laptop-scale defaults (see :mod:`repro.experiments.common`) and prints the
+same rows/series the paper reports.  The registry in
+:mod:`repro.experiments.registry` maps experiment ids (``fig05`` …) to
+their runners; ``python -m repro.experiments.cli fig07`` runs one from the
+command line.
+"""
+
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+__all__ = ["get_experiment", "list_experiments", "run_experiment"]

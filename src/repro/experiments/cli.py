@@ -1,0 +1,75 @@
+"""Command-line entry point: ``adam2-experiments <id> [options]``.
+
+Examples::
+
+    adam2-experiments --list
+    adam2-experiments fig07
+    adam2-experiments fig07 --nodes 3000 --seed 7
+    REPRO_SCALE=quick adam2-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.report import format_table
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adam2-experiments",
+        description="Reproduce the Adam2 paper's figures and tables.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id (e.g. fig07) or 'all'")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--nodes", type=int, default=None, help="override system size")
+    parser.add_argument("--points", type=int, default=None, help="override interpolation point count")
+    parser.add_argument("--seed", type=int, default=None, help="experiment seed")
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    runner = get_experiment(name)
+    params = {}
+    if args.seed is not None:
+        params["seed"] = args.seed
+    if args.points is not None:
+        params["points"] = args.points
+    if args.nodes is not None:
+        # Experiments use either n_nodes or population for their size knob.
+        import inspect
+
+        signature = inspect.signature(runner)
+        if "n_nodes" in signature.parameters:
+            params["n_nodes"] = args.nodes
+        elif "population" in signature.parameters:
+            params["population"] = args.nodes
+    started = time.time()
+    result = runner(**params)
+    print(format_table(result))
+    print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for name in list_experiments():
+            print(f"  {name}")
+        return 0
+    if args.experiment == "all":
+        for name in list_experiments():
+            _run_one(name, args)
+        return 0
+    _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

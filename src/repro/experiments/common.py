@@ -1,0 +1,56 @@
+"""Shared experiment scaffolding: scales, attributes, defaults.
+
+The paper's evaluations use 100,000 nodes.  Running every figure at that
+size is possible with the ``matching`` kernel but takes hours in pure
+Python, so experiments default to a laptop scale that preserves every
+qualitative result (the protocol's accuracy is size-independent — that is
+Fig. 11's point).  Set ``REPRO_SCALE=paper`` to run full-size, or
+``REPRO_SCALE=quick`` for CI-speed smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads import boinc_workload
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["Scale", "get_scale", "attribute_workloads", "DEFAULT_ATTRIBUTES"]
+
+DEFAULT_ATTRIBUTES = ("cpu", "ram")
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """Size parameters for an experiment tier."""
+
+    name: str
+    n_nodes: int
+    rounds_per_instance: int
+    exchange: str
+    node_sample: int
+
+
+_SCALES = {
+    "quick": Scale("quick", 400, 20, "sequential", 24),
+    "laptop": Scale("laptop", 1500, 30, "sequential", 48),
+    "paper": Scale("paper", 100_000, 30, "matching", 64),
+}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve the experiment scale (explicit arg > env var > laptop)."""
+    name = name or os.environ.get("REPRO_SCALE", "laptop")
+    try:
+        return _SCALES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; expected one of {sorted(_SCALES)}"
+        ) from None
+
+
+def attribute_workloads(attributes: tuple[str, ...] = DEFAULT_ATTRIBUTES) -> list[tuple[str, AttributeWorkload]]:
+    """Resolve attribute names into (name, workload) pairs."""
+    return [(name, boinc_workload(name)) for name in attributes]

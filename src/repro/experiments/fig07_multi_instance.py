@@ -1,0 +1,57 @@
+"""Figure 7: HCut vs MinMax vs LCut over multiple instances.
+
+For the stepped RAM attribute MinMax clearly wins the maximum-error
+metric (it hunts steps); LCut wins the average-error metric (it spreads
+points by arc length); HCut is dominated on step CDFs because quantile
+placement collapses onto steps.  On the smooth CPU attribute all three
+perform comparably (and well).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import ExperimentResult
+from repro.core.config import Adam2Config
+from repro.experiments.common import attribute_workloads, get_scale
+from repro.fastsim.adam2 import Adam2Simulation
+
+__all__ = ["run", "HEURISTICS"]
+
+HEURISTICS = ("hcut", "minmax", "lcut")
+
+
+def run(
+    n_nodes: int | None = None,
+    points: int = 50,
+    instances: int = 5,
+    seed: int = 42,
+    attributes=("cpu", "ram"),
+    heuristics=HEURISTICS,
+) -> ExperimentResult:
+    """Reproduce Fig. 7: Err_m/Err_a per instance for each heuristic."""
+    scale = get_scale()
+    n = n_nodes or scale.n_nodes
+    result = ExperimentResult(
+        name="fig07_multi_instance",
+        description="Refinement heuristics compared over consecutive instances",
+        params={"n_nodes": n, "points": points, "instances": instances, "seed": seed},
+    )
+    for attr, workload in attribute_workloads(tuple(attributes)):
+        for heuristic in heuristics:
+            config = Adam2Config(
+                points=points,
+                rounds_per_instance=scale.rounds_per_instance,
+                selection=heuristic,
+            )
+            sim = Adam2Simulation(
+                workload, n, config, seed=seed, exchange=scale.exchange, node_sample=scale.node_sample
+            )
+            run_result = sim.run_instances(instances)
+            for instance in run_result.instances:
+                result.add_row(
+                    attribute=attr,
+                    heuristic=heuristic,
+                    instance=instance.instance_index + 1,
+                    err_max=instance.errors_entire.maximum,
+                    err_avg=instance.errors_entire.average,
+                )
+    return result

@@ -1,0 +1,54 @@
+"""Figure 11: approximation accuracy vs system size.
+
+Adam2's accuracy is essentially independent of the number of nodes: the
+averaging protocol converges exponentially regardless of N (only the
+instance TTL must grow logarithmically), so ``Err_m`` stays in the same
+order of magnitude across sizes, while ``Err_a`` tends to *decrease* for
+larger systems (longer distribution tails are easy to interpolate).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import ExperimentResult
+from repro.core.config import Adam2Config
+from repro.experiments.common import attribute_workloads, get_scale
+from repro.fastsim.adam2 import Adam2Simulation
+
+__all__ = ["run", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (100, 300, 1_000, 3_000, 10_000)
+
+
+def run(
+    sizes=DEFAULT_SIZES,
+    points: int = 50,
+    instances: int = 4,
+    seed: int = 42,
+    attributes=("cpu", "ram"),
+    selection: str = "minmax",
+) -> ExperimentResult:
+    """Reproduce Fig. 11: errors after ``instances`` instances vs N."""
+    scale = get_scale()
+    result = ExperimentResult(
+        name="fig11_scalability",
+        description="Errors vs system size (accuracy is size-independent)",
+        params={"points": points, "instances": instances, "seed": seed, "selection": selection},
+    )
+    for attr, workload in attribute_workloads(tuple(attributes)):
+        for n in sizes:
+            # Large populations gossip via the vectorised matching kernel.
+            exchange = "matching" if n > 20_000 else scale.exchange
+            config = Adam2Config(
+                points=points, rounds_per_instance=scale.rounds_per_instance, selection=selection
+            )
+            sim = Adam2Simulation(
+                workload, n, config, seed=seed, exchange=exchange, node_sample=scale.node_sample
+            )
+            final = sim.run_instances(instances).final
+            result.add_row(
+                attribute=attr,
+                nodes=n,
+                err_max=final.errors_entire.maximum,
+                err_avg=final.errors_entire.average,
+            )
+    return result

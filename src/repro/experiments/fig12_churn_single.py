@@ -1,0 +1,82 @@
+"""Figure 12: single-instance accuracy under churn (0.1 %/round, RAM).
+
+Under the paper's reference churn (1-second gossip period, 15-minute mean
+session → ~0.1 % of nodes replaced per round) a single Adam2 instance
+still converges: the error at the interpolation points drops to ~10⁻²–10⁻⁴
+(not to numerical zero — nodes that leave before their contributions are
+fully disseminated leave a small residue), which remains far below the
+interpolation error and is entirely sufficient to interpolate the CDF.
+EquiDepth is not significantly affected by churn either, but stays at its
+usual plateau.  Metrics exclude nodes that joined during the instance,
+whose approximations are undefined (§VII-G).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import ExperimentResult
+from repro.core.config import Adam2Config
+from repro.experiments.common import get_scale
+from repro.fastsim.adam2 import Adam2Simulation
+from repro.fastsim.equidepth import EquiDepthSimulation
+from repro.workloads import boinc_workload
+
+__all__ = ["run"]
+
+
+def run(
+    n_nodes: int | None = None,
+    points: int = 50,
+    rounds: int = 80,
+    churn_rate: float = 0.001,
+    seed: int = 42,
+    attribute: str = "ram",
+    track_every: int = 5,
+) -> ExperimentResult:
+    """Reproduce Fig. 12: per-round error under churn, Adam2 vs EquiDepth."""
+    scale = get_scale()
+    n = n_nodes or scale.n_nodes
+    workload = boinc_workload(attribute)
+    result = ExperimentResult(
+        name="fig12_churn_single",
+        description="Per-round error in one instance/phase under replacement churn",
+        params={
+            "n_nodes": n,
+            "points": points,
+            "rounds": rounds,
+            "churn_rate": churn_rate,
+            "seed": seed,
+            "attribute": attribute,
+        },
+    )
+
+    config = Adam2Config(points=points, rounds_per_instance=rounds)
+    adam2 = Adam2Simulation(
+        workload, n, config, seed=seed, exchange=scale.exchange,
+        churn_rate=churn_rate, node_sample=scale.node_sample,
+    )
+    instance = adam2.run_instance(rounds=rounds, track=True, track_every=track_every)
+    for i, round_ in enumerate(instance.trace.rounds):
+        result.add_row(
+            system="adam2",
+            round=round_,
+            max_entire=instance.trace.max_entire[i],
+            avg_entire=instance.trace.avg_entire[i],
+            max_points=instance.trace.max_points[i],
+            avg_points=instance.trace.avg_points[i],
+        )
+
+    equidepth = EquiDepthSimulation(
+        workload, n, synopsis_size=points, seed=seed,
+        churn_rate=churn_rate, node_sample=scale.node_sample,
+    )
+    phase = equidepth.run_phase(rounds=rounds, track=True, track_every=track_every)
+    for i, round_ in enumerate(phase.trace.rounds):
+        result.add_row(
+            system="equidepth",
+            round=round_,
+            max_entire=phase.trace.max_entire[i],
+            avg_entire=phase.trace.avg_entire[i],
+            max_points=phase.trace.max_points[i],
+            avg_points=phase.trace.avg_points[i],
+        )
+    return result

@@ -1,0 +1,77 @@
+"""Dump experiment results as CSV series for external plotting.
+
+The library deliberately has no plotting dependency; this module runs any
+subset of the registered experiments and writes one CSV per experiment
+(via :mod:`repro.analysis.export`) into a directory, ready for gnuplot,
+matplotlib or a spreadsheet.  Used as::
+
+    python -m repro.experiments.figdata out/ fig05 fig07
+    python -m repro.experiments.figdata out/            # everything
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.analysis.export import write_csv
+from repro.experiments.registry import list_experiments, run_experiment
+
+__all__ = ["export_figures", "main"]
+
+
+def export_figures(
+    directory: str | Path,
+    experiments: list[str] | None = None,
+    **shared_params,
+) -> list[Path]:
+    """Run experiments and write ``<directory>/<id>.csv`` for each.
+
+    Args:
+        directory: output directory (created if missing).
+        experiments: experiment ids; ``None`` runs all registered ones.
+        shared_params: forwarded to every runner that accepts them
+            (unknown keyword arguments are filtered per experiment).
+
+    Returns:
+        The written file paths.
+    """
+    import inspect
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = experiments if experiments is not None else list_experiments()
+    written: list[Path] = []
+    for name in names:
+        from repro.experiments.registry import get_experiment
+
+        runner = get_experiment(name)
+        accepted = set(inspect.signature(runner).parameters)
+        params = {k: v for k, v in shared_params.items() if k in accepted}
+        result = run_experiment(name, **params)
+        path = directory / f"{name}.csv"
+        write_csv(result, path)
+        written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print("usage: python -m repro.experiments.figdata <output-dir> [experiment ...]")
+        return 2
+    directory = argv[0]
+    names = argv[1:] or None
+    try:
+        written = export_figures(directory, names)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Experiment registry: ids → runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.analysis.results import ExperimentResult
+from repro.experiments import (
+    ablations,
+    cost,
+    dynamic,
+    fig04_distributions,
+    fig05_bootstrap,
+    fig06_single_instance,
+    fig07_multi_instance,
+    fig08_equidepth,
+    fig09_sampling,
+    fig10_points,
+    fig11_scalability,
+    fig12_churn_single,
+    fig13_churn_rates,
+    fig14_confidence,
+)
+
+__all__ = ["get_experiment", "list_experiments", "run_experiment"]
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "fig04": fig04_distributions.run,
+    "fig05": fig05_bootstrap.run,
+    "fig06": fig06_single_instance.run,
+    "fig07": fig07_multi_instance.run,
+    "fig08": fig08_equidepth.run,
+    "fig09": fig09_sampling.run,
+    "fig10": fig10_points.run,
+    "fig11": fig11_scalability.run,
+    "fig12": fig12_churn_single.run,
+    "fig13": fig13_churn_rates.run,
+    "fig14": fig14_confidence.run,
+    "cost": cost.run,
+    "dynamic": dynamic.run,
+    "ablation_join": ablations.run_join_mode,
+    "ablation_lcut": ablations.run_lcut_variant,
+    "ablation_kernel": ablations.run_exchange_kernel,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Resolve an experiment id to its runner."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {', '.join(list_experiments())}"
+        ) from None
+
+
+def run_experiment(name: str, **params) -> ExperimentResult:
+    """Run an experiment by id."""
+    return get_experiment(name)(**params)

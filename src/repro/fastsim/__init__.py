@@ -1,0 +1,27 @@
+"""Vectorised large-N simulator for parameter sweeps.
+
+The object-per-node engine in :mod:`repro.simulation` is the fidelity
+reference; this package re-implements the same gossip semantics on NumPy
+arrays so the paper's sweeps (system sizes up to 100,000 nodes, dozens of
+configurations) run in seconds.  All nodes of an aggregation instance
+share one threshold vector, so the per-node state is a dense matrix and a
+gossip round is a sequence of row averages.
+"""
+
+from repro.fastsim.adam2 import Adam2Simulation, FastInstanceResult, FastRunResult
+from repro.fastsim.churn import FastChurn
+from repro.fastsim.equidepth import EquiDepthSimulation, EquiDepthPhaseResult
+from repro.fastsim.exchange import matching_round, sequential_round
+from repro.fastsim.state import InstanceArrays
+
+__all__ = [
+    "Adam2Simulation",
+    "FastInstanceResult",
+    "FastRunResult",
+    "FastChurn",
+    "EquiDepthSimulation",
+    "EquiDepthPhaseResult",
+    "sequential_round",
+    "matching_round",
+    "InstanceArrays",
+]

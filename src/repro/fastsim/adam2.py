@@ -1,0 +1,523 @@
+"""Vectorised Adam2 simulation.
+
+All peers of an aggregation instance share the initiator's threshold
+vector, so the entire instance state is three arrays: a dense matrix of
+averaged quantities (interpolation fractions, verification fractions, and
+the size weight), a per-node extremes matrix, and a joined mask.  A gossip
+round is a pass of one of the :mod:`repro.fastsim.exchange` kernels.
+
+Churn semantics (paper §VII-G): replaced nodes get fresh attribute values
+from the same distribution; nodes that enter during an instance ignore it
+(they are *excluded* from the running instance and from its evaluation
+metrics), and are bootstrapped with estimates from their neighbours.
+Ground truth for a single instance is the population present at instance
+start, so the measured error isolates what churn does to the aggregation
+itself (mass loss from departed peers) rather than sampling noise from
+replacement values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rngs import make_rng, spawn
+from repro.types import ErrorPair
+from repro.core.cdf import EmpiricalCDF, EstimatedCDF
+from repro.core.config import Adam2Config
+from repro.core.confidence import estimate_errors_matrix, select_verification_points
+from repro.core.interpolation import interpolate_matrix
+from repro.core.selection import get_selection
+from repro.fastsim.churn import FastChurn
+from repro.fastsim.exchange import matching_round, sequential_round
+from repro.metrics.error import error_grid
+from repro.metrics.convergence import ConvergenceTrace
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["Adam2Simulation", "FastInstanceResult", "FastRunResult"]
+
+_KERNELS = {"sequential": sequential_round, "matching": matching_round}
+
+
+@dataclass
+class FastInstanceResult:
+    """Outcome of one aggregation instance in the fast simulator.
+
+    Error pairs aggregate over the participating nodes exactly as in the
+    paper: ``Err_m = max_p Err_m(p)`` and ``Err_a = avg_p Err_a(p)``.
+    """
+
+    instance_index: int
+    thresholds: np.ndarray
+    v_thresholds: np.ndarray
+    fractions: np.ndarray
+    v_fractions: np.ndarray
+    weights: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+    joined: np.ndarray
+    participants: np.ndarray
+    truth: EmpiricalCDF
+    errors_entire: ErrorPair
+    errors_points: ErrorPair
+    trace: ConvergenceTrace | None = None
+    confidence_sample: np.ndarray | None = None
+    est_errm: np.ndarray | None = None
+    est_erra: np.ndarray | None = None
+    true_errm: np.ndarray | None = None
+    true_erra: np.ndarray | None = None
+    messages_total: int = 0
+    bytes_total: int = 0
+
+    def mean_estimate(self) -> EstimatedCDF:
+        """The consensus estimate (node estimates agree to ~1e-5)."""
+        mask = self.joined & self.participants
+        if not mask.any():
+            raise SimulationError("no participant completed the instance")
+        return EstimatedCDF(
+            thresholds=self.thresholds,
+            fractions=self.fractions[mask].mean(axis=0),
+            minimum=float(self.minimum[mask].min()),
+            maximum=float(self.maximum[mask].max()),
+            system_size=float(np.median(self.size_estimates())) if self.weights[mask].max() > 0 else None,
+        )
+
+    def size_estimates(self) -> np.ndarray:
+        """Per-node system-size estimates ``1/w`` (positive weights only)."""
+        mask = self.joined & (self.weights > 0)
+        if not mask.any():
+            raise SimulationError("the initiator weight reached no surviving node")
+        return 1.0 / self.weights[mask]
+
+
+@dataclass
+class FastRunResult:
+    """Outcome of a multi-instance campaign."""
+
+    instances: list[FastInstanceResult] = field(default_factory=list)
+
+    @property
+    def final(self) -> FastInstanceResult:
+        if not self.instances:
+            raise SimulationError("no instances were run")
+        return self.instances[-1]
+
+    @property
+    def estimate(self) -> EstimatedCDF:
+        return self.final.mean_estimate()
+
+    @property
+    def final_errors(self) -> ErrorPair:
+        return self.final.errors_entire
+
+    def errors_by_instance(self) -> tuple[list[float], list[float]]:
+        """(max errors, avg errors) per instance — the Fig. 7 series."""
+        return (
+            [r.errors_entire.maximum for r in self.instances],
+            [r.errors_entire.average for r in self.instances],
+        )
+
+
+class Adam2Simulation:
+    """Run Adam2 over a synthetic population, vectorised.
+
+    Args:
+        workload: attribute distribution for the population (and for
+            churn replacements).
+        n_nodes: population size (constant under replacement churn).
+        config: protocol parameters.
+        seed: experiment seed; every run is deterministic given it.
+        exchange: ``"sequential"`` (PeerSim-style, reference) or
+            ``"matching"`` (fully vectorised, for very large n).
+        churn_rate: fraction of nodes replaced per round (0 disables).
+        neighbour_sample: neighbour attribute values visible to an
+            initiator for the neighbour-based bootstrap.
+        node_sample: node subsample size for the expensive entire-domain
+            error metrics (the cross-node spread is ~1e-5, see §VII-A).
+    """
+
+    def __init__(
+        self,
+        workload: AttributeWorkload,
+        n_nodes: int,
+        config: Adam2Config,
+        seed: int = 0,
+        exchange: str = "sequential",
+        churn_rate: float = 0.0,
+        neighbour_sample: int | None = None,
+        node_sample: int = 64,
+    ):
+        if n_nodes < 2:
+            raise ConfigurationError("need at least 2 nodes")
+        if exchange not in _KERNELS:
+            raise ConfigurationError(f"unknown exchange kernel {exchange!r}; expected one of {sorted(_KERNELS)}")
+        self.workload = workload
+        self.config = config
+        self.n_nodes = n_nodes
+        self.kernel = _KERNELS[exchange]
+        self.rng = make_rng(seed)
+        self._value_rng = spawn(self.rng)
+        self._gossip_rng = spawn(self.rng)
+        self._select_rng = spawn(self.rng)
+        self._measure_rng = spawn(self.rng)
+        self._drift_rng = spawn(self.rng)
+        self.values = workload.sample(n_nodes, self._value_rng)
+        self.churn = (
+            FastChurn(churn_rate, workload, spawn(self.rng)) if churn_rate > 0 else None
+        )
+        self.neighbour_sample = neighbour_sample or max(config.points, 20)
+        self.node_sample = node_sample
+        # Post-instance per-node estimate state (shared thresholds).
+        self.prev_thresholds: np.ndarray | None = None
+        self.prev_fractions: np.ndarray | None = None
+        self.prev_minimum: np.ndarray | None = None
+        self.prev_maximum: np.ndarray | None = None
+        self.has_estimate = np.zeros(n_nodes, dtype=bool)
+        self.instances_run = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def true_cdf(self) -> EmpiricalCDF:
+        """Ground truth over the current live population."""
+        return EmpiricalCDF(self.values)
+
+    def run_instance(
+        self,
+        rounds: int | None = None,
+        selection: str | None = None,
+        bootstrap: str | None = None,
+        track: bool = False,
+        track_every: int = 1,
+        confidence_sample: int | None = None,
+        drift=None,
+    ) -> FastInstanceResult:
+        """Execute one full aggregation instance.
+
+        Args:
+            rounds: instance duration (default: config TTL).
+            selection: refinement heuristic override (default: config).
+            bootstrap: first-instance heuristic override (default: config).
+            track: record a per-round :class:`ConvergenceTrace` (Fig. 6).
+            track_every: measure every this many rounds when tracking.
+            confidence_sample: additionally compute true per-node errors
+                for this many nodes to evaluate confidence estimation
+                (Fig. 14); requires ``config.verification_points > 0``.
+            drift: optional :class:`repro.workloads.dynamic.DriftModel`
+                mutating the population's values every round (§VII-F).
+                Nodes evaluate their attribute only when they join, so
+                already-joined contributions are *not* re-evaluated; the
+                reported errors compare against the population at
+                instance *end* (the error therefore includes how far the
+                CDF moved during the instance, as the paper describes).
+        """
+        rounds = rounds if rounds is not None else self.config.rounds_per_instance
+        if rounds < 1:
+            raise ConfigurationError("an instance needs at least one round")
+        n = self.n_nodes
+        cfg = self.config
+
+        initiator = int(self._select_rng.integers(0, n))
+        thresholds, v_thresholds = self._select_points(initiator, selection, bootstrap)
+        k = thresholds.size
+        v = v_thresholds.size
+
+        all_t = np.concatenate((thresholds, v_thresholds))
+        # Columns: k interpolation fractions, v verification fractions, weight.
+        initial = np.empty((n, k + v + 1), dtype=float)
+        initial[:, : k + v] = self.values[:, None] <= all_t[None, :]
+        initial[:, -1] = 0.0
+        averaged = initial.copy()
+        averaged[initiator, -1] = 1.0
+        extremes = np.stack((self.values, self.values), axis=1)
+        joined = np.zeros(n, dtype=bool)
+        joined[initiator] = True
+        excluded = np.zeros(n, dtype=bool)
+        participants = np.ones(n, dtype=bool)
+
+        start_values = self.values.copy()
+        truth = EmpiricalCDF(start_values)
+        grid = error_grid(truth.minimum, truth.maximum)
+        trace = ConvergenceTrace() if track else None
+        messages = 0
+
+        for round_index in range(rounds):
+            if drift is not None and not drift.is_static:
+                self.values = drift.apply(self.values, self._drift_rng)
+                # Unreached nodes evaluate their attribute at join time:
+                # keep their pending indicator rows in sync with the
+                # drifted values (paper §VII-F).
+                pending = ~joined
+                if pending.any():
+                    fresh = self.values[pending]
+                    averaged[pending, : k + v] = fresh[:, None] <= all_t[None, :]
+                    extremes[pending, 0] = fresh
+                    extremes[pending, 1] = fresh
+                truth = EmpiricalCDF(self.values)
+                grid = error_grid(truth.minimum, truth.maximum)
+            if self.churn is not None:
+                self._apply_churn(averaged, extremes, joined, excluded, participants, all_t, k)
+            active = self.kernel(
+                averaged, extremes, joined, self._gossip_rng, cfg.join_mode,
+                excluded=excluded if self.churn is not None else None,
+            )
+            # An exchange with an excluded peer carries no instance data;
+            # approximate the active count accordingly for accounting.
+            messages += 2 * active
+            if track and (round_index + 1) % track_every == 0:
+                entire, points = self._instance_errors(
+                    averaged[:, :k], extremes, joined, participants & ~excluded, thresholds, truth, grid
+                )
+                trace.record(round_index + 1, entire, points)
+
+        fractions = np.clip(averaged[:, :k], 0.0, 1.0)
+        v_fractions = np.clip(averaged[:, k : k + v], 0.0, 1.0) if v else np.empty((n, 0))
+        weights = averaged[:, -1]
+        eligible = participants & ~excluded
+        entire, points = self._instance_errors(
+            fractions, extremes, joined, eligible, thresholds, truth, grid
+        )
+        result = FastInstanceResult(
+            instance_index=self.instances_run,
+            thresholds=thresholds,
+            v_thresholds=v_thresholds,
+            fractions=fractions,
+            v_fractions=v_fractions,
+            weights=weights,
+            minimum=extremes[:, 0].copy(),
+            maximum=extremes[:, 1].copy(),
+            joined=joined.copy(),
+            participants=eligible,
+            truth=truth,
+            errors_entire=entire,
+            errors_points=points,
+            trace=trace,
+            messages_total=messages,
+            bytes_total=messages * cfg.message_bytes(),
+        )
+        if v and confidence_sample:
+            self._evaluate_confidence(result, confidence_sample, grid)
+
+        self._commit_estimates(result, excluded)
+        self.instances_run += 1
+        return result
+
+    def run_instances(
+        self,
+        count: int,
+        rounds: int | None = None,
+        selection: str | None = None,
+        bootstrap: str | None = None,
+        track_all: bool = False,
+    ) -> FastRunResult:
+        """Run several consecutive instances (paper Figs. 5, 7, 10, 13)."""
+        if count < 1:
+            raise ConfigurationError("need at least one instance")
+        run = FastRunResult()
+        for _ in range(count):
+            run.instances.append(
+                self.run_instance(rounds=rounds, selection=selection, bootstrap=bootstrap, track=track_all)
+            )
+        return run
+
+    def system_errors(self, node_sample: int | None = None) -> ErrorPair:
+        """Error of the *current* estimates of all nodes vs the live truth.
+
+        This is the Fig. 13 metric: after several instances under churn,
+        every node (including churned-in nodes, which were bootstrapped by
+        neighbours) holds an estimate; aggregate its error against the
+        current population.
+        """
+        if self.prev_fractions is None:
+            raise SimulationError("no instance has completed yet")
+        truth = self.true_cdf()
+        grid = error_grid(truth.minimum, truth.maximum)
+        n = self.n_nodes
+        sample = min(node_sample or self.node_sample, n)
+        idx = self._measure_rng.choice(n, size=sample, replace=False)
+        estimates = interpolate_matrix(
+            self.prev_thresholds,
+            self.prev_fractions[idx],
+            self.prev_minimum[idx],
+            self.prev_maximum[idx],
+            grid,
+        )
+        residual = np.abs(estimates - truth.evaluate(grid)[None, :])
+        return ErrorPair(
+            maximum=float(residual.max(axis=1).max()),
+            average=float(residual.mean(axis=1).mean()),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _select_points(
+        self, initiator: int, selection: str | None, bootstrap: str | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        previous = None
+        if self.has_estimate[initiator] and self.prev_fractions is not None:
+            previous = EstimatedCDF(
+                self.prev_thresholds,
+                self.prev_fractions[initiator],
+                float(self.prev_minimum[initiator]),
+                float(self.prev_maximum[initiator]),
+            )
+        pool_size = min(self.neighbour_sample, self.n_nodes)
+        neighbour_values = self.values[
+            self._select_rng.choice(self.n_nodes, size=pool_size, replace=False)
+        ]
+        if previous is None:
+            heuristic = bootstrap or cfg.bootstrap
+        else:
+            heuristic = selection or cfg.selection
+        thresholds = get_selection(heuristic).select(
+            cfg.points, previous, self._select_rng, neighbour_values=neighbour_values
+        )
+        if previous is not None:
+            lo, hi = previous.minimum, previous.maximum
+        else:
+            lo, hi = float(neighbour_values.min()), float(neighbour_values.max())
+        v_thresholds = select_verification_points(
+            cfg.verification_points, cfg.verification_target, previous, lo, hi
+        )
+        return np.sort(thresholds), np.sort(v_thresholds)
+
+    def _apply_churn(
+        self,
+        averaged: np.ndarray,
+        extremes: np.ndarray,
+        joined: np.ndarray,
+        excluded: np.ndarray,
+        participants: np.ndarray,
+        all_t: np.ndarray,
+        k: int,
+    ) -> None:
+        victims = self.churn.select_victims(self.n_nodes)
+        if victims.size == 0:
+            return
+        fresh = self.churn.fresh_values(victims.size)
+        self.values[victims] = fresh
+        averaged[victims, : all_t.size] = fresh[:, None] <= all_t[None, :]
+        averaged[victims, -1] = 0.0
+        extremes[victims, 0] = fresh
+        extremes[victims, 1] = fresh
+        joined[victims] = False
+        excluded[victims] = True  # new nodes ignore the running instance
+        participants[victims] = False
+        # Bootstrap the joiners with neighbours' previous estimates.
+        if self.prev_fractions is not None:
+            donors = self.churn.rng.integers(0, self.n_nodes, size=victims.size)
+            self.prev_fractions[victims] = self.prev_fractions[donors]
+            self.prev_minimum[victims] = self.prev_minimum[donors]
+            self.prev_maximum[victims] = self.prev_maximum[donors]
+            self.has_estimate[victims] = self.has_estimate[donors]
+
+    def _instance_errors(
+        self,
+        fractions: np.ndarray,
+        extremes: np.ndarray,
+        joined: np.ndarray,
+        eligible: np.ndarray,
+        thresholds: np.ndarray,
+        truth: EmpiricalCDF,
+        grid: np.ndarray,
+    ) -> tuple[ErrorPair, ErrorPair]:
+        """Aggregate errors over eligible nodes, counting error 1 for
+        eligible nodes the instance has not reached (their approximation
+        is undefined — the paper's early-round plateau at 1)."""
+        reached = joined & eligible
+        missing = int((eligible & ~joined).sum())
+        n_reached = int(reached.sum())
+        total = n_reached + missing
+        if total == 0:
+            raise SimulationError("no eligible nodes to evaluate")
+        if n_reached == 0:
+            return ErrorPair(1.0, 1.0), ErrorPair(1.0, 1.0)
+
+        frac = np.clip(fractions[reached], 0.0, 1.0)
+        true_at_t = truth.evaluate(thresholds)
+        residual_points = np.abs(frac - true_at_t[None, :])
+        max_points = float(residual_points.max(axis=1).max())
+        avg_points = float(residual_points.mean(axis=1).sum())
+        points = ErrorPair(
+            maximum=1.0 if missing else max_points,
+            average=(avg_points + missing) / total,
+        )
+
+        idx_pool = np.flatnonzero(reached)
+        if idx_pool.size > self.node_sample:
+            idx = idx_pool[self._measure_rng.choice(idx_pool.size, size=self.node_sample, replace=False)]
+        else:
+            idx = idx_pool
+        estimates = interpolate_matrix(
+            thresholds, fractions[idx], extremes[idx, 0], extremes[idx, 1], grid
+        )
+        residual = np.abs(estimates - truth.evaluate(grid)[None, :])
+        per_node_max = residual.max(axis=1)
+        per_node_avg = residual.mean(axis=1)
+        entire = ErrorPair(
+            maximum=1.0 if missing else float(per_node_max.max()),
+            average=(float(per_node_avg.mean()) * n_reached + missing) / total,
+        )
+        return entire, points
+
+    def _evaluate_confidence(self, result: FastInstanceResult, sample: int, grid: np.ndarray) -> None:
+        reached = np.flatnonzero(result.joined & result.participants)
+        if reached.size == 0:
+            raise SimulationError("no node completed the instance")
+        if reached.size > sample:
+            reached = reached[self._measure_rng.choice(reached.size, size=sample, replace=False)]
+        est_m, est_a = estimate_errors_matrix(
+            result.thresholds,
+            result.fractions[reached],
+            result.minimum[reached],
+            result.maximum[reached],
+            result.v_thresholds,
+            result.v_fractions[reached],
+        )
+        estimates = interpolate_matrix(
+            result.thresholds,
+            result.fractions[reached],
+            result.minimum[reached],
+            result.maximum[reached],
+            grid,
+        )
+        residual = np.abs(estimates - result.truth.evaluate(grid)[None, :])
+        result.confidence_sample = reached
+        result.est_errm = est_m
+        result.est_erra = est_a
+        result.true_errm = residual.max(axis=1)
+        result.true_erra = residual.mean(axis=1)
+
+    def _commit_estimates(self, result: FastInstanceResult, excluded: np.ndarray) -> None:
+        """Store per-node estimates for refinement and Fig.-13 metrics."""
+        n = self.n_nodes
+        self.prev_thresholds = result.thresholds.copy()
+        fractions = result.fractions.copy()
+        minimum = result.minimum.copy()
+        maximum = result.maximum.copy()
+        reached = result.joined & ~excluded
+        if not reached.any():
+            # The instance died (e.g. the initiator churned out before any
+            # exchange — increasingly likely at extreme churn rates).
+            # Nodes keep whatever estimates they had; the run's errors
+            # already report the total failure (error 1.0).
+            return
+        # Nodes that ignored the instance (mid-instance joiners) are
+        # bootstrapped by a random reached neighbour, as in the paper.
+        stale = np.flatnonzero(~reached)
+        if stale.size:
+            pool = np.flatnonzero(reached)
+            donors = pool[self._measure_rng.integers(0, pool.size, size=stale.size)]
+            fractions[stale] = fractions[donors]
+            minimum[stale] = minimum[donors]
+            maximum[stale] = maximum[donors]
+        self.prev_fractions = fractions
+        self.prev_minimum = minimum
+        self.prev_maximum = maximum
+        self.has_estimate[:] = True

@@ -1,0 +1,49 @@
+"""Vectorised replacement churn for the fast simulator.
+
+Replacement churn keeps the population size constant (paper §VII-G): each
+round a binomially distributed number of nodes leaves and is replaced by
+fresh nodes with new attribute values from the same distribution.  In the
+array representation a replacement simply resets the victim's row:
+attribute value, initial indicator state, extremes, and the joined flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["FastChurn"]
+
+
+class FastChurn:
+    """Replacement churn over array state.
+
+    Args:
+        rate: expected fraction of nodes replaced per round.
+        workload: distribution for replacement attribute values.
+        rng: generator for victim selection and value sampling.
+    """
+
+    def __init__(self, rate: float, workload: AttributeWorkload, rng: np.random.Generator):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"churn rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.workload = workload
+        self.rng = rng
+        self.replaced_total = 0
+
+    def select_victims(self, n: int) -> np.ndarray:
+        """Indices of nodes replaced this round (may be empty)."""
+        if self.rate <= 0.0:
+            return np.empty(0, dtype=int)
+        k = int(self.rng.binomial(n, self.rate))
+        k = min(k, n - 2)  # never (almost) empty the system
+        if k <= 0:
+            return np.empty(0, dtype=int)
+        self.replaced_total += k
+        return self.rng.choice(n, size=k, replace=False)
+
+    def fresh_values(self, k: int) -> np.ndarray:
+        return self.workload.sample(k, self.rng)

@@ -1,0 +1,302 @@
+"""EquiDepth baseline, fast implementation (Haridasan & van Renesse '08).
+
+Each node maintains a bounded synopsis approximating an equi-depth
+histogram of the attribute values.  A phase starts with every node holding
+only its own value; a gossip exchange merges the two synopses and, when
+the merge exceeds the bound, reduces it back to ``synopsis_size`` entries.
+Three reduction modes:
+
+* ``"histogram"`` (default, closest to Haridasan & van Renesse): the
+  synopsis is a *weighted* value list (representative value, mass).  An
+  exchange halves both weights (the averaging-protocol invariant: each
+  node's total mass stays 1), concatenates, and re-bins to
+  ``synopsis_size`` equi-depth bins, each represented by its
+  mass-midpoint value.  Repeated quantile-of-quantile re-binning is what
+  keeps the error from converging: the synopsis resolution is bounded by
+  the bin mass regardless of how long the phase runs.
+* ``"rank"``: unweighted samples; the union's values at evenly spaced
+  ranks.  Both peers keep the *same* reduced synopsis, maximising the
+  sample-duplication effect the paper discusses (§VII-A).
+* ``"resample"``: each peer draws its bound independently at random from
+  the union (less duplication, more sampling noise).
+
+Unlike Adam2, the synopsis does not converge towards exact CDF values at
+fixed thresholds — its accuracy plateaus after a few rounds and does not
+improve across phases (paper Figs. 6b and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rngs import make_rng, spawn
+from repro.types import ErrorPair
+from repro.core.cdf import EmpiricalCDF, EstimatedCDF
+from repro.fastsim.churn import FastChurn
+from repro.fastsim.exchange import random_partners
+from repro.metrics.convergence import ConvergenceTrace
+from repro.metrics.error import error_grid
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["EquiDepthSimulation", "EquiDepthPhaseResult", "merge_histograms"]
+
+_MODES = ("histogram", "rank", "resample")
+
+
+def merge_histograms(
+    values_a: np.ndarray,
+    weights_a: np.ndarray,
+    values_b: np.ndarray,
+    weights_b: np.ndarray,
+    bound: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two weighted synopses into one, re-binned to ``bound`` bins.
+
+    Weights are halved on each side (so a node's total mass is conserved
+    at 1, exactly like the averaging protocol's invariant); the union is
+    then reduced to ``bound`` entries by repeatedly merging the adjacent
+    pair with the smallest combined mass into its weighted-mean value —
+    the standard streaming equi-depth maintenance step.  Mass is
+    conserved exactly, so heavy atoms keep their mass; the resolution
+    loss (merged values are weighted means, no longer actual attribute
+    values) is what bounds EquiDepth's accuracy regardless of how long a
+    phase runs.
+    """
+    values = np.concatenate((values_a, values_b))
+    weights = np.concatenate((weights_a, weights_b)) * 0.5
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    weights = weights[order]
+    # Collapse exact duplicates first (free resolution).
+    if values.size > 1:
+        boundary = np.empty(values.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = values[1:] != values[:-1]
+        if not boundary.all():
+            starts = np.flatnonzero(boundary)
+            weights = np.add.reduceat(weights, starts)
+            values = values[starts]
+    while values.size > bound:
+        need = values.size - bound
+        pair_mass = weights[:-1] + weights[1:]
+        candidates = np.argsort(pair_mass, kind="stable")
+        taken = np.zeros(values.size, dtype=bool)
+        merge_left: list[int] = []
+        for idx in candidates:
+            if need == 0:
+                break
+            i = int(idx)
+            if taken[i] or taken[i + 1]:
+                continue
+            taken[i] = taken[i + 1] = True
+            merge_left.append(i)
+            need -= 1
+        keep = np.ones(values.size, dtype=bool)
+        for i in merge_left:
+            mass = weights[i] + weights[i + 1]
+            values[i] = (values[i] * weights[i] + values[i + 1] * weights[i + 1]) / mass
+            weights[i] = mass
+            keep[i + 1] = False
+        values = values[keep]
+        weights = weights[keep]
+    return values, weights
+
+
+@dataclass
+class EquiDepthPhaseResult:
+    """Outcome of one EquiDepth phase."""
+
+    phase_index: int
+    truth: EmpiricalCDF
+    errors_entire: ErrorPair
+    errors_points: ErrorPair
+    trace: ConvergenceTrace | None = None
+    messages_total: int = 0
+    bytes_total: int = 0
+
+
+class EquiDepthSimulation:
+    """Run EquiDepth phases over a synthetic population.
+
+    Args:
+        workload: attribute distribution.
+        n_nodes: population size.
+        synopsis_size: histogram bin count / synopsis bound (comparable
+            to Adam2's ``λ``; the paper uses the same number of bins as
+            interpolation points for a fair comparison).
+        seed: determinism seed.
+        mode: synopsis reduction mode (see module docstring).
+        churn_rate: replacement churn per round.
+        node_sample: node subsample for the expensive error metrics.
+        value_bytes: wire-size model per synopsis entry.
+    """
+
+    def __init__(
+        self,
+        workload: AttributeWorkload,
+        n_nodes: int,
+        synopsis_size: int = 50,
+        seed: int = 0,
+        mode: str = "histogram",
+        churn_rate: float = 0.0,
+        node_sample: int = 48,
+        value_bytes: int = 16,
+    ):
+        if n_nodes < 2:
+            raise ConfigurationError("need at least 2 nodes")
+        if synopsis_size < 2:
+            raise ConfigurationError("synopsis size must be >= 2")
+        if mode not in _MODES:
+            raise ConfigurationError(f"unknown reduction mode {mode!r}; expected one of {_MODES}")
+        self.workload = workload
+        self.n_nodes = n_nodes
+        self.synopsis_size = synopsis_size
+        self.mode = mode
+        self.rng = make_rng(seed)
+        self.values = workload.sample(n_nodes, spawn(self.rng))
+        self._gossip_rng = spawn(self.rng)
+        self._measure_rng = spawn(self.rng)
+        self.churn = FastChurn(churn_rate, workload, spawn(self.rng)) if churn_rate > 0 else None
+        self.node_sample = node_sample
+        self.value_bytes = value_bytes
+        self.phases_run = 0
+        self._synopses: list[np.ndarray] = []
+        self._weights: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+
+    def true_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.values)
+
+    def run_phase(self, rounds: int = 25, track: bool = False, track_every: int = 1) -> EquiDepthPhaseResult:
+        """Run one EquiDepth phase (fresh synopses, fixed duration)."""
+        if rounds < 1:
+            raise ConfigurationError("a phase needs at least one round")
+        n = self.n_nodes
+        self._synopses = [np.asarray([v]) for v in self.values]
+        self._weights = [np.asarray([1.0]) for _ in range(n)]
+        participants = np.ones(n, dtype=bool)
+        truth = EmpiricalCDF(self.values.copy())
+        grid = error_grid(truth.minimum, truth.maximum, max_points=50_001)
+        trace = ConvergenceTrace() if track else None
+        messages = 0
+
+        for round_index in range(rounds):
+            if self.churn is not None:
+                victims = self.churn.select_victims(n)
+                if victims.size:
+                    fresh = self.churn.fresh_values(victims.size)
+                    self.values[victims] = fresh
+                    for i, value in zip(victims, fresh):
+                        self._synopses[int(i)] = np.asarray([value])
+                        self._weights[int(i)] = np.asarray([1.0])
+                    participants[victims] = False
+            messages += 2 * self._gossip_round()
+            if track and (round_index + 1) % track_every == 0:
+                entire, points = self._phase_errors(truth, grid, participants)
+                trace.record(round_index + 1, entire, points)
+
+        entire, points = self._phase_errors(truth, grid, participants)
+        result = EquiDepthPhaseResult(
+            phase_index=self.phases_run,
+            truth=truth,
+            errors_entire=entire,
+            errors_points=points,
+            trace=trace,
+            messages_total=messages,
+            bytes_total=messages * self.value_bytes * self.synopsis_size,
+        )
+        self.phases_run += 1
+        return result
+
+    def run_phases(self, count: int, rounds: int = 25) -> list[EquiDepthPhaseResult]:
+        """Run several phases; each starts from scratch (paper Fig. 8)."""
+        return [self.run_phase(rounds=rounds) for _ in range(count)]
+
+    def node_estimate(self, node: int) -> EstimatedCDF:
+        """The equi-depth-histogram CDF estimate of one node."""
+        synopsis = self._synopses[node]
+        weights = self._weights[node]
+        order = np.argsort(synopsis, kind="stable")
+        synopsis = synopsis[order]
+        weights = weights[order]
+        # Cumulative convention: a synopsis entry at value v carries the
+        # estimated F(v) (mass at or below v).  Exact for pure atoms; for
+        # continuous bins it overstates by at most half a bin's mass.
+        cumulative = np.cumsum(weights)
+        fractions = cumulative / cumulative[-1]
+        return EstimatedCDF(
+            thresholds=synopsis,
+            fractions=fractions,
+            minimum=float(synopsis[0]),
+            maximum=float(synopsis[-1]),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _gossip_round(self) -> int:
+        n = self.n_nodes
+        order, partners = random_partners(n, self._gossip_rng)
+        bound = self.synopsis_size
+        synopses = self._synopses
+        weights = self._weights
+        mode = self.mode
+        rng = self._gossip_rng
+        for i in range(n):
+            p = int(order[i])
+            q = int(partners[i])
+            if mode == "histogram":
+                merged_v, merged_w = merge_histograms(
+                    synopses[p], weights[p], synopses[q], weights[q], bound
+                )
+                synopses[p] = merged_v
+                weights[p] = merged_w
+                synopses[q] = merged_v.copy()
+                weights[q] = merged_w.copy()
+                continue
+            union = np.concatenate((synopses[p], synopses[q]))
+            if union.size <= bound:
+                synopses[p] = union
+                synopses[q] = union.copy()
+            elif mode == "resample":
+                synopses[p] = union[rng.choice(union.size, size=bound, replace=False)]
+                synopses[q] = union[rng.choice(union.size, size=bound, replace=False)]
+            else:  # rank
+                union.sort()
+                ranks = np.linspace(0, union.size - 1, bound).round().astype(int)
+                reduced = union[ranks]
+                synopses[p] = reduced
+                synopses[q] = reduced.copy()
+            weights[p] = np.full(synopses[p].size, 1.0 / synopses[p].size)
+            weights[q] = np.full(synopses[q].size, 1.0 / synopses[q].size)
+        return n
+
+    def _phase_errors(
+        self, truth: EmpiricalCDF, grid: np.ndarray, participants: np.ndarray
+    ) -> tuple[ErrorPair, ErrorPair]:
+        pool = np.flatnonzero(participants)
+        if pool.size == 0:
+            raise SimulationError("no participants to evaluate")
+        if pool.size > self.node_sample:
+            pool = pool[self._measure_rng.choice(pool.size, size=self.node_sample, replace=False)]
+        true_grid = truth.evaluate(grid)
+        max_entire = 0.0
+        avg_entire: list[float] = []
+        max_points = 0.0
+        avg_points: list[float] = []
+        for node in pool:
+            estimate = self.node_estimate(int(node))
+            residual = np.abs(estimate.evaluate(grid) - true_grid)
+            max_entire = max(max_entire, float(residual.max()))
+            avg_entire.append(float(residual.mean()))
+            # Error at the synopsis "bins" themselves.
+            at_bins = np.abs(truth.evaluate(estimate.thresholds) - estimate.fractions)
+            max_points = max(max_points, float(at_bins.max()))
+            avg_points.append(float(at_bins.mean()))
+        return (
+            ErrorPair(maximum=max_entire, average=float(np.mean(avg_entire))),
+            ErrorPair(maximum=max_points, average=float(np.mean(avg_points))),
+        )

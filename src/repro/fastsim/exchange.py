@@ -1,0 +1,157 @@
+"""Gossip exchange kernels over array state.
+
+State layout shared by both kernels:
+
+* ``averaged`` — shape ``(n, k)``: all quantities that merge by averaging
+  (interpolation fractions, verification fractions, the size weight).
+* ``extremes`` — shape ``(n, 2)``: per-node (minimum, maximum) estimates,
+  merging by min/max.
+* ``joined`` — shape ``(n,)`` bool: whether the node has seen the
+  instance.  **Invariant**: an unjoined node's rows hold exactly its
+  initial state (indicator fractions, weight 0, own-value extremes), so
+  joining is simply flipping the flag and exchanging.
+
+Two kernels:
+
+* :func:`sequential_round` — every node initiates one push–pull exchange
+  with a uniformly random other node, sequentially in a random order
+  (PeerSim cycle-driven semantics; a node's later exchanges see earlier
+  effects).  This is the reference kernel.
+* :func:`matching_round` — one random perfect matching per round, all
+  pairs exchange simultaneously (fully vectorised).  Converges
+  exponentially with a slightly smaller per-round factor (each node takes
+  part in exactly one exchange per round instead of two on average);
+  useful for very large ``n``.
+
+Both kernels implement the two join semantics discussed in DESIGN.md:
+``literal`` (paper Fig. 1: the joiner merges, the contacted peer ignores
+the empty reply — not mass-conserving) and ``symmetric`` (the joiner
+initialises first and a normal exchange follows — mass-conserving).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["sequential_round", "matching_round", "random_partners"]
+
+
+def random_partners(n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Random node order and a uniform partner (≠ self) for each."""
+    if n < 2:
+        raise SimulationError("need at least 2 nodes to gossip")
+    order = rng.permutation(n)
+    partners = rng.integers(0, n - 1, size=n)
+    partners = partners + (partners >= order)
+    return order, partners
+
+
+def sequential_round(
+    averaged: np.ndarray,
+    extremes: np.ndarray,
+    joined: np.ndarray,
+    rng: np.random.Generator,
+    join_mode: str = "symmetric",
+    excluded: np.ndarray | None = None,
+) -> int:
+    """One sequential push–pull round; returns exchanges that carried data.
+
+    Nodes flagged in ``excluded`` ignore the instance entirely (paper
+    §VII-G: nodes that enter the system mid-instance): an exchange with
+    an excluded peer is a no-op for both sides.
+    """
+    n = averaged.shape[0]
+    order, partners = random_partners(n, rng)
+    literal = join_mode == "literal"
+    active = 0
+    for i in range(n):
+        p = int(order[i])
+        q = int(partners[i])
+        if excluded is not None and (excluded[p] or excluded[q]):
+            continue
+        jp = joined[p]
+        jq = joined[q]
+        if not (jp or jq):
+            continue
+        active += 1
+        if literal and jp != jq:
+            # Only the joiner updates; the informed peer keeps its state.
+            j, s = (p, q) if not jp else (q, p)
+            averaged[j] += averaged[s]
+            averaged[j] *= 0.5
+            lo = min(extremes[j, 0], extremes[s, 0])
+            hi = max(extremes[j, 1], extremes[s, 1])
+            extremes[j, 0] = lo
+            extremes[j, 1] = hi
+            joined[j] = True
+            continue
+        mean = (averaged[p] + averaged[q]) * 0.5
+        averaged[p] = mean
+        averaged[q] = mean
+        lo = min(extremes[p, 0], extremes[q, 0])
+        hi = max(extremes[p, 1], extremes[q, 1])
+        extremes[p, 0] = lo
+        extremes[p, 1] = hi
+        extremes[q, 0] = lo
+        extremes[q, 1] = hi
+        joined[p] = True
+        joined[q] = True
+    return active
+
+
+def matching_round(
+    averaged: np.ndarray,
+    extremes: np.ndarray,
+    joined: np.ndarray,
+    rng: np.random.Generator,
+    join_mode: str = "symmetric",
+    excluded: np.ndarray | None = None,
+) -> int:
+    """One random-matching round (vectorised); returns active exchanges."""
+    n = averaged.shape[0]
+    if n < 2:
+        raise SimulationError("need at least 2 nodes to gossip")
+    perm = rng.permutation(n)
+    half = n // 2
+    a = perm[:half]
+    b = perm[half : 2 * half]
+    ja = joined[a]
+    jb = joined[b]
+    active = ja | jb
+    if excluded is not None:
+        active &= ~excluded[a] & ~excluded[b]
+    a = a[active]
+    b = b[active]
+    if a.size == 0:
+        return 0
+    if join_mode == "literal":
+        both = joined[a] & joined[b]
+        one = ~both  # exactly one joined (none-joined pairs were dropped)
+        if one.any():
+            ao, bo = a[one], b[one]
+            joiner = np.where(joined[ao], bo, ao)
+            source = np.where(joined[ao], ao, bo)
+            averaged[joiner] = (averaged[joiner] + averaged[source]) * 0.5
+            lo = np.minimum(extremes[joiner, 0], extremes[source, 0])
+            hi = np.maximum(extremes[joiner, 1], extremes[source, 1])
+            extremes[joiner, 0] = lo
+            extremes[joiner, 1] = hi
+            joined[joiner] = True
+        a = a[both]
+        b = b[both]
+        if a.size == 0:
+            return int(active.sum())
+    mean = (averaged[a] + averaged[b]) * 0.5
+    averaged[a] = mean
+    averaged[b] = mean
+    lo = np.minimum(extremes[a, 0], extremes[b, 0])
+    hi = np.maximum(extremes[a, 1], extremes[b, 1])
+    extremes[a, 0] = lo
+    extremes[a, 1] = hi
+    extremes[b, 0] = lo
+    extremes[b, 1] = hi
+    joined[a] = True
+    joined[b] = True
+    return int(active.sum())

@@ -1,0 +1,25 @@
+"""Evaluation metrics: the paper's error definitions and cost accounting."""
+
+from repro.metrics.error import (
+    aggregate_errors,
+    cdf_errors,
+    error_grid,
+    errors_at_points,
+    matrix_errors,
+)
+from repro.metrics.cost import CostModel, instance_cost
+from repro.metrics.convergence import ConvergenceTrace, fit_exponential_rate
+from repro.metrics.estimation import confidence_estimation_error
+
+__all__ = [
+    "error_grid",
+    "cdf_errors",
+    "errors_at_points",
+    "matrix_errors",
+    "aggregate_errors",
+    "CostModel",
+    "instance_cost",
+    "ConvergenceTrace",
+    "fit_exponential_rate",
+    "confidence_estimation_error",
+]

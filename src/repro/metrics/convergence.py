@@ -1,0 +1,74 @@
+"""Per-round convergence traces and exponential-rate fitting.
+
+The paper's Figure 6 shows the error at the interpolation points decaying
+"at an almost perfectly exponential rate" once the instance has reached
+all nodes.  :func:`fit_exponential_rate` quantifies that: a least-squares
+fit of ``log(err)`` against the round index over a chosen window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.types import ErrorPair
+
+__all__ = ["ConvergenceTrace", "fit_exponential_rate"]
+
+
+@dataclass
+class ConvergenceTrace:
+    """Error metrics sampled once per round during an instance.
+
+    Four parallel series, exactly the four curves of the paper's
+    Figure 6: maximum/average error over the entire CDF domain and
+    restricted to the interpolation points.
+    """
+
+    rounds: list[int] = field(default_factory=list)
+    max_entire: list[float] = field(default_factory=list)
+    avg_entire: list[float] = field(default_factory=list)
+    max_points: list[float] = field(default_factory=list)
+    avg_points: list[float] = field(default_factory=list)
+
+    def record(self, round_: int, entire: ErrorPair, at_points: ErrorPair) -> None:
+        self.rounds.append(int(round_))
+        self.max_entire.append(entire.maximum)
+        self.avg_entire.append(entire.average)
+        self.max_points.append(at_points.maximum)
+        self.avg_points.append(at_points.average)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def final(self) -> tuple[ErrorPair, ErrorPair]:
+        if not self.rounds:
+            raise EstimationError("empty convergence trace")
+        return (
+            ErrorPair(self.max_entire[-1], self.avg_entire[-1]),
+            ErrorPair(self.max_points[-1], self.avg_points[-1]),
+        )
+
+
+def fit_exponential_rate(rounds: np.ndarray, errors: np.ndarray, floor: float = 1e-14) -> float:
+    """Per-round decay factor of an exponentially converging error series.
+
+    Fits ``log(err) ~ a + b * round`` over the samples above ``floor`` and
+    returns ``exp(b)`` — e.g. 0.5 means the error halves every round.
+
+    Raises:
+        EstimationError: with fewer than two usable samples.
+    """
+    rounds = np.asarray(rounds, dtype=float)
+    errors = np.asarray(errors, dtype=float)
+    if rounds.shape != errors.shape:
+        raise EstimationError("rounds and errors must have matching shapes")
+    mask = errors > floor
+    if mask.sum() < 2:
+        raise EstimationError("need at least two samples above the floor to fit a rate")
+    x = rounds[mask]
+    y = np.log(errors[mask])
+    slope = np.polyfit(x, y, 1)[0]
+    return float(np.exp(slope))

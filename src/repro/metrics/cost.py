@@ -1,0 +1,80 @@
+"""Communication cost model (paper §VII-I).
+
+The paper's accounting: a gossip message carries the ``λ`` interpolation
+pairs (~16 bytes each, so ~800 bytes at λ=50); each node sends two and
+receives two messages per round (one exchange it starts, one it answers);
+an instance of 25 rounds therefore costs ~50 messages / ~40 kB sent per
+node, and a 3-instance converged estimate ~150 messages / ~120 kB —
+independent of the system size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.core.config import Adam2Config
+
+__all__ = ["CostModel", "instance_cost"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Predicted per-node cost of a CDF estimation campaign.
+
+    Attributes:
+        message_bytes: size of one gossip message.
+        messages_sent_per_round: average messages a node sends per round
+            (2 for symmetric push–pull: one request + one response).
+        rounds_per_instance: instance duration.
+        instances: instances until convergence (3 in the paper).
+    """
+
+    message_bytes: int
+    messages_sent_per_round: float = 2.0
+    rounds_per_instance: int = 25
+    instances: int = 3
+
+    def __post_init__(self) -> None:
+        if self.message_bytes <= 0 or self.rounds_per_instance <= 0 or self.instances <= 0:
+            raise ConfigurationError("cost model parameters must be positive")
+
+    @property
+    def messages_per_instance(self) -> float:
+        """Messages sent per node per instance."""
+        return self.messages_sent_per_round * self.rounds_per_instance
+
+    @property
+    def bytes_per_instance(self) -> float:
+        """Bytes sent per node per instance."""
+        return self.messages_per_instance * self.message_bytes
+
+    @property
+    def total_messages(self) -> float:
+        return self.messages_per_instance * self.instances
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes sent per node for a full converged estimate."""
+        return self.bytes_per_instance * self.instances
+
+    def bandwidth_bytes_per_second(self, gossip_period_s: float = 1.0) -> float:
+        """Average upstream bandwidth while an instance is running."""
+        if gossip_period_s <= 0:
+            raise ConfigurationError("gossip period must be positive")
+        return self.messages_sent_per_round * self.message_bytes / gossip_period_s
+
+    def estimation_time_seconds(self, gossip_period_s: float = 1.0) -> float:
+        """Wall-clock time for a full converged estimate."""
+        if gossip_period_s <= 0:
+            raise ConfigurationError("gossip period must be positive")
+        return self.instances * self.rounds_per_instance * gossip_period_s
+
+
+def instance_cost(config: Adam2Config, instances: int = 3) -> CostModel:
+    """Build the paper's cost model from a protocol configuration."""
+    return CostModel(
+        message_bytes=config.message_bytes(),
+        rounds_per_instance=config.rounds_per_instance,
+        instances=instances,
+    )

@@ -1,0 +1,40 @@
+"""Accuracy of the confidence estimation itself (paper §VII-H).
+
+The paper evaluates dynamic confidence estimation by the *relative*
+difference between a node's self-assessment and its true error:
+``|Err(p) − EstErr(p)| / Err(p)``, averaged over nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = ["confidence_estimation_error"]
+
+
+def confidence_estimation_error(
+    true_errors: np.ndarray,
+    estimated_errors: np.ndarray,
+    floor: float = 1e-12,
+) -> float:
+    """Mean relative error of the nodes' error self-assessments.
+
+    Args:
+        true_errors: per-node true error metric values (``Err_a(p)`` or
+            ``Err_m(p)``).
+        estimated_errors: the corresponding self-assessments
+            (``EstErr_a(p)`` / ``EstErr_m(p)``).
+        floor: nodes whose true error is below this are skipped (the
+            relative metric is undefined at zero error).
+    """
+    true_errors = np.asarray(true_errors, dtype=float)
+    estimated_errors = np.asarray(estimated_errors, dtype=float)
+    if true_errors.shape != estimated_errors.shape:
+        raise EstimationError("error arrays must have matching shapes")
+    mask = true_errors > floor
+    if not mask.any():
+        raise EstimationError("all true errors are below the floor; relative metric undefined")
+    rel = np.abs(true_errors[mask] - estimated_errors[mask]) / true_errors[mask]
+    return float(rel.mean())

@@ -1,0 +1,207 @@
+"""High-level facade: a continuous distribution-monitoring service.
+
+:class:`DistributionMonitor` bundles the pieces a monitoring application
+needs — engine, overlay, churn, the Adam2 protocol with probabilistic
+instance scheduling, and optionally the confidence-driven accuracy
+controller — behind a handful of calls::
+
+    monitor = DistributionMonitor(workload=boinc_ram_mb(), n_nodes=1_000, seed=7)
+    monitor.advance(rounds=120)               # let the system gossip
+    view = monitor.snapshot()                  # consensus view of the CDF
+    view.fraction_below(1024)                  # F(1024)
+    view.quantile(0.9)                         # p90 attribute value
+    view.system_size                           # epidemic N estimate
+    view.rank_of(2048)                         # a value's global rank
+    view.slice_of(2048, slices=10)             # which decile it falls in
+
+The snapshot is the median node's view — by the paper's §VII-A result all
+nodes agree to ~1e-5, so any node's estimate represents the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError, SimulationError
+from repro.rngs import make_rng, spawn
+from repro.core.adaptive import AccuracyController
+from repro.core.cdf import EstimatedCDF
+from repro.core.config import Adam2Config
+from repro.core.protocol import Adam2Protocol
+from repro.simulation.churn import ReplacementChurn
+from repro.simulation.runner import build_engine
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["DistributionMonitor", "DistributionView"]
+
+
+@dataclass(frozen=True)
+class DistributionView:
+    """An application-facing, read-only view of one CDF estimate."""
+
+    estimate: EstimatedCDF
+    system_size: float | None
+    round: int
+    confidence_avg: float | None = None
+    confidence_max: float | None = None
+
+    def fraction_below(self, value: float) -> float:
+        """Estimated fraction of nodes with attribute at or below ``value``."""
+        return float(self.estimate.evaluate(np.asarray([float(value)]))[0])
+
+    def quantile(self, q: float) -> float:
+        """Estimated attribute value at quantile ``q``."""
+        return float(self.estimate.quantile(q)[0])
+
+    def rank_of(self, value: float) -> float:
+        """A value's estimated global rank in ``[0, 1]`` (= ``F(value)``).
+
+        This subsumes the decentralised-ranking protocols the paper cites
+        [8–10]: unlike a bare rank, the full estimate also reveals skew,
+        clusters and outliers.
+        """
+        return self.fraction_below(value)
+
+    def slice_of(self, value: float, slices: int = 10) -> int:
+        """Which of ``slices`` equal-population slices holds ``value``.
+
+        Slice 0 collects the lowest attribute values (ordered slicing à la
+        Jelasity & Kermarrec); the top slice is ``slices - 1``.
+        """
+        if slices < 1:
+            raise EstimationError("need at least one slice")
+        rank = self.rank_of(value)
+        return min(int(rank * slices), slices - 1)
+
+    def interquantile_ratio(self, low: float = 0.5, high: float = 0.9) -> float:
+        """Dispersion measure ``Q(high)/Q(low)`` (imbalance detection)."""
+        denominator = self.quantile(low)
+        if denominator == 0:
+            raise EstimationError("lower quantile is zero; ratio undefined")
+        return self.quantile(high) / denominator
+
+
+class DistributionMonitor:
+    """Continuously estimate an attribute distribution over a simulated system.
+
+    Args:
+        workload: the attribute values of the population (and of churn
+            replacements).
+        n_nodes: population size.
+        config: protocol parameters (a sensible default is built when
+            omitted: λ=50, 25-round instances, MinMax refinement, 20
+            verification points, a fresh instance every ~R rounds).
+        seed: determinism seed.
+        overlay: overlay kind for :func:`build_engine`.
+        degree: overlay view/link size.
+        churn_rate: replacement churn per round (0 disables).
+        controller: optional accuracy controller; when set, the monitor
+            retunes ``λ`` from the nodes' own confidence estimates after
+            each completed instance.
+    """
+
+    def __init__(
+        self,
+        workload: AttributeWorkload,
+        n_nodes: int,
+        config: Adam2Config | None = None,
+        seed: int = 0,
+        overlay: str = "sampling",
+        degree: int = 20,
+        churn_rate: float = 0.0,
+        controller: AccuracyController | None = None,
+    ):
+        self.config = config or Adam2Config(
+            points=50,
+            rounds_per_instance=25,
+            instance_frequency=50,
+            selection="minmax",
+            verification_points=20,
+        )
+        if controller is not None and self.config.verification_points < 1:
+            raise SimulationError("an accuracy controller needs verification points")
+        root = make_rng(seed)
+        self.protocol = Adam2Protocol(self.config, scheduler="probabilistic")
+        churn = (
+            ReplacementChurn(churn_rate, workload, spawn(root)) if churn_rate > 0 else None
+        )
+        self.engine = build_engine(
+            workload, n_nodes, [self.protocol], root, overlay=overlay, degree=degree, churn=churn
+        )
+        self.controller = controller
+        self._completed_seen = 0
+
+    # ------------------------------------------------------------------
+
+    def advance(self, rounds: int) -> None:
+        """Run ``rounds`` gossip rounds (instances start themselves)."""
+        for _ in range(rounds):
+            self.engine.run_round()
+            if self.controller is not None:
+                self._maybe_retune()
+
+    def advance_until_estimate(self, max_rounds: int = 2_000) -> int:
+        """Run until a majority of nodes hold an estimate; returns rounds."""
+        for executed in range(max_rounds):
+            if self.coverage() > 0.5:
+                return executed
+            self.engine.run_round()
+        if self.coverage() > 0.5:
+            return max_rounds
+        raise SimulationError(f"no majority estimate within {max_rounds} rounds")
+
+    def coverage(self) -> float:
+        """Fraction of live nodes currently holding an estimate."""
+        nodes = self.protocol.adam2_nodes(self.engine)
+        if not nodes:
+            raise SimulationError("system is empty")
+        return sum(1 for n in nodes if n.current_estimate is not None) / len(nodes)
+
+    def snapshot(self) -> DistributionView:
+        """The current consensus view (from an arbitrary informed node)."""
+        for adam2 in self.protocol.adam2_nodes(self.engine):
+            if adam2.current_estimate is not None:
+                confidence = adam2.last_confidence
+                return DistributionView(
+                    estimate=adam2.current_estimate,
+                    system_size=adam2.current_estimate.system_size,
+                    round=self.engine.round,
+                    confidence_avg=confidence.est_average if confidence else None,
+                    confidence_max=confidence.est_maximum if confidence else None,
+                )
+        raise EstimationError("no node holds an estimate yet; call advance() first")
+
+    def true_values(self) -> np.ndarray:
+        """Ground-truth attribute values (for evaluation only)."""
+        return self.engine.attribute_values()
+
+    # ------------------------------------------------------------------
+
+    def _maybe_retune(self) -> None:
+        # Decide once per completed instance, not once per round.
+        completed = max(
+            (len(a.completed) for a in self.protocol.adam2_nodes(self.engine)),
+            default=0,
+        )
+        if completed <= self._completed_seen:
+            return
+        self._completed_seen = completed
+        try:
+            view = self.snapshot()
+        except EstimationError:
+            return
+        if view.confidence_avg is None:
+            return
+        target_metric = (
+            view.confidence_avg
+            if self.config.verification_target == "average"
+            else view.confidence_max
+        )
+        decision = self.controller.decide(self.config, float(target_metric))
+        if decision.action == "grow":
+            self.config = decision.config
+            self.protocol.config = decision.config
+            for adam2 in self.protocol.adam2_nodes(self.engine):
+                adam2.config = decision.config

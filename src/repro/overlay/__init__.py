@@ -1,0 +1,27 @@
+"""P2P overlay substrate.
+
+The paper assumes peers are "organised in a P2P overlay where each peer
+maintains links to a small number of randomly selected nodes", maintained
+by a gossip-based peer-sampling service [Jelasity et al., TOCS 2007].
+This package provides that substrate: a static random-graph overlay (the
+standard simulation shortcut) and a Newscast-style dynamic peer-sampling
+overlay whose views are refreshed by gossip and which tolerates churn.
+"""
+
+from repro.overlay.view import NodeDescriptor, PartialView
+from repro.overlay.base import Overlay
+from repro.overlay.random_graph import RandomGraphOverlay, FullMeshOverlay
+from repro.overlay.cyclon import CyclonOverlay
+from repro.overlay.peer_sampling import PeerSamplingOverlay
+from repro.overlay.bootstrap import bootstrap_ids
+
+__all__ = [
+    "NodeDescriptor",
+    "PartialView",
+    "Overlay",
+    "RandomGraphOverlay",
+    "FullMeshOverlay",
+    "PeerSamplingOverlay",
+    "CyclonOverlay",
+    "bootstrap_ids",
+]

@@ -1,0 +1,45 @@
+"""Overlay interface used by the simulation engine."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Overlay"]
+
+
+class Overlay(ABC):
+    """Membership substrate: who can gossip with whom.
+
+    The engine calls :meth:`select_neighbour` once per node per round to
+    pick a gossip partner, and :meth:`add_node` / :meth:`remove_node`
+    under churn.  :meth:`step` lets dynamic overlays (peer sampling)
+    refresh their views once per round.
+    """
+
+    @abstractmethod
+    def node_ids(self) -> list[int]:
+        """All nodes currently in the overlay."""
+
+    @abstractmethod
+    def neighbours(self, node_id: int) -> list[int]:
+        """The current neighbour set of ``node_id``."""
+
+    @abstractmethod
+    def select_neighbour(self, node_id: int, rng: np.random.Generator) -> int | None:
+        """A gossip partner for ``node_id``, or ``None`` if isolated."""
+
+    @abstractmethod
+    def add_node(self, node_id: int, bootstrap: list[int] | None = None) -> None:
+        """Join a node, wiring it to ``bootstrap`` contacts (or random)."""
+
+    @abstractmethod
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node (its descriptors may linger in dynamic views)."""
+
+    def step(self, rng: np.random.Generator) -> None:
+        """One maintenance round (no-op for static overlays)."""
+
+    def __len__(self) -> int:
+        return len(self.node_ids())

@@ -1,0 +1,22 @@
+"""Bootstrap helpers for nodes joining an existing overlay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OverlayError
+
+__all__ = ["bootstrap_ids"]
+
+
+def bootstrap_ids(live_ids: list[int], count: int, rng: np.random.Generator) -> list[int]:
+    """Pick ``count`` distinct live peers as initial contacts for a joiner.
+
+    Models the out-of-band bootstrap (tracker / well-known peers) that any
+    real deployment needs before the peer-sampling service takes over.
+    """
+    if not live_ids:
+        raise OverlayError("cannot bootstrap into an empty system")
+    k = min(count, len(live_ids))
+    idx = rng.choice(len(live_ids), size=k, replace=False)
+    return [live_ids[int(i)] for i in idx]

@@ -1,0 +1,154 @@
+"""Cyclon-style shuffle overlay (Voulgaris, Gavidia & van Steen).
+
+An alternative peer-sampling service to the Newscast variant in
+:mod:`repro.overlay.peer_sampling`: instead of merging whole views, each
+round a node picks its *oldest* view member and **swaps a small random
+subset** of descriptors with it, always replacing the slot used to reach
+the partner with a fresh descriptor of itself.  Compared to Newscast,
+Cyclon produces a more uniform in-degree distribution (closer to a random
+regular graph) and ages out dead peers deterministically via the
+oldest-first contact rule — properties the paper's substrate reference
+[11] highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.overlay.base import Overlay
+from repro.overlay.view import NodeDescriptor, PartialView
+
+__all__ = ["CyclonOverlay"]
+
+
+class CyclonOverlay(Overlay):
+    """Cyclon shuffle peer sampling.
+
+    Args:
+        node_ids: initial population.
+        capacity: view size per node.
+        shuffle_size: descriptors exchanged per shuffle (``<= capacity``).
+        rng: generator used to wire the initial views.
+    """
+
+    def __init__(
+        self,
+        node_ids: list[int],
+        capacity: int,
+        rng: np.random.Generator,
+        shuffle_size: int | None = None,
+    ):
+        if capacity < 1:
+            raise OverlayError("view capacity must be >= 1")
+        ids = list(node_ids)
+        if len(ids) < 2:
+            raise OverlayError("cyclon needs at least 2 nodes")
+        self.capacity = capacity
+        self.shuffle_size = min(shuffle_size or max(capacity // 2, 1), capacity)
+        if self.shuffle_size < 1:
+            raise OverlayError("shuffle size must be >= 1")
+        self._views: dict[int, PartialView] = {}
+        arr = np.asarray(ids)
+        for node_id in ids:
+            view = PartialView(capacity)
+            k = min(capacity, len(ids) - 1)
+            chosen: set[int] = set()
+            while len(chosen) < k:
+                picks = arr[rng.integers(0, arr.size, size=k - len(chosen))]
+                chosen.update(int(p) for p in picks if int(p) != node_id)
+            for peer in chosen:
+                view.insert(NodeDescriptor(peer, age=int(rng.integers(0, 3))))
+            self._views[node_id] = view
+
+    # ------------------------------------------------------------------
+    # Overlay interface
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> list[int]:
+        return list(self._views)
+
+    def neighbours(self, node_id: int) -> list[int]:
+        try:
+            return self._views[node_id].node_ids()
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id}") from None
+
+    def select_neighbour(self, node_id: int, rng: np.random.Generator) -> int | None:
+        try:
+            view = self._views[node_id]
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id}") from None
+        live = [i for i in view.node_ids() if i in self._views]
+        if not live:
+            return None
+        return live[int(rng.integers(0, len(live)))]
+
+    def add_node(self, node_id: int, bootstrap: list[int] | None = None) -> None:
+        view = PartialView(self.capacity)
+        contacts = [i for i in (bootstrap or []) if i in self._views]
+        if not contacts:
+            contacts = list(self._views)[: self.capacity]
+        for peer in contacts[: self.capacity]:
+            view.insert(NodeDescriptor(peer, age=0))
+            peer_view = self._views[peer]
+            if len(peer_view) >= peer_view.capacity and node_id not in peer_view:
+                peer_view.remove(peer_view.oldest().node_id)
+            peer_view.insert(NodeDescriptor(node_id, age=0))
+        self._views[node_id] = view
+
+    def remove_node(self, node_id: int) -> None:
+        self._views.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # Shuffle round
+    # ------------------------------------------------------------------
+
+    def step(self, rng: np.random.Generator) -> None:
+        """One Cyclon round: every node shuffles with its oldest member."""
+        ids = list(self._views)
+        order = rng.permutation(len(ids))
+        for idx in order:
+            node_id = ids[int(idx)]
+            view = self._views.get(node_id)
+            if view is None or len(view) == 0:
+                continue
+            view.age_all()
+            partner = view.oldest()
+            view.remove(partner.node_id)  # the slot is recycled either way
+            partner_view = self._views.get(partner.node_id)
+            if partner_view is None:
+                continue  # dead peer detected and dropped
+            self._shuffle(node_id, view, partner.node_id, partner_view, rng)
+
+    def _shuffle(
+        self,
+        node_id: int,
+        view: PartialView,
+        partner_id: int,
+        partner_view: PartialView,
+        rng: np.random.Generator,
+    ) -> None:
+        mine = view.descriptors()
+        rng.shuffle(mine)
+        sent = mine[: self.shuffle_size - 1] + [NodeDescriptor(node_id, age=0)]
+        theirs_all = partner_view.descriptors()
+        rng.shuffle(theirs_all)
+        received = theirs_all[: self.shuffle_size]
+        # Partner replaces what it sent with what it received (minus
+        # itself), bounded by capacity; same for the initiator.
+        for d in received:
+            partner_view.remove(d.node_id)
+        partner_view.merge(sent, exclude=partner_id)
+        for d in sent:
+            view.remove(d.node_id)
+        view.merge(received, exclude=node_id)
+
+    def in_degree_distribution(self) -> dict[int, int]:
+        """How many views each node appears in (uniformity metric)."""
+        counts: dict[int, int] = {i: 0 for i in self._views}
+        for view in self._views.values():
+            for peer in view.node_ids():
+                if peer in counts:
+                    counts[peer] += 1
+        return counts

@@ -1,0 +1,117 @@
+"""Gossip-based peer sampling (Newscast-style).
+
+Implements the view-exchange overlay of Jelasity et al. [TOCS 2007] that
+the paper relies on for "robust connectivity" under churn: each node keeps
+a bounded partial view of ``(node_id, age)`` descriptors; once per round
+every node exchanges its view (plus a fresh descriptor of itself) with a
+random view member, and both keep the freshest ``capacity`` descriptors.
+Dead peers age out of views automatically, which is what makes the
+neighbour supply churn-tolerant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.overlay.base import Overlay
+from repro.overlay.view import NodeDescriptor, PartialView
+
+__all__ = ["PeerSamplingOverlay"]
+
+
+class PeerSamplingOverlay(Overlay):
+    """Newscast-style peer-sampling overlay."""
+
+    def __init__(self, node_ids: list[int], capacity: int, rng: np.random.Generator):
+        if capacity < 1:
+            raise OverlayError("view capacity must be >= 1")
+        ids = list(node_ids)
+        if len(ids) < 2:
+            raise OverlayError("peer sampling needs at least 2 nodes")
+        self.capacity = capacity
+        self._views: dict[int, PartialView] = {}
+        arr = np.asarray(ids)
+        for node_id in ids:
+            view = PartialView(capacity)
+            k = min(capacity, len(ids) - 1)
+            chosen: set[int] = set()
+            while len(chosen) < k:
+                picks = arr[rng.integers(0, arr.size, size=k - len(chosen))]
+                chosen.update(int(p) for p in picks if int(p) != node_id)
+            for peer in chosen:
+                view.insert(NodeDescriptor(peer, age=0))
+            self._views[node_id] = view
+
+    def node_ids(self) -> list[int]:
+        return list(self._views)
+
+    def neighbours(self, node_id: int) -> list[int]:
+        try:
+            return self._views[node_id].node_ids()
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id}") from None
+
+    def select_neighbour(self, node_id: int, rng: np.random.Generator) -> int | None:
+        try:
+            view = self._views[node_id]
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id}") from None
+        live = [i for i in view.node_ids() if i in self._views]
+        if not live:
+            return None
+        return live[int(rng.integers(0, len(live)))]
+
+    def add_node(self, node_id: int, bootstrap: list[int] | None = None) -> None:
+        view = PartialView(self.capacity)
+        contacts = [i for i in (bootstrap or []) if i in self._views]
+        if not contacts:
+            contacts = list(self._views)[: self.capacity]
+        for peer in contacts[: self.capacity]:
+            view.insert(NodeDescriptor(peer, age=0))
+        self._views[node_id] = view
+        # Announce the joiner to its contacts so it becomes reachable.
+        # Force the insertion: a saturated view of fresh descriptors
+        # would otherwise silently drop the newcomer.
+        for peer in contacts[: self.capacity]:
+            peer_view = self._views[peer]
+            if len(peer_view) >= peer_view.capacity and node_id not in peer_view:
+                peer_view.remove(peer_view.oldest().node_id)
+            peer_view.insert(NodeDescriptor(node_id, age=0))
+
+    def remove_node(self, node_id: int) -> None:
+        self._views.pop(node_id, None)
+
+    def step(self, rng: np.random.Generator) -> None:
+        """One round of Newscast view exchanges."""
+        ids = list(self._views)
+        order = rng.permutation(len(ids))
+        for idx in order:
+            node_id = ids[int(idx)]
+            view = self._views.get(node_id)
+            if view is None:
+                continue
+            view.age_all()
+            if len(view) == 0:
+                continue
+            # Pick from the raw view (not live-filtered): contacting a
+            # departed peer is how its descriptor is detected as dead and
+            # dropped — the gossip analogue of a connection timeout.
+            peer_id = view.random(rng).node_id
+            peer_view = self._views.get(peer_id)
+            if peer_view is None:
+                view.remove(peer_id)
+                continue
+            mine = view.descriptors() + [NodeDescriptor(node_id, age=0)]
+            theirs = peer_view.descriptors() + [NodeDescriptor(peer_id, age=0)]
+            view.merge(theirs, exclude=node_id)
+            peer_view.merge(mine, exclude=peer_id)
+
+    def in_degree_distribution(self) -> dict[int, int]:
+        """How many views each node appears in (overlay health metric)."""
+        counts: dict[int, int] = {i: 0 for i in self._views}
+        for view in self._views.values():
+            for peer in view.node_ids():
+                if peer in counts:
+                    counts[peer] += 1
+        return counts

@@ -1,0 +1,137 @@
+"""Static random overlays.
+
+:class:`RandomGraphOverlay` gives each node ``degree`` outgoing links to
+uniformly random peers (PeerSim's classic ``WireKOut`` topology); links to
+departed peers are repaired lazily on selection.  :class:`FullMeshOverlay`
+models an idealised uniform peer-sampling service where any live peer may
+be selected — the common analytical assumption for gossip averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OverlayError
+from repro.overlay.base import Overlay
+
+__all__ = ["RandomGraphOverlay", "FullMeshOverlay"]
+
+
+class FullMeshOverlay(Overlay):
+    """Every live node can gossip with every other live node."""
+
+    def __init__(self, node_ids: list[int] | None = None):
+        self._ids: dict[int, None] = dict.fromkeys(node_ids or [])
+        self._id_list: list[int] | None = None
+
+    def node_ids(self) -> list[int]:
+        return list(self._ids)
+
+    def neighbours(self, node_id: int) -> list[int]:
+        if node_id not in self._ids:
+            raise OverlayError(f"unknown node {node_id}")
+        return [i for i in self._ids if i != node_id]
+
+    def select_neighbour(self, node_id: int, rng: np.random.Generator) -> int | None:
+        if node_id not in self._ids:
+            raise OverlayError(f"unknown node {node_id}")
+        n = len(self._ids)
+        if n < 2:
+            return None
+        if self._id_list is None or len(self._id_list) != n:
+            self._id_list = list(self._ids)
+        # Rejection sampling: a couple of draws on average.
+        while True:
+            pick = self._id_list[int(rng.integers(0, n))]
+            if pick != node_id and pick in self._ids:
+                return pick
+            if pick not in self._ids:
+                self._id_list = list(self._ids)
+                n = len(self._id_list)
+                if n < 2:
+                    return None
+
+    def add_node(self, node_id: int, bootstrap: list[int] | None = None) -> None:
+        self._ids[node_id] = None
+        self._id_list = None
+
+    def remove_node(self, node_id: int) -> None:
+        self._ids.pop(node_id, None)
+        self._id_list = None
+
+
+class RandomGraphOverlay(Overlay):
+    """Each node keeps ``degree`` random outgoing links.
+
+    Dead links are repaired on demand by rewiring to a random live peer,
+    which approximates what a peer-sampling service provides without
+    simulating its message traffic (use
+    :class:`repro.overlay.peer_sampling.PeerSamplingOverlay` to simulate
+    it explicitly).
+    """
+
+    def __init__(self, node_ids: list[int], degree: int, rng: np.random.Generator):
+        if degree < 1:
+            raise OverlayError("degree must be >= 1")
+        self.degree = degree
+        self._links: dict[int, list[int]] = {}
+        ids = list(node_ids)
+        if len(ids) < 2:
+            raise OverlayError("random graph needs at least 2 nodes")
+        arr = np.asarray(ids)
+        for node_id in ids:
+            self._links[node_id] = self._wire(node_id, arr, rng)
+
+    def _wire(self, node_id: int, pool: np.ndarray, rng: np.random.Generator) -> list[int]:
+        k = min(self.degree, pool.size - 1)
+        chosen: set[int] = set()
+        while len(chosen) < k:
+            picks = pool[rng.integers(0, pool.size, size=k - len(chosen))]
+            chosen.update(int(p) for p in picks if int(p) != node_id)
+        return list(chosen)
+
+    def node_ids(self) -> list[int]:
+        return list(self._links)
+
+    def neighbours(self, node_id: int) -> list[int]:
+        try:
+            return list(self._links[node_id])
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id}") from None
+
+    def select_neighbour(self, node_id: int, rng: np.random.Generator) -> int | None:
+        try:
+            links = self._links[node_id]
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id}") from None
+        if len(self._links) < 2:
+            return None
+        for _ in range(len(links)):
+            if not links:
+                break
+            idx = int(rng.integers(0, len(links)))
+            peer = links[idx]
+            if peer in self._links and peer != node_id:
+                return peer
+            # Dead link: rewire to a random live peer.
+            links[idx] = self._random_live(node_id, rng)
+            if links[idx] != node_id and links[idx] in self._links:
+                return links[idx]
+        return self._random_live(node_id, rng)
+
+    def _random_live(self, node_id: int, rng: np.random.Generator) -> int:
+        ids = list(self._links)
+        while True:
+            peer = ids[int(rng.integers(0, len(ids)))]
+            if peer != node_id:
+                return peer
+
+    def add_node(self, node_id: int, bootstrap: list[int] | None = None) -> None:
+        pool = np.asarray(bootstrap if bootstrap else list(self._links))
+        if pool.size == 0:
+            raise OverlayError("cannot add a node to an empty overlay without bootstrap")
+        rng = np.random.default_rng(abs(hash(("wire", node_id))) % (2**32))
+        self._links[node_id] = self._wire(node_id, pool, rng)
+
+    def remove_node(self, node_id: int) -> None:
+        self._links.pop(node_id, None)

@@ -1,0 +1,105 @@
+"""Partial views and node descriptors for gossip peer sampling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import OverlayError
+
+__all__ = ["NodeDescriptor", "PartialView"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDescriptor:
+    """An entry in a peer's partial view.
+
+    Attributes:
+        node_id: the described peer.
+        age: gossip rounds since the descriptor was created at its
+            subject; fresher descriptors are more likely to describe a
+            live peer.
+    """
+
+    node_id: int
+    age: int = 0
+
+    def aged(self, by: int = 1) -> "NodeDescriptor":
+        return replace(self, age=self.age + by)
+
+
+class PartialView:
+    """A bounded set of node descriptors, at most one per peer.
+
+    Implements the view operations of gossip-based peer sampling:
+    ageing, insertion with freshest-wins deduplication, and truncation to
+    capacity keeping the freshest descriptors.
+    """
+
+    def __init__(self, capacity: int, descriptors: list[NodeDescriptor] | None = None):
+        if capacity < 1:
+            raise OverlayError("view capacity must be >= 1")
+        self.capacity = capacity
+        self._by_id: dict[int, NodeDescriptor] = {}
+        for d in descriptors or []:
+            self.insert(d)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._by_id
+
+    def node_ids(self) -> list[int]:
+        return list(self._by_id)
+
+    def descriptors(self) -> list[NodeDescriptor]:
+        return list(self._by_id.values())
+
+    def insert(self, descriptor: NodeDescriptor) -> None:
+        """Insert keeping the freshest descriptor per peer."""
+        existing = self._by_id.get(descriptor.node_id)
+        if existing is None or descriptor.age < existing.age:
+            self._by_id[descriptor.node_id] = descriptor
+        self._truncate()
+
+    def merge(self, others: list[NodeDescriptor], exclude: int | None = None) -> None:
+        """Merge a received descriptor list (excluding self), truncate."""
+        for d in others:
+            if exclude is not None and d.node_id == exclude:
+                continue
+            existing = self._by_id.get(d.node_id)
+            if existing is None or d.age < existing.age:
+                self._by_id[d.node_id] = d
+        self._truncate()
+
+    def age_all(self, by: int = 1) -> None:
+        for node_id, d in self._by_id.items():
+            self._by_id[node_id] = d.aged(by)
+
+    def remove(self, node_id: int) -> None:
+        self._by_id.pop(node_id, None)
+
+    def oldest(self) -> NodeDescriptor:
+        if not self._by_id:
+            raise OverlayError("view is empty")
+        return max(self._by_id.values(), key=lambda d: d.age)
+
+    def random(self, rng: np.random.Generator) -> NodeDescriptor:
+        if not self._by_id:
+            raise OverlayError("view is empty")
+        ids = list(self._by_id)
+        return self._by_id[ids[int(rng.integers(0, len(ids)))]]
+
+    def _truncate(self) -> None:
+        if len(self._by_id) <= self.capacity:
+            return
+        # Freshest first; ties broken by a node-id hash so that newly
+        # merged descriptors are not systematically discarded (a stable
+        # sort would always keep the incumbent and fresh descriptors
+        # would never propagate through saturated views).
+        keep = sorted(
+            self._by_id.values(), key=lambda d: (d.age, (d.node_id * 2654435761) % 997)
+        )[: self.capacity]
+        self._by_id = {d.node_id: d for d in keep}

@@ -1,0 +1,85 @@
+"""Churn models (paper §VII-G).
+
+The paper models churn by replacing a fixed fraction of nodes per round:
+a departing node vanishes with all its protocol state, and a fresh node
+joins with a new attribute value drawn from the same distribution,
+bootstrapped by its initial neighbours.  The reference rate — gossip
+period 1 s, mean session 15 min — is about 0.1 % of nodes per round.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.overlay.bootstrap import bootstrap_ids
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["ChurnModel", "NoChurn", "ReplacementChurn"]
+
+
+class ChurnModel(ABC):
+    """Mutates the engine population at the start of each round."""
+
+    @abstractmethod
+    def apply(self, engine) -> None:
+        """Remove/add nodes on ``engine`` for this round."""
+
+
+class NoChurn(ChurnModel):
+    """Static membership."""
+
+    def apply(self, engine) -> None:
+        return None
+
+
+class ReplacementChurn(ChurnModel):
+    """Replace a fraction of nodes per round, keeping N constant.
+
+    Args:
+        rate: expected fraction of nodes replaced per round (e.g. 0.001
+            for the paper's reference churn of 0.1 %/round).
+        workload: distribution from which replacement nodes draw their
+            attribute values.
+        rng: generator driving victim selection and sampling.
+        bootstrap_contacts: how many live peers a joiner is introduced to.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        workload: AttributeWorkload,
+        rng: np.random.Generator,
+        bootstrap_contacts: int = 5,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"churn rate must be in [0, 1], got {rate}")
+        if bootstrap_contacts < 1:
+            raise ConfigurationError("bootstrap_contacts must be >= 1")
+        self.rate = rate
+        self.workload = workload
+        self.rng = rng
+        self.bootstrap_contacts = bootstrap_contacts
+        #: total nodes replaced so far (for observers/tests)
+        self.replaced = 0
+
+    def apply(self, engine) -> None:
+        if self.rate <= 0.0 or engine.node_count < 3:
+            return
+        n = engine.node_count
+        k = int(self.rng.binomial(n, self.rate))
+        k = min(k, n - 2)  # never empty the system
+        if k == 0:
+            return
+        ids = list(engine.nodes)
+        victims = self.rng.choice(len(ids), size=k, replace=False)
+        for v in victims:
+            engine.remove_node(ids[int(v)])
+        live = list(engine.nodes)
+        values = self.workload.sample(k, self.rng)
+        for value in values:
+            contacts = bootstrap_ids(live, self.bootstrap_contacts, self.rng)
+            engine.add_node(value, bootstrap=contacts)
+        self.replaced += k

@@ -1,0 +1,73 @@
+"""Network cost accounting.
+
+The paper's cost evaluation (§VII-I) counts messages and bytes per node:
+every gossip exchange is one request plus one response, so each node sends
+and receives two messages per round on average (one exchange it starts,
+one it answers).  :class:`NetworkAccounting` tracks totals and per-node
+tallies so experiments can report the 40 kB/instance and 120 kB/estimate
+figures of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["NetworkAccounting", "TrafficSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficSummary:
+    """Aggregate traffic statistics over a simulation period."""
+
+    messages_total: int
+    bytes_total: int
+    rounds: int
+    node_count: int
+
+    @property
+    def messages_per_node(self) -> float:
+        return self.messages_total / self.node_count if self.node_count else 0.0
+
+    @property
+    def bytes_per_node(self) -> float:
+        return self.bytes_total / self.node_count if self.node_count else 0.0
+
+    @property
+    def bytes_per_node_per_round(self) -> float:
+        if not self.node_count or not self.rounds:
+            return 0.0
+        return self.bytes_total / (self.node_count * self.rounds)
+
+
+class NetworkAccounting:
+    """Counts messages and payload bytes sent by each node."""
+
+    def __init__(self) -> None:
+        self.messages_sent: defaultdict[int, int] = defaultdict(int)
+        self.bytes_sent: defaultdict[int, int] = defaultdict(int)
+        self.rounds_observed = 0
+
+    def record_exchange(self, initiator: int, responder: int, request_bytes: int, response_bytes: int) -> None:
+        """Record one request/response pair."""
+        self.messages_sent[initiator] += 1
+        self.bytes_sent[initiator] += int(request_bytes)
+        self.messages_sent[responder] += 1
+        self.bytes_sent[responder] += int(response_bytes)
+
+    def end_round(self) -> None:
+        self.rounds_observed += 1
+
+    def reset(self) -> None:
+        self.messages_sent.clear()
+        self.bytes_sent.clear()
+        self.rounds_observed = 0
+
+    def summary(self, node_count: int | None = None) -> TrafficSummary:
+        nodes = node_count if node_count is not None else len(self.messages_sent)
+        return TrafficSummary(
+            messages_total=sum(self.messages_sent.values()),
+            bytes_total=sum(self.bytes_sent.values()),
+            rounds=self.rounds_observed,
+            node_count=max(nodes, 1) if (self.messages_sent or nodes) else 0,
+        )

@@ -1,0 +1,53 @@
+"""Simulated node container."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """A node in the simulated system.
+
+    A ``SimNode`` is a passive container: its behaviour comes from the
+    :class:`~repro.simulation.engine.Protocol` objects registered with the
+    engine, which keep their per-node state in :attr:`state` under their
+    protocol name.
+
+    Attributes:
+        node_id: stable unique identifier (never reused after churn).
+        values: the node's attribute value(s) as a 1-D array.
+        rng: the node's private random generator.
+        joined_round: engine round at which the node entered the system.
+        state: per-protocol state, keyed by protocol name.
+    """
+
+    __slots__ = ("node_id", "values", "rng", "joined_round", "state")
+
+    def __init__(
+        self,
+        node_id: int,
+        values: float | np.ndarray,
+        rng: np.random.Generator,
+        joined_round: int = 0,
+    ):
+        self.node_id = node_id
+        self.values = np.atleast_1d(np.asarray(values, dtype=float))
+        if self.values.size == 0:
+            raise SimulationError("node must hold at least one attribute value")
+        self.rng = rng
+        self.joined_round = joined_round
+        self.state: dict[str, Any] = {}
+
+    @property
+    def value(self) -> float:
+        """The node's attribute value (single-value protocols)."""
+        return float(self.values[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SimNode {self.node_id} values={self.values[:3]!r}>"

@@ -1,0 +1,38 @@
+"""Per-round observation hooks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Observer", "RoundRecorder"]
+
+#: An observer is any callable invoked with the engine after each round.
+Observer = Callable[[Any], None]
+
+
+class RoundRecorder:
+    """Record a per-round measurement into a list.
+
+    Args:
+        probe: function of the engine returning the value to record.
+        every: record every ``every``-th round (1 = every round).
+    """
+
+    def __init__(self, probe: Callable[[Any], Any], every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.probe = probe
+        self.every = every
+        self.rounds: list[int] = []
+        self.values: list[Any] = []
+
+    def __call__(self, engine) -> None:
+        if engine.round % self.every != 0:
+            return
+        self.rounds.append(engine.round)
+        self.values.append(self.probe(engine))
+
+    def last(self) -> Any:
+        if not self.values:
+            raise ValueError("no observations recorded yet")
+        return self.values[-1]

@@ -1,0 +1,51 @@
+"""Shared type aliases and small value objects used across the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+#: Identifier of a node in the simulated system.  Node ids are stable for
+#: the lifetime of a node; a churned-out node's id is never reused.
+NodeId = NewType("NodeId", int)
+
+#: Identifier of an aggregation instance.  Unique per initiating event.
+InstanceId = NewType("InstanceId", int)
+
+#: A simulation round (cycle) index, starting at 0.
+Round = NewType("Round", int)
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A single CDF interpolation point ``(threshold, fraction)``.
+
+    ``fraction`` is the (estimated) fraction of nodes whose attribute value
+    is at or below ``threshold``.
+    """
+
+    threshold: float
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not (self.fraction == self.fraction):  # NaN guard
+            raise ValueError("fraction must not be NaN")
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorPair:
+    """The two error metrics of the paper for one CDF estimate.
+
+    Attributes:
+        maximum: Kolmogorov–Smirnov style maximum vertical distance
+            (``Err_m`` in the paper).
+        average: average vertical distance over the attribute domain
+            (``Err_a`` in the paper).
+    """
+
+    maximum: float
+    average: float
+
+    def __iter__(self):
+        yield self.maximum
+        yield self.average

@@ -1,0 +1,50 @@
+"""Attribute workloads: synthetic stand-ins for the BOINC 2008 host trace.
+
+The paper evaluates Adam2 on real-world attribute distributions extracted
+from the BOINC volunteer-computing project (CPU MFLOPS, RAM MB, downstream
+bandwidth, disk space).  That trace is not redistributable, so this package
+provides synthetic generators matched to the qualitative shapes reported in
+the paper's Figure 4: a *smooth* heavy-tailed CPU distribution and a
+heavily *stepped* RAM distribution, plus bandwidth/disk analogues, faulty
+reading injection, and the paper's filtering step.
+"""
+
+from repro.workloads.base import AttributeWorkload, SampledWorkload
+from repro.workloads.boinc import (
+    BoincAttribute,
+    boinc_bandwidth_kbps,
+    boinc_cpu_mflops,
+    boinc_disk_gb,
+    boinc_ram_mb,
+    boinc_workload,
+)
+from repro.workloads.faults import FaultModel, filter_faulty, inject_faults
+from repro.workloads.synthetic import (
+    lognormal_workload,
+    normal_workload,
+    step_workload,
+    uniform_workload,
+    zipf_workload,
+)
+from repro.workloads.traces import load_trace, save_trace
+
+__all__ = [
+    "AttributeWorkload",
+    "SampledWorkload",
+    "BoincAttribute",
+    "boinc_cpu_mflops",
+    "boinc_ram_mb",
+    "boinc_bandwidth_kbps",
+    "boinc_disk_gb",
+    "boinc_workload",
+    "FaultModel",
+    "inject_faults",
+    "filter_faulty",
+    "uniform_workload",
+    "normal_workload",
+    "lognormal_workload",
+    "zipf_workload",
+    "step_workload",
+    "load_trace",
+    "save_trace",
+]

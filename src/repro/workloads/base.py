@@ -1,0 +1,80 @@
+"""Workload abstraction: a named source of per-node attribute values."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["AttributeWorkload", "SampledWorkload"]
+
+
+class AttributeWorkload(ABC):
+    """A distribution of attribute values assignable to nodes.
+
+    A workload plays two roles in an experiment:
+
+    * it assigns each (initial or churned-in) node an attribute value via
+      :meth:`sample`;
+    * it documents the attribute (name, unit, whether values are integral).
+
+    The *ground-truth* CDF used for error measurement is always the
+    empirical CDF of the values actually assigned to live nodes (see
+    :class:`repro.core.cdf.EmpiricalCDF`), never an analytic form — exactly
+    as in the paper, where ``F`` is defined over the node population.
+    """
+
+    #: Human-readable attribute name, e.g. ``"cpu_mflops"``.
+    name: str = "attribute"
+    #: Unit for display purposes.
+    unit: str = ""
+    #: Whether sampled values are integers (discrete attribute domain).
+    integral: bool = True
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` attribute values as a 1-D float array."""
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """Draw a single attribute value (used for churned-in nodes)."""
+        return float(self.sample(1, rng)[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class SampledWorkload(AttributeWorkload):
+    """A workload wrapping a fixed array of values (a loaded trace).
+
+    Sampling draws values uniformly *with replacement* from the trace,
+    which is how churned-in nodes obtain "a different attribute value drawn
+    from the same distribution" (paper §VII-G).
+    """
+
+    def __init__(self, values: np.ndarray, name: str = "trace", unit: str = "", integral: bool = True):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise WorkloadError("trace must be a non-empty 1-D array")
+        if not np.all(np.isfinite(values)):
+            raise WorkloadError("trace contains non-finite values")
+        self._values = values
+        self.name = name
+        self.unit = unit
+        self.integral = integral
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying trace values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError(f"cannot sample {n} values")
+        return self._values[rng.integers(0, self._values.size, size=n)].astype(float)
+
+    def __len__(self) -> int:
+        return int(self._values.size)

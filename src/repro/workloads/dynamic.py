@@ -1,0 +1,76 @@
+"""Dynamic attribute distributions (paper §VII-F).
+
+The paper discusses — without a figure — what happens when the attribute
+CDF itself changes while the protocol runs: a node evaluates its attribute
+only when it creates or joins an instance, so the end-of-instance error is
+the aggregation error *plus* however far the CDF moved during the
+instance; shortening the instance (gossiping faster) trades nothing away
+because the per-instance message count is unchanged.
+
+:class:`DriftModel` provides the standard drift shapes used by the
+``dynamic`` experiment: multiplicative growth (e.g. load increasing
+system-wide), additive shift, and partial resampling (a fraction of nodes
+re-draw their value each round — attribute-level churn without membership
+churn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["DriftModel"]
+
+
+@dataclass
+class DriftModel:
+    """Per-round mutation of the population's attribute values.
+
+    Attributes:
+        growth_per_round: multiplicative drift; 0.01 grows every value by
+            1 % per round (a system-wide load ramp).
+        shift_per_round: additive drift applied after growth.
+        resample_fraction: fraction of nodes that re-draw their value
+            from ``resample_workload`` each round.
+        resample_workload: source for re-drawn values (required when
+            ``resample_fraction`` > 0).
+    """
+
+    growth_per_round: float = 0.0
+    shift_per_round: float = 0.0
+    resample_fraction: float = 0.0
+    resample_workload: AttributeWorkload | None = None
+
+    def __post_init__(self) -> None:
+        if not -0.5 <= self.growth_per_round <= 0.5:
+            raise ConfigurationError("growth_per_round must be in [-0.5, 0.5]")
+        if not 0.0 <= self.resample_fraction <= 1.0:
+            raise ConfigurationError("resample_fraction must be in [0, 1]")
+        if self.resample_fraction > 0 and self.resample_workload is None:
+            raise ConfigurationError("resampling drift needs a resample_workload")
+
+    @property
+    def is_static(self) -> bool:
+        return (
+            self.growth_per_round == 0.0
+            and self.shift_per_round == 0.0
+            and self.resample_fraction == 0.0
+        )
+
+    def apply(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the next round's values (the input is not mutated)."""
+        out = np.asarray(values, dtype=float).copy()
+        if self.growth_per_round:
+            out *= 1.0 + self.growth_per_round
+        if self.shift_per_round:
+            out += self.shift_per_round
+        if self.resample_fraction > 0:
+            k = int(round(self.resample_fraction * out.size))
+            if k > 0:
+                idx = rng.choice(out.size, size=k, replace=False)
+                out[idx] = self.resample_workload.sample(k, rng)
+        return out

@@ -1,0 +1,71 @@
+"""Faulty-reading injection and filtering.
+
+The paper filters "obviously faulty readings (for example, a machine with a
+bandwidth capacity above 10^31 bps or one with a negative amount of
+memory)" from the BOINC trace before use (§VII).  To exercise that code
+path we provide an injector that corrupts a fraction of a trace in the ways
+real host censuses are corrupted, and the corresponding filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["FaultModel", "inject_faults", "filter_faulty"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultModel:
+    """Parameters for corrupting a trace.
+
+    Attributes:
+        rate: fraction of readings to corrupt (0..1).
+        absurd_high: value used for "impossibly large" readings
+            (the paper's 10^31 bps bandwidth example).
+        plausible_max: the largest value considered physically plausible
+            for the attribute; the filter drops anything above it.
+    """
+
+    rate: float = 0.01
+    absurd_high: float = 1e31
+    plausible_max: float = 1e12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise WorkloadError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.plausible_max <= 0:
+            raise WorkloadError("plausible_max must be positive")
+
+
+def inject_faults(values: np.ndarray, model: FaultModel, rng: np.random.Generator) -> np.ndarray:
+    """Return a copy of ``values`` with a fraction of readings corrupted.
+
+    Three corruption modes, mirroring real census defects: absurdly large
+    readings, negative readings, and NaN (missing) readings.
+    """
+    values = np.asarray(values, dtype=float).copy()
+    n_faults = int(round(model.rate * values.size))
+    if n_faults == 0:
+        return values
+    idx = rng.choice(values.size, size=n_faults, replace=False)
+    mode = rng.integers(0, 3, size=n_faults)
+    values[idx[mode == 0]] = model.absurd_high
+    values[idx[mode == 1]] = -np.abs(values[idx[mode == 1]]) - 1.0
+    values[idx[mode == 2]] = np.nan
+    return values
+
+
+def filter_faulty(values: np.ndarray, model: FaultModel | None = None) -> np.ndarray:
+    """Drop obviously faulty readings, as the paper does before evaluation.
+
+    Removes NaN/inf readings, negative readings, and readings above the
+    plausible maximum.  Returns a new array of the surviving values.
+    """
+    model = model or FaultModel()
+    values = np.asarray(values, dtype=float)
+    keep = np.isfinite(values) & (values >= 0.0) & (values <= model.plausible_max)
+    return values[keep]

@@ -1,0 +1,94 @@
+"""Simple synthetic workloads for tests, examples, and ablations.
+
+The paper deliberately avoids synthetic distributions for its headline
+results ("synthetic distributions are typically smooth and therefore easier
+to approximate", §VII) — we keep them anyway as controlled inputs for unit
+tests and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import AttributeWorkload
+
+__all__ = [
+    "uniform_workload",
+    "normal_workload",
+    "lognormal_workload",
+    "zipf_workload",
+    "step_workload",
+]
+
+
+class _FunctionWorkload(AttributeWorkload):
+    def __init__(self, name: str, sampler, integral: bool = True, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.integral = integral
+        self._sampler = sampler
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError(f"cannot sample {n} values")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        values = np.asarray(self._sampler(n, rng), dtype=float)
+        if self.integral:
+            values = np.rint(values)
+        return values
+
+
+def uniform_workload(low: float = 0.0, high: float = 1000.0, integral: bool = True) -> AttributeWorkload:
+    """Uniform values in ``[low, high]``."""
+    if high <= low:
+        raise WorkloadError(f"need high > low, got [{low}, {high}]")
+    return _FunctionWorkload("uniform", lambda n, rng: rng.uniform(low, high, size=n), integral)
+
+
+def normal_workload(mean: float = 500.0, std: float = 100.0, integral: bool = True) -> AttributeWorkload:
+    """Normal values (clipped at zero to keep the domain positive)."""
+    if std <= 0:
+        raise WorkloadError("std must be positive")
+    return _FunctionWorkload(
+        "normal", lambda n, rng: np.maximum(rng.normal(mean, std, size=n), 0.0), integral
+    )
+
+
+def lognormal_workload(median: float = 500.0, sigma: float = 1.0, integral: bool = True) -> AttributeWorkload:
+    """Heavy-tailed log-normal values with the given median."""
+    if median <= 0 or sigma <= 0:
+        raise WorkloadError("median and sigma must be positive")
+    mu = float(np.log(median))
+    return _FunctionWorkload(
+        "lognormal", lambda n, rng: rng.lognormal(mean=mu, sigma=sigma, size=n), integral
+    )
+
+
+def zipf_workload(exponent: float = 2.0, cap: float = 1_000_000.0) -> AttributeWorkload:
+    """Zipf-distributed integer values, capped to keep the domain bounded."""
+    if exponent <= 1.0:
+        raise WorkloadError("zipf exponent must exceed 1")
+    return _FunctionWorkload(
+        "zipf", lambda n, rng: np.minimum(rng.zipf(exponent, size=n).astype(float), cap), True
+    )
+
+
+def step_workload(levels: list[float] | None = None, weights: list[float] | None = None) -> AttributeWorkload:
+    """A pure staircase CDF: values drawn from a small categorical set.
+
+    This is the hardest shape for interpolation-based estimators and the
+    cleanest input for testing the MinMax heuristic.
+    """
+    lv = np.asarray(levels if levels is not None else [100.0, 200.0, 400.0, 800.0], dtype=float)
+    if lv.ndim != 1 or lv.size < 2:
+        raise WorkloadError("need at least two step levels")
+    if weights is None:
+        w = np.full(lv.size, 1.0 / lv.size)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != lv.shape or np.any(w < 0) or w.sum() <= 0:
+            raise WorkloadError("weights must be non-negative and match levels")
+        w = w / w.sum()
+    return _FunctionWorkload("step", lambda n, rng: lv[rng.choice(lv.size, size=n, p=w)], True)

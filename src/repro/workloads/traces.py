@@ -1,0 +1,64 @@
+"""Saving and loading attribute traces as simple CSV files.
+
+A trace is a 1-D array of attribute values, one per host.  The format is a
+two-line-header CSV (`# name=..., unit=..., integral=...` then one value
+per line) so traces can be produced once (e.g. a full 100,000-host BOINC
+stand-in) and reused across experiments without resampling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import SampledWorkload
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(path: str | Path, values: np.ndarray, name: str = "trace", unit: str = "", integral: bool = True) -> None:
+    """Write a trace to ``path`` in the repro CSV format."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise WorkloadError("trace must be 1-D")
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# name={name}, unit={unit}, integral={int(integral)}\n")
+        fh.write("value\n")
+        for value in values:
+            fh.write(f"{value:.10g}\n")
+
+
+def load_trace(path: str | Path) -> SampledWorkload:
+    """Load a trace written by :func:`save_trace` into a workload."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file not found: {path}")
+    name, unit, integral = "trace", "", True
+    values: list[float] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for part in line.lstrip("# ").split(","):
+                    key, _, raw = part.strip().partition("=")
+                    if key == "name":
+                        name = raw
+                    elif key == "unit":
+                        unit = raw
+                    elif key == "integral":
+                        integral = bool(int(raw))
+                continue
+            if line == "value":
+                continue
+            try:
+                values.append(float(line))
+            except ValueError:
+                raise WorkloadError(f"malformed trace line: {line!r}") from None
+    if not values:
+        raise WorkloadError(f"trace file {path} contains no values")
+    return SampledWorkload(np.asarray(values), name=name, unit=unit, integral=integral)

@@ -1,0 +1,105 @@
+"""Tests for the generic gossip aggregation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.rngs import make_rng
+from repro.aggregation import AveragingProtocol, ExtremaProtocol, SizeEstimationProtocol
+from repro.simulation.runner import build_engine
+from repro.workloads.synthetic import uniform_workload
+
+
+def make_engine(protocols, n=32, seed=0):
+    return build_engine(uniform_workload(0, 100), n, protocols, make_rng(seed), overlay="mesh")
+
+
+class TestAveraging:
+    def test_mean_is_invariant(self):
+        protocol = AveragingProtocol(lambda node: node.values[:1])
+        engine = make_engine([protocol])
+        before = protocol.states(engine).mean()
+        engine.run(10)
+        after = protocol.states(engine).mean()
+        assert after == pytest.approx(before, rel=1e-12)
+
+    def test_exponential_convergence(self):
+        protocol = AveragingProtocol(lambda node: node.values[:1])
+        engine = make_engine([protocol], n=64)
+        spreads = [protocol.spread(engine)]
+        for _ in range(25):
+            engine.run_round()
+            spreads.append(protocol.spread(engine))
+        assert spreads[-1] < spreads[0] * 1e-5
+
+    def test_vector_state(self):
+        protocol = AveragingProtocol(lambda node: np.asarray([node.value, node.value * 2]))
+        engine = make_engine([protocol], n=16)
+        engine.run(20)
+        states = protocol.states(engine)
+        assert states.shape == (16, 2)
+        assert np.allclose(states[:, 1], 2 * states[:, 0], rtol=1e-9)
+
+    def test_empty_state_rejected(self):
+        protocol = AveragingProtocol(lambda node: np.asarray([]))
+        with pytest.raises(SimulationError):
+            make_engine([protocol], n=4)
+
+    def test_message_size_model(self):
+        protocol = AveragingProtocol(lambda node: node.values[:1], value_bytes=8)
+        engine = make_engine([protocol], n=8)
+        engine.run(1)
+        assert engine.network.summary(8).bytes_total == 8 * 2 * 8  # 8 exchanges x 2 msgs x 8 B
+
+
+class TestExtrema:
+    def test_converges_to_global_extremes(self):
+        protocol = ExtremaProtocol()
+        engine = make_engine([protocol], n=64)
+        true_min = engine.attribute_values().min()
+        true_max = engine.attribute_values().max()
+        engine.run(12)
+        assert protocol.converged(engine)
+        assert protocol.extremes(engine) == (true_min, true_max)
+
+    def test_logarithmic_speed(self):
+        """Extrema spread epidemically: far faster than linear."""
+        protocol = ExtremaProtocol()
+        engine = make_engine([protocol], n=256)
+        engine.run(12)  # ~log2(256) + slack
+        assert protocol.converged(engine)
+
+
+class TestSizeEstimation:
+    def test_converges_to_inverse_weight(self):
+        protocol = SizeEstimationProtocol()
+        engine = make_engine([protocol], n=48)
+        engine.run(30)
+        estimates = protocol.estimates(engine)
+        assert len(estimates) == 48
+        assert np.allclose(estimates, 48.0, rtol=1e-6)
+
+    def test_single_initiator(self):
+        protocol = SizeEstimationProtocol()
+        engine = make_engine([protocol], n=16)
+        weights = [node.state["size"] for node in engine.nodes.values()]
+        assert sum(w == 1.0 for w in weights) == 1
+        assert sum(weights) == 1.0
+
+    def test_weight_conservation_without_churn(self):
+        protocol = SizeEstimationProtocol()
+        engine = make_engine([protocol], n=16)
+        engine.run(7)
+        total = sum(node.state["size"] for node in engine.nodes.values())
+        assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_no_reach_raises(self):
+        protocol = SizeEstimationProtocol()
+        engine = make_engine([protocol], n=8)
+        # Remove the initiator before any gossip: weight vanishes.
+        initiator = next(
+            node.node_id for node in engine.nodes.values() if node.state["size"] == 1.0
+        )
+        engine.remove_node(initiator)
+        with pytest.raises(SimulationError):
+            protocol.estimates(engine)

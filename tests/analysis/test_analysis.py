@@ -1,0 +1,90 @@
+"""Tests for result containers and reporting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis.report import format_series, format_table, format_value
+from repro.analysis.results import ExperimentResult
+from repro.analysis.series import Series
+
+
+class TestExperimentResult:
+    def test_add_and_columns(self):
+        result = ExperimentResult("x")
+        result.add_row(a=1, b=2.0)
+        result.add_row(a=3, c="z")
+        assert result.columns() == ["a", "b", "c"]
+        assert len(result) == 2
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x")
+        result.add_row(a=1)
+        result.add_row(a=2)
+        assert result.column("a") == [1, 2]
+
+    def test_missing_column_raises(self):
+        result = ExperimentResult("x")
+        result.add_row(a=1)
+        with pytest.raises(ReproError):
+            result.column("zzz")
+
+    def test_filter(self):
+        result = ExperimentResult("x")
+        result.add_row(kind="a", v=1)
+        result.add_row(kind="b", v=2)
+        result.add_row(kind="a", v=3)
+        filtered = result.filter(kind="a")
+        assert [r["v"] for r in filtered.rows] == [1, 3]
+
+
+class TestSeries:
+    def test_append_and_final(self):
+        series = Series("s")
+        series.append(1, 0.5)
+        series.append(2, 0.25)
+        assert series.final() == 0.25
+        assert series.min_y() == 0.25
+        assert len(series) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            Series("s", x=[1.0], y=[])
+
+    def test_empty_final_raises(self):
+        with pytest.raises(ReproError):
+            Series("s").final()
+
+    def test_as_arrays(self):
+        series = Series("s", x=[1.0, 2.0], y=[3.0, 4.0])
+        x, y = series.as_arrays()
+        assert x.shape == (2,)
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(0.5) == "0.5"
+        assert format_value(1e-5) == "1.000e-05"
+        assert format_value(12345.0) == "12,345"
+        assert format_value("abc") == "abc"
+        assert format_value(0) == "0"
+        assert format_value(True) == "True"
+
+    def test_format_table_alignment(self):
+        result = ExperimentResult("demo", description="desc", params={"n": 3})
+        result.add_row(metric="errm", value=0.25)
+        text = format_table(result)
+        assert "== demo ==" in text
+        assert "params: n=3" in text
+        assert "errm" in text
+
+    def test_format_empty_table(self):
+        text = format_table(ExperimentResult("empty"))
+        assert "(no rows)" in text
+
+    def test_format_series(self):
+        a = Series("adam2", x=[1, 2], y=[0.5, 0.25])
+        b = Series("equidepth", x=[1, 2], y=[0.4, 0.4])
+        text = format_series([a, b], x_label="round")
+        assert "adam2" in text and "equidepth" in text
+        assert "round" in text

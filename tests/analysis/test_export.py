@@ -1,0 +1,59 @@
+"""Tests for CSV export/import of experiment results."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis.export import read_csv, write_csv
+from repro.analysis.results import ExperimentResult
+
+
+@pytest.fixture()
+def result():
+    out = ExperimentResult("demo", description="d", params={"n": 10, "seed": 1})
+    out.add_row(attribute="ram", instance=1, err_max=0.25, label="x")
+    out.add_row(attribute="ram", instance=2, err_max=0.125)
+    return out
+
+
+class TestRoundtrip:
+    def test_roundtrip(self, tmp_path, result):
+        path = tmp_path / "demo.csv"
+        write_csv(result, path)
+        loaded = read_csv(path)
+        assert loaded.name == "demo"
+        assert loaded.params == {"n": 10, "seed": 1}
+        assert loaded.rows[0]["err_max"] == 0.25
+        assert loaded.rows[0]["instance"] == 1
+        assert loaded.rows[0]["label"] == "x"
+
+    def test_sparse_rows_preserved(self, tmp_path, result):
+        path = tmp_path / "demo.csv"
+        write_csv(result, path)
+        loaded = read_csv(path)
+        assert "label" not in loaded.rows[1]
+
+    def test_types_restored(self, tmp_path, result):
+        path = tmp_path / "demo.csv"
+        write_csv(result, path)
+        loaded = read_csv(path)
+        assert isinstance(loaded.rows[0]["instance"], int)
+        assert isinstance(loaded.rows[0]["err_max"], float)
+        assert isinstance(loaded.rows[0]["attribute"], str)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_csv(tmp_path / "nope.csv")
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ReproError):
+            read_csv(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# not-json\na\n1\n")
+        with pytest.raises(ReproError):
+            read_csv(path)

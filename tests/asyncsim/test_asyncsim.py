@@ -1,0 +1,226 @@
+"""Tests for the asynchronous event-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rngs import make_rng
+from repro.asyncsim.adam2 import AsyncAdam2
+from repro.asyncsim.engine import AsyncEngine, AsyncProtocol, LatencyModel
+from repro.asyncsim.events import EventQueue
+from repro.core import Adam2Config, EmpiricalCDF
+from repro.overlay.random_graph import FullMeshOverlay
+from repro.workloads import boinc_ram_mb
+from repro.workloads.synthetic import uniform_workload
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(2.0, lambda: log.append("b"))
+        queue.schedule(1.0, lambda: log.append("a"))
+        queue.schedule(3.0, lambda: log.append("c"))
+        queue.run_until(10.0)
+        assert log == ["a", "b", "c"]
+        assert queue.now == 10.0
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(1.0, lambda: log.append(2))
+        queue.run_until(1.0)
+        assert log == [1, 2]
+
+    def test_deadline_respected(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(5.0, lambda: log.append(5))
+        fired = queue.run_until(2.0)
+        assert fired == 1
+        assert log == [1]
+        assert len(queue) == 1
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run_until(2.0)
+        with pytest.raises(SimulationError):
+            queue.schedule(1.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_in(-1.0, lambda: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_event_budget(self):
+        queue = EventQueue()
+
+        def rearm():
+            queue.schedule_in(0.1, rearm)
+
+        rearm()
+        with pytest.raises(SimulationError):
+            queue.run_until(1e9, max_events=100)
+
+
+class TestLatencyModel:
+    def test_samples_in_range(self):
+        model = LatencyModel(0.01, 0.05)
+        rng = make_rng(1)
+        for _ in range(100):
+            assert 0.01 <= model.sample(rng) <= 0.05
+
+    def test_degenerate(self):
+        assert LatencyModel(0.1, 0.1).sample(make_rng(0)) == 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(0.5, 0.1)
+
+
+class _EchoProtocol(AsyncProtocol):
+    """Counts timer fires and deliveries."""
+
+    name = "echo"
+
+    def __init__(self):
+        self.timers = 0
+        self.requests = 0
+        self.responses = 0
+
+    def on_node_added(self, node, engine):
+        node.state[self.name] = True
+
+    def on_timer(self, node, engine):
+        self.timers += 1
+        return {"from": node.node_id}
+
+    def on_request(self, node, payload, engine):
+        self.requests += 1
+        return {"ack": node.node_id}
+
+    def on_response(self, node, payload, engine):
+        self.responses += 1
+
+
+class TestAsyncEngine:
+    def _engine(self, n=10, **kwargs):
+        rng = make_rng(3)
+        protocol = _EchoProtocol()
+        engine = AsyncEngine(FullMeshOverlay([]), protocol, rng, **kwargs)
+        engine.populate(uniform_workload(0, 100).sample(n, make_rng(4)))
+        return engine, protocol
+
+    def test_timers_fire_per_period(self):
+        engine, protocol = self._engine(10, gossip_period=1.0, period_jitter=0.0)
+        engine.run_for(5.4)
+        # Each node fires once per second after a random initial phase.
+        assert 40 <= protocol.timers <= 60
+
+    def test_request_response_roundtrip(self):
+        engine, protocol = self._engine(10)
+        engine.run_for(5.0)
+        assert protocol.requests > 0
+        # No loss configured: every request gets a response, modulo the
+        # handful still in flight at the cutoff.
+        assert protocol.requests - protocol.responses <= 3
+
+    def test_message_loss(self):
+        engine, protocol = self._engine(20, loss_rate=0.5)
+        engine.run_for(10.0)
+        assert engine.messages_lost > 0
+        assert protocol.responses < protocol.requests + protocol.timers
+
+    def test_remove_node_kills_timer(self):
+        engine, protocol = self._engine(5)
+        victim = next(iter(engine.nodes))
+        engine.remove_node(victim)
+        engine.run_for(3.0)
+        assert victim not in engine.nodes
+
+    def test_remove_unknown_raises(self):
+        engine, _ = self._engine(3)
+        with pytest.raises(SimulationError):
+            engine.remove_node(12345)
+
+    def test_invalid_params(self):
+        rng = make_rng(0)
+        with pytest.raises(ConfigurationError):
+            AsyncEngine(FullMeshOverlay([]), _EchoProtocol(), rng, gossip_period=0.0)
+        with pytest.raises(ConfigurationError):
+            AsyncEngine(FullMeshOverlay([]), _EchoProtocol(), rng, period_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            AsyncEngine(FullMeshOverlay([]), _EchoProtocol(), rng, loss_rate=1.0)
+
+    def test_accounting(self):
+        engine, _ = self._engine(10)
+        engine.run_for(3.0)
+        assert engine.messages_sent > 0
+        assert engine.bytes_sent >= engine.messages_sent * 64
+
+
+class TestAsyncAdam2:
+    def _run(self, latency=LatencyModel(0.02, 0.2), loss_rate=0.0, n=200, duration=40.0):
+        rng = make_rng(5)
+        config = Adam2Config(points=15, rounds_per_instance=30)
+        protocol = AsyncAdam2(config, scheduler="manual")
+        engine = AsyncEngine(
+            FullMeshOverlay([]), protocol, rng,
+            gossip_period=1.0, period_jitter=0.1, latency=latency, loss_rate=loss_rate,
+        )
+        engine.populate(boinc_ram_mb().sample(n, make_rng(6)))
+        engine.run_for(2.0)
+        protocol.trigger_instance(engine)
+        engine.run_for(duration)
+        return engine, protocol
+
+    def test_all_nodes_estimate(self):
+        engine, protocol = self._run()
+        assert len(protocol.estimates(engine)) == 200
+
+    def test_accuracy_at_points(self):
+        engine, protocol = self._run()
+        truth = EmpiricalCDF(engine.attribute_values())
+        worst = max(
+            np.abs(truth.evaluate(e.thresholds) - e.fractions).max()
+            for e in protocol.estimates(engine)[:40]
+        )
+        assert worst < 0.01  # far below the interpolation error
+
+    def test_size_estimation(self):
+        engine, protocol = self._run()
+        sizes = [a.size_estimate for a in protocol.adam2_nodes(engine) if a.current_estimate]
+        assert np.median(sizes) == pytest.approx(200.0, rel=0.1)
+
+    def test_survives_message_loss(self):
+        engine, protocol = self._run(loss_rate=0.2, duration=50.0)
+        truth = EmpiricalCDF(engine.attribute_values())
+        estimates = protocol.estimates(engine)
+        assert len(estimates) >= 195
+        worst = max(
+            np.abs(truth.evaluate(e.thresholds) - e.fractions).max() for e in estimates[:30]
+        )
+        assert worst < 0.05
+
+    def test_no_rejoin_after_termination(self):
+        engine, protocol = self._run(duration=60.0)
+        for adam2 in protocol.adam2_nodes(engine):
+            assert not adam2.instances  # everything cleanly terminated
+            assert len(adam2.completed) == 1
+
+    def test_probabilistic_scheduler(self):
+        rng = make_rng(7)
+        config = Adam2Config(
+            points=8, rounds_per_instance=15, instance_frequency=2, initial_size_estimate=20.0
+        )
+        protocol = AsyncAdam2(config, scheduler="probabilistic")
+        engine = AsyncEngine(FullMeshOverlay([]), protocol, rng, gossip_period=1.0)
+        engine.populate(uniform_workload(0, 100).sample(60, make_rng(8)))
+        engine.run_for(60.0)
+        assert len(protocol.estimates(engine)) == 60

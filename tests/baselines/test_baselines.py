@@ -1,0 +1,97 @@
+"""Tests for the baseline estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rngs import make_rng
+from repro.baselines.equidepth import EquiDepthProtocol
+from repro.baselines.sampling import RandomSamplingEstimator
+from repro.simulation.runner import build_engine
+from repro.workloads.synthetic import step_workload, uniform_workload
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(55)
+
+
+class TestRandomSampling:
+    def test_error_shrinks_with_samples(self, rng):
+        population = uniform_workload(0, 1000).sample(10_000, rng)
+        estimator = RandomSamplingEstimator(population)
+        small = estimator.estimate(20, rng)
+        large = estimator.estimate(5_000, rng)
+        assert large.errors.maximum < small.errors.maximum
+
+    def test_dkw_scale(self, rng):
+        """KS error of s samples is near the DKW envelope ~1.36/sqrt(s)."""
+        population = uniform_workload(0, 1000).sample(50_000, rng)
+        estimator = RandomSamplingEstimator(population)
+        results = estimator.sweep([400], rng, repeats=10)
+        assert results[0].errors.maximum < 3 * 1.36 / np.sqrt(400)
+        assert results[0].errors.maximum > 0.3 / np.sqrt(400)
+
+    def test_message_cost_model(self, rng):
+        population = uniform_workload(0, 100).sample(100, rng)
+        estimator = RandomSamplingEstimator(population, messages_per_sample=3)
+        result = estimator.estimate(50, rng)
+        assert result.messages == 150
+        assert result.bytes_sent == 150 * 64
+
+    def test_step_cdf_handled(self, rng):
+        population = step_workload([10.0, 20.0], weights=[0.7, 0.3]).sample(5_000, rng)
+        estimator = RandomSamplingEstimator(population)
+        result = estimator.estimate(2_000, rng)
+        assert result.errors.maximum < 0.05
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            RandomSamplingEstimator(np.asarray([]))
+        estimator = RandomSamplingEstimator(np.asarray([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            estimator.estimate(0, rng)
+        with pytest.raises(ConfigurationError):
+            RandomSamplingEstimator(np.asarray([1.0]), messages_per_sample=0)
+
+    def test_sweep_repeats_average(self, rng):
+        population = uniform_workload(0, 100).sample(2_000, rng)
+        estimator = RandomSamplingEstimator(population)
+        out = estimator.sweep([10, 100], rng, repeats=4)
+        assert [r.samples for r in out] == [10, 100]
+        assert out[0].errors.maximum > out[1].errors.maximum
+
+
+class TestEquiDepthProtocol:
+    def test_runs_on_engine(self, rng):
+        protocol = EquiDepthProtocol(synopsis_size=20)
+        engine = build_engine(uniform_workload(0, 1000), 150, [protocol], rng, overlay="mesh")
+        engine.run(20)
+        estimates = protocol.estimates(engine)
+        assert len(estimates) == 150
+        truth_mid = 0.5
+        mid = np.mean([est.evaluate(np.asarray([500.0]))[0] for est in estimates[:20]])
+        assert abs(mid - truth_mid) < 0.15
+
+    def test_phase_reset(self, rng):
+        protocol = EquiDepthProtocol(synopsis_size=10)
+        engine = build_engine(uniform_workload(0, 100), 50, [protocol], rng, overlay="mesh")
+        engine.run(10)
+        protocol.start_phase(engine)
+        node = next(iter(engine.nodes.values()))
+        values, weights = node.state[protocol.name]
+        assert values.size == 1
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_synopsis_bounded(self, rng):
+        protocol = EquiDepthProtocol(synopsis_size=10)
+        engine = build_engine(uniform_workload(0, 100), 60, [protocol], rng, overlay="mesh")
+        engine.run(15)
+        for node in engine.nodes.values():
+            values, weights = node.state[protocol.name]
+            assert values.size <= 10
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EquiDepthProtocol(synopsis_size=1)

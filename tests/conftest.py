@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rngs import make_rng
+from repro.core.cdf import EmpiricalCDF, EstimatedCDF
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic root generator, fresh per test."""
+    return make_rng(1234)
+
+
+@pytest.fixture()
+def step_values():
+    """A small population with a pronounced step CDF."""
+    return np.asarray([100.0] * 30 + [200.0] * 50 + [400.0] * 15 + [800.0] * 5)
+
+
+@pytest.fixture()
+def smooth_values(rng):
+    """A smooth-ish positive population."""
+    return np.rint(rng.lognormal(mean=np.log(300.0), sigma=0.5, size=500))
+
+
+@pytest.fixture()
+def step_truth(step_values):
+    return EmpiricalCDF(step_values)
+
+
+@pytest.fixture()
+def perfect_estimate(step_truth):
+    """An estimate whose points sit exactly on the true CDF."""
+    thresholds = np.asarray([100.0, 200.0, 400.0, 800.0])
+    return EstimatedCDF(
+        thresholds=thresholds,
+        fractions=step_truth.evaluate(thresholds),
+        minimum=step_truth.minimum,
+        maximum=step_truth.maximum,
+    )

@@ -1,0 +1,98 @@
+"""Tests for the confidence-driven accuracy controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.adaptive import AccuracyController, TuningDecision
+from repro.core.config import Adam2Config
+from repro.fastsim.adam2 import Adam2Simulation
+from repro.workloads import boinc_ram_mb
+
+
+def make_config(points=20):
+    return Adam2Config(
+        points=points, rounds_per_instance=25, selection="lcut",
+        verification_points=15, verification_target="average",
+    )
+
+
+class TestDecisions:
+    def test_stop_when_target_met(self):
+        controller = AccuracyController(target=0.01)
+        decision = controller.decide(make_config(), 0.005)
+        assert decision.action == "stop"
+        assert decision.config.points == 20
+
+    def test_refine_while_improving(self):
+        controller = AccuracyController(target=1e-4, patience=2)
+        first = controller.decide(make_config(), 0.1)
+        assert first.action == "refine"
+        second = controller.decide(make_config(), 0.04)  # big improvement
+        assert second.action == "refine"
+
+    def test_grow_on_plateau(self):
+        controller = AccuracyController(target=1e-4, patience=2)
+        first = controller.decide(make_config(), 0.1)
+        assert first.action == "refine"
+        # Plateau (< 30 % improvement) with patience spent -> grow.
+        decision = controller.decide(make_config(), 0.095)
+        assert decision.action == "grow"
+        assert decision.config.points == 40
+
+    def test_growth_capped(self):
+        controller = AccuracyController(target=1e-9, max_points=25, patience=1)
+        config = make_config(20)
+        controller.decide(config, 0.1)
+        decision = controller.decide(config, 0.099)
+        assert decision.config.points <= 25
+
+    def test_no_grow_at_cap(self):
+        controller = AccuracyController(target=1e-9, max_points=20, patience=1)
+        config = make_config(20)
+        controller.decide(config, 0.1)
+        decision = controller.decide(config, 0.0999)
+        assert decision.action == "refine"
+
+    def test_reset(self):
+        controller = AccuracyController(target=1e-4, patience=1)
+        controller.decide(make_config(), 0.1)
+        controller.reset()
+        decision = controller.decide(make_config(), 0.099)
+        assert decision.action == "refine"  # plateau history forgotten
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AccuracyController(target=0.0)
+        with pytest.raises(ConfigurationError):
+            AccuracyController(target=0.1, max_points=1)
+        with pytest.raises(ConfigurationError):
+            AccuracyController(target=0.1, growth_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            AccuracyController(target=0.1, patience=0)
+        controller = AccuracyController(target=0.1)
+        with pytest.raises(ConfigurationError):
+            controller.decide(Adam2Config(points=10), 0.5)  # no verification
+        with pytest.raises(ConfigurationError):
+            controller.decide(make_config(), -0.1)
+
+
+class TestClosedLoop:
+    def test_tunes_until_target(self):
+        """The full loop: simulate, self-assess, let the controller steer."""
+        target = 2e-3
+        controller = AccuracyController(target=target, max_points=120, patience=2)
+        config = make_config(10)
+        sim = Adam2Simulation(boinc_ram_mb(), 600, config, seed=9)
+        final_estimate = None
+        for _ in range(10):
+            result = sim.run_instance(confidence_sample=32)
+            self_assessed = float(np.mean(result.est_erra))
+            decision = controller.decide(sim.config, self_assessed)
+            final_estimate = self_assessed
+            if decision.action == "stop":
+                break
+            if decision.config is not sim.config:
+                sim.config = decision.config
+        assert final_estimate is not None
+        assert decision.action == "stop" or sim.config.points > 10

@@ -1,0 +1,129 @@
+"""Tests for EmpiricalCDF and EstimatedCDF."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.core.cdf import EmpiricalCDF, EstimatedCDF
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF(np.asarray([1.0, 2.0, 3.0, 4.0]))
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4.0) == 1.0
+        assert cdf.evaluate(100.0) == 1.0
+
+    def test_le_semantics_at_atoms(self, step_values):
+        cdf = EmpiricalCDF(step_values)
+        # F counts values at-or-below x (paper §III definition).
+        assert cdf.evaluate(100.0) == pytest.approx(0.3)
+        assert cdf.evaluate(99.999) == 0.0
+        assert cdf.evaluate(200.0) == pytest.approx(0.8)
+
+    def test_extremes(self, step_values):
+        cdf = EmpiricalCDF(step_values)
+        assert cdf.minimum == 100.0
+        assert cdf.maximum == 800.0
+
+    def test_quantile_inverse_relationship(self, step_values):
+        cdf = EmpiricalCDF(step_values)
+        assert cdf.quantile(0.3)[0] == 100.0
+        assert cdf.quantile(0.31)[0] == 200.0
+        assert cdf.quantile(0.0)[0] == 100.0
+        assert cdf.quantile(1.0)[0] == 800.0
+
+    def test_quantile_bounds(self, step_truth):
+        with pytest.raises(EstimationError):
+            step_truth.quantile(1.5)
+
+    def test_vectorised_evaluation(self, step_truth):
+        xs = np.asarray([50.0, 150.0, 850.0])
+        out = step_truth.evaluate(xs)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_support(self, step_values):
+        assert np.array_equal(EmpiricalCDF(step_values).support(), [100.0, 200.0, 400.0, 800.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            EmpiricalCDF(np.asarray([]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(EstimationError):
+            EmpiricalCDF(np.asarray([1.0, np.inf]))
+
+    def test_callable(self, step_truth):
+        assert step_truth(200.0) == step_truth.evaluate(200.0)
+
+    def test_size(self, step_values):
+        assert EmpiricalCDF(step_values).size == step_values.size
+
+
+class TestEstimatedCDF:
+    def test_exact_at_points(self, step_truth, perfect_estimate):
+        thresholds = perfect_estimate.thresholds
+        assert np.allclose(perfect_estimate.evaluate(thresholds), step_truth.evaluate(thresholds))
+
+    def test_boundary_semantics(self, perfect_estimate):
+        assert perfect_estimate.evaluate(99.0) == 0.0
+        assert perfect_estimate.evaluate(800.0) == 1.0
+        assert perfect_estimate.evaluate(10_000.0) == 1.0
+
+    def test_linear_between_points(self):
+        est = EstimatedCDF(np.asarray([0.0, 10.0]), np.asarray([0.0, 1.0]), 0.0, 10.0)
+        assert est.evaluate(5.0) == pytest.approx(0.5)
+        assert est.evaluate(2.5) == pytest.approx(0.25)
+
+    def test_monotone_despite_noisy_fractions(self):
+        est = EstimatedCDF(
+            np.asarray([1.0, 2.0, 3.0]), np.asarray([0.5, 0.4, 0.9]), 0.0, 4.0
+        )
+        grid = np.linspace(0, 4, 101)
+        assert np.all(np.diff(est.evaluate(grid)) >= -1e-12)
+
+    def test_fractions_clamped(self):
+        est = EstimatedCDF(np.asarray([1.0, 2.0]), np.asarray([-0.2, 1.4]), 0.0, 3.0)
+        values = est.evaluate(np.linspace(0, 3, 50))
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_quantile_roundtrip_on_polyline(self):
+        est = EstimatedCDF(np.asarray([0.0, 10.0]), np.asarray([0.0, 1.0]), 0.0, 10.0)
+        for q in (0.1, 0.5, 0.9):
+            x = est.quantile(q)[0]
+            assert est.evaluate(x) == pytest.approx(q, abs=1e-9)
+
+    def test_quantile_extremes(self, perfect_estimate):
+        assert perfect_estimate.quantile(0.0)[0] == perfect_estimate.minimum
+        assert perfect_estimate.quantile(1.0)[0] == perfect_estimate.maximum
+
+    def test_quantile_bounds(self, perfect_estimate):
+        with pytest.raises(EstimationError):
+            perfect_estimate.quantile(-0.1)
+
+    def test_unsorted_threshold_input(self):
+        est = EstimatedCDF(np.asarray([3.0, 1.0, 2.0]), np.asarray([0.9, 0.1, 0.5]), 0.0, 4.0)
+        assert est.evaluate(1.0) == pytest.approx(0.1)
+        assert est.evaluate(3.0) == pytest.approx(0.9)
+
+    def test_system_size_carried(self):
+        est = EstimatedCDF(np.asarray([1.0]), np.asarray([0.5]), 0.0, 2.0, system_size=123.0)
+        assert est.system_size == 123.0
+
+    def test_from_interpolation(self):
+        from repro.core.interpolation import InterpolationSet
+
+        h = InterpolationSet.from_indicator(5.0, np.asarray([1.0, 10.0]))
+        est = EstimatedCDF.from_interpolation(h)
+        assert est.minimum == 5.0
+        assert est.evaluate(10.0) == 1.0
+
+    def test_polyline_returns_copies(self, perfect_estimate):
+        xs, ys = perfect_estimate.polyline()
+        xs[0] = -999.0
+        xs2, _ = perfect_estimate.polyline()
+        assert xs2[0] != -999.0

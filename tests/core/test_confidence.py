@@ -1,0 +1,102 @@
+"""Tests for verification points and confidence estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.core.cdf import EstimatedCDF
+from repro.core.confidence import (
+    estimate_errors,
+    estimate_errors_matrix,
+    select_verification_points,
+)
+
+
+@pytest.fixture()
+def estimate():
+    return EstimatedCDF(np.asarray([0.0, 50.0, 100.0]), np.asarray([0.0, 0.5, 1.0]), 0.0, 100.0)
+
+
+@pytest.fixture()
+def step_estimate():
+    thresholds = np.asarray([0.0, 49.0, 51.0, 100.0])
+    return EstimatedCDF(thresholds, np.asarray([0.0, 0.05, 0.95, 1.0]), 0.0, 100.0)
+
+
+class TestSelectVerificationPoints:
+    def test_average_target_uniform(self):
+        out = select_verification_points(4, "average", None, 0.0, 100.0)
+        assert out.size == 4
+        assert np.allclose(np.diff(out), 20.0)
+        assert out[0] > 0.0 and out[-1] < 100.0
+
+    def test_maximum_target_bisects_steep_gaps(self, step_estimate):
+        out = select_verification_points(5, "maximum", step_estimate, 0.0, 100.0)
+        assert out.size == 5
+        # The steep gap is at [49, 51]: verification points concentrate there.
+        assert ((out >= 48.0) & (out <= 52.0)).sum() >= 3
+
+    def test_zero_count(self):
+        assert select_verification_points(0, "average", None, 0.0, 1.0).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_verification_points(-1, "average", None, 0.0, 1.0)
+
+    def test_unknown_target_rejected(self, estimate):
+        with pytest.raises(ConfigurationError):
+            select_verification_points(3, "p99", estimate, 0.0, 100.0)
+
+    def test_degenerate_domain(self):
+        out = select_verification_points(3, "average", None, 5.0, 5.0)
+        assert np.array_equal(out, [5.0] * 3)
+
+    def test_maximum_without_previous_falls_back(self):
+        out = select_verification_points(3, "maximum", None, 0.0, 10.0)
+        assert out.size == 3
+
+
+class TestEstimateErrors:
+    def test_perfect_estimate_zero_errors(self, estimate):
+        v_t = np.asarray([25.0, 75.0])
+        report = estimate_errors(estimate, v_t, estimate.evaluate(v_t))
+        assert report.est_maximum == pytest.approx(0.0, abs=1e-12)
+        assert report.est_average == pytest.approx(0.0, abs=1e-12)
+        assert report.points == 2
+
+    def test_known_residuals(self, estimate):
+        v_t = np.asarray([25.0, 75.0])
+        v_f = estimate.evaluate(v_t) + np.asarray([0.1, -0.05])
+        report = estimate_errors(estimate, v_t, v_f)
+        assert report.est_maximum == pytest.approx(0.1)
+        assert report.est_average == pytest.approx(0.075)
+
+    def test_empty_rejected(self, estimate):
+        with pytest.raises(EstimationError):
+            estimate_errors(estimate, np.asarray([]), np.asarray([]))
+
+    def test_shape_mismatch_rejected(self, estimate):
+        with pytest.raises(EstimationError):
+            estimate_errors(estimate, np.asarray([1.0]), np.asarray([0.5, 0.6]))
+
+
+class TestEstimateErrorsMatrix:
+    def test_matches_scalar_version(self, estimate):
+        thresholds = estimate.thresholds
+        fractions = np.vstack([estimate.fractions, estimate.fractions * 0.9])
+        v_t = np.asarray([25.0, 75.0])
+        v_f = np.vstack([estimate.evaluate(v_t), estimate.evaluate(v_t) + 0.05])
+        est_m, est_a = estimate_errors_matrix(
+            thresholds, fractions, np.zeros(2), np.full(2, 100.0), v_t, v_f
+        )
+        assert est_m.shape == (2,)
+        scalar = estimate_errors(estimate, v_t, v_f[0])
+        assert est_m[0] == pytest.approx(scalar.est_maximum, abs=1e-12)
+        assert est_a[0] == pytest.approx(scalar.est_average, abs=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_errors_matrix(
+                np.asarray([1.0]), np.asarray([[0.5]]), np.zeros(1), np.ones(1),
+                np.asarray([]), np.empty((1, 0)),
+            )

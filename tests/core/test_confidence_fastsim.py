@@ -1,0 +1,71 @@
+"""Confidence estimation behaviour on full simulations (§VI / Fig. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Adam2Config
+from repro.fastsim.adam2 import Adam2Simulation
+from repro.metrics.estimation import confidence_estimation_error
+from repro.workloads import boinc_ram_mb
+from repro.workloads.synthetic import lognormal_workload
+
+
+def run_with_verification(target: str, v_points: int, instances: int = 3, n=500, seed=11):
+    config = Adam2Config(
+        points=30, rounds_per_instance=30, selection="minmax",
+        verification_points=v_points, verification_target=target,
+    )
+    sim = Adam2Simulation(boinc_ram_mb(), n, config, seed=seed)
+    result = None
+    for _ in range(instances):
+        result = sim.run_instance(confidence_sample=40)
+    return result
+
+
+class TestVerificationAggregation:
+    def test_verification_fractions_converge(self):
+        result = run_with_verification("average", 10, instances=1)
+        truth_at_v = result.truth.evaluate(result.v_thresholds)
+        joined = result.joined & result.participants
+        residual = np.abs(result.v_fractions[joined] - truth_at_v[None, :])
+        assert residual.max() < 1e-5  # near-exact, like the H points
+
+    def test_average_target_estimates_reasonably(self):
+        result = run_with_verification("average", 40)
+        rel = confidence_estimation_error(result.true_erra, result.est_erra)
+        assert rel < 1.0  # same order of magnitude (paper: ~10 % at 20+ pts)
+
+    def test_maximum_target_is_harder(self):
+        """EstErr_m is intrinsically rough (single-point property) but
+        must stay within a small factor of the truth on average."""
+        result = run_with_verification("maximum", 60)
+        ratio = np.mean(result.est_errm) / np.mean(result.true_errm)
+        assert 0.05 < ratio < 2.5
+
+    def test_estimates_underestimate_with_few_points(self):
+        """With very few verification points most land where the
+        interpolation is exact, so the self-assessment is optimistic."""
+        few = run_with_verification("average", 5)
+        many = run_with_verification("average", 80)
+        assert np.mean(few.est_erra) <= np.mean(many.est_erra) * 1.5
+
+    def test_verification_points_excluded_from_interpolation(self):
+        result = run_with_verification("average", 10, instances=1)
+        assert result.thresholds.size == 30
+        assert result.v_thresholds.size == 10
+        # No verification threshold leaks into the interpolation set.
+        assert not np.intersect1d(result.thresholds, result.v_thresholds).size == 40
+
+
+class TestSmoothWorkloadConfidence:
+    def test_smooth_cdf_self_assessment_tight(self):
+        config = Adam2Config(
+            points=30, rounds_per_instance=30, selection="lcut",
+            verification_points=30, verification_target="average",
+        )
+        sim = Adam2Simulation(lognormal_workload(median=300.0, sigma=0.6), 500, config, seed=12)
+        result = None
+        for _ in range(3):
+            result = sim.run_instance(confidence_sample=40)
+        rel = confidence_estimation_error(result.true_erra, result.est_erra)
+        assert rel < 0.8

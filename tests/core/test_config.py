@@ -1,0 +1,59 @@
+"""Tests for Adam2Config validation and the wire-size model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import Adam2Config
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = Adam2Config()
+        assert config.points == 50
+        assert config.rounds_per_instance == 25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"points": 1},
+            {"rounds_per_instance": 0},
+            {"instance_frequency": 0},
+            {"selection": "magic"},
+            {"bootstrap": "oracle"},
+            {"verification_points": -1},
+            {"verification_target": "median"},
+            {"join_mode": "casual"},
+            {"initial_size_estimate": 0},
+            {"point_bytes": 0},
+            {"header_bytes": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Adam2Config(**kwargs)
+
+    @pytest.mark.parametrize("selection", ["hcut", "minmax", "lcut", "lcut_global"])
+    def test_all_selections_accepted(self, selection):
+        assert Adam2Config(selection=selection).selection == selection
+
+    def test_frozen(self):
+        config = Adam2Config()
+        with pytest.raises(Exception):
+            config.points = 10
+
+
+class TestMessageBytes:
+    def test_paper_figure(self):
+        # λ=50 at 16 bytes per pair -> ~800-byte messages (§VII-I).
+        config = Adam2Config(points=50)
+        assert 800 <= config.message_bytes() <= 850
+
+    def test_scales_with_points(self):
+        small = Adam2Config(points=10).message_bytes()
+        large = Adam2Config(points=20).message_bytes()
+        assert large - small == 10 * 16  # paper: 10 extra points ≈ 160 B
+
+    def test_verification_points_add_size(self):
+        base = Adam2Config(points=50).message_bytes()
+        with_v = Adam2Config(points=50, verification_points=20).message_bytes()
+        assert with_v == base + 20 * 16

@@ -1,0 +1,124 @@
+"""Tests for per-node instance state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.instance import InstanceState
+
+
+def make_state(value=5.0, thresholds=(1.0, 5.0, 10.0), initiator=False, ttl=25, v_thresholds=()):
+    return InstanceState.initial(
+        instance_id="i1",
+        values=np.atleast_1d(np.asarray(value, dtype=float)),
+        thresholds=np.asarray(thresholds, dtype=float),
+        v_thresholds=np.asarray(v_thresholds, dtype=float),
+        ttl=ttl,
+        initiator=initiator,
+    )
+
+
+class TestInitial:
+    def test_indicator_fractions(self):
+        state = make_state(value=5.0)
+        assert np.array_equal(state.h.fractions, [0.0, 1.0, 1.0])
+
+    def test_initiator_weight(self):
+        assert make_state(initiator=True).weight == 1.0
+        assert make_state(initiator=False).weight == 0.0
+
+    def test_extremes_are_own_value(self):
+        state = make_state(value=5.0)
+        assert state.h.minimum == 5.0
+        assert state.h.maximum == 5.0
+
+    def test_multivalue_counts(self):
+        state = make_state(value=[2.0, 6.0, 7.0])
+        # counts at thresholds 1, 5, 10: 0, 1, 3
+        assert np.array_equal(state.h.fractions, [0.0, 1.0, 3.0])
+        assert state.count_average == 3.0
+        assert state.h.minimum == 2.0
+        assert state.h.maximum == 7.0
+
+    def test_verification_counts(self):
+        state = make_state(value=5.0, v_thresholds=(4.0, 6.0))
+        assert np.array_equal(state.v_fractions, [0.0, 1.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_state(value=np.asarray([]))
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_state(ttl=-1)
+
+
+class TestMerge:
+    def test_averages_fractions_and_weight(self):
+        a = make_state(value=0.5, initiator=True)   # below all thresholds
+        b = make_state(value=20.0)                  # above all thresholds
+        a.merge_from(b)
+        assert np.array_equal(a.h.fractions, [0.5, 0.5, 0.5])
+        assert a.weight == 0.5
+
+    def test_extremes_min_max(self):
+        a = make_state(value=2.0)
+        b = make_state(value=9.0)
+        a.merge_from(b)
+        assert a.h.minimum == 2.0
+        assert a.h.maximum == 9.0
+
+    def test_ttl_not_merged(self):
+        a = make_state(ttl=25)
+        b = make_state(ttl=10)
+        a.merge_from(b)
+        assert a.ttl == 25  # each peer counts down its own copy
+
+    def test_different_instances_rejected(self):
+        a = make_state()
+        b = make_state()
+        b.instance_id = "other"
+        with pytest.raises(ProtocolError):
+            a.merge_from(b)
+
+    def test_diverged_thresholds_rejected(self):
+        a = make_state()
+        b = make_state(thresholds=(2.0, 5.0, 10.0))
+        with pytest.raises(ProtocolError):
+            a.merge_from(b)
+
+    def test_symmetric_exchange_conserves_mass(self):
+        a = make_state(value=0.5, initiator=True)
+        b = make_state(value=20.0)
+        total_before = a.h.fractions + b.h.fractions
+        snap = a.snapshot()
+        a.merge_from(b)
+        b.merge_from(snap)
+        assert np.allclose(a.h.fractions + b.h.fractions, total_before)
+        assert a.weight + b.weight == pytest.approx(1.0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_deep_for_arrays(self):
+        state = make_state()
+        snap = state.snapshot()
+        snap.h.fractions[0] = 0.77
+        assert state.h.fractions[0] != 0.77
+
+
+class TestNormalisation:
+    def test_single_value_division_is_identity(self):
+        state = make_state(value=5.0)
+        assert np.array_equal(state.normalised_fractions(), state.h.fractions)
+
+    def test_multivalue_division(self):
+        state = make_state(value=[2.0, 6.0, 7.0])
+        assert np.allclose(state.normalised_fractions(), [0.0, 1 / 3, 1.0])
+
+    def test_zero_count_rejected(self):
+        state = make_state()
+        state.count_average = 0.0
+        with pytest.raises(ProtocolError):
+            state.normalised_fractions()
+        with pytest.raises(ProtocolError):
+            state.normalised_v_fractions()

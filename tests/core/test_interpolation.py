@@ -1,0 +1,150 @@
+"""Tests for the H structure and interpolation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.interpolation import InterpolationSet, assemble_polyline, interpolate_matrix
+
+
+class TestAssemblePolyline:
+    def test_anchors_added(self):
+        xs, ys = assemble_polyline(np.asarray([5.0]), np.asarray([0.4]), 0.0, 10.0)
+        assert xs[0] == 0.0 and ys[0] == 0.0
+        assert xs[-1] == 10.0 and ys[-1] == 1.0
+
+    def test_no_anchor_when_threshold_at_extreme(self):
+        xs, ys = assemble_polyline(np.asarray([0.0, 10.0]), np.asarray([0.1, 1.0]), 0.0, 10.0)
+        assert xs[0] == 0.0 and ys[0] == pytest.approx(0.1)
+        assert xs.size == 2
+
+    def test_duplicate_thresholds_keep_max_fraction(self):
+        xs, ys = assemble_polyline(
+            np.asarray([5.0, 5.0, 7.0]), np.asarray([0.2, 0.6, 0.8]), 0.0, 10.0
+        )
+        idx = np.flatnonzero(xs == 5.0)
+        assert idx.size == 1
+        assert ys[idx[0]] == pytest.approx(0.6)
+
+    def test_monotone_enforced(self):
+        _, ys = assemble_polyline(
+            np.asarray([1.0, 2.0, 3.0]), np.asarray([0.5, 0.3, 0.9]), 0.0, 4.0
+        )
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_monotone_disabled(self):
+        _, ys = assemble_polyline(
+            np.asarray([1.0, 2.0, 3.0]), np.asarray([0.5, 0.3, 0.9]), 0.0, 4.0, monotone=False
+        )
+        assert ys[2] == pytest.approx(0.3)
+
+    def test_empty_thresholds(self):
+        xs, ys = assemble_polyline(np.asarray([]), np.asarray([]), 2.0, 8.0)
+        assert np.array_equal(xs, [2.0, 8.0])
+        assert np.array_equal(ys, [0.0, 1.0])
+
+    def test_invalid_extremes(self):
+        with pytest.raises(ProtocolError):
+            assemble_polyline(np.asarray([1.0]), np.asarray([0.5]), 5.0, 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ProtocolError):
+            assemble_polyline(np.asarray([1.0, 2.0]), np.asarray([0.5]), 0.0, 3.0)
+
+
+class TestInterpolationSet:
+    def test_from_indicator(self):
+        h = InterpolationSet.from_indicator(5.0, np.asarray([1.0, 5.0, 10.0]))
+        assert np.array_equal(h.fractions, [0.0, 1.0, 1.0])
+        assert h.minimum == 5.0
+        assert h.maximum == 5.0
+
+    def test_from_indicator_sorts_thresholds(self):
+        h = InterpolationSet.from_indicator(5.0, np.asarray([10.0, 1.0]))
+        assert np.array_equal(h.thresholds, [1.0, 10.0])
+
+    def test_copy_is_independent(self):
+        h = InterpolationSet.from_indicator(5.0, np.asarray([1.0, 10.0]))
+        clone = h.copy()
+        clone.fractions[0] = 0.7
+        assert h.fractions[0] == 0.0
+
+    def test_len(self):
+        h = InterpolationSet.from_indicator(5.0, np.asarray([1.0, 10.0]))
+        assert len(h) == 2
+
+    def test_evaluate_below_and_above(self):
+        h = InterpolationSet(
+            thresholds=np.asarray([2.0, 8.0]),
+            fractions=np.asarray([0.25, 0.75]),
+            minimum=0.0,
+            maximum=10.0,
+        )
+        assert h.evaluate(np.asarray([-1.0]))[0] == 0.0
+        assert h.evaluate(np.asarray([10.0]))[0] == 1.0
+        assert h.evaluate(np.asarray([5.0]))[0] == pytest.approx(0.5)
+
+
+class TestInterpolateMatrix:
+    def _setup(self):
+        thresholds = np.asarray([2.0, 8.0])
+        fractions = np.asarray([[0.25, 0.75], [0.2, 0.8]])
+        minimum = np.asarray([0.0, 0.0])
+        maximum = np.asarray([10.0, 10.0])
+        return thresholds, fractions, minimum, maximum
+
+    def test_matches_scalar_interpolation(self):
+        thresholds, fractions, minimum, maximum = self._setup()
+        query = np.asarray([-1.0, 0.0, 1.0, 2.0, 5.0, 8.0, 9.0, 10.0, 11.0])
+        out = interpolate_matrix(thresholds, fractions, minimum, maximum, query)
+        for row in range(2):
+            h = InterpolationSet(
+                thresholds=thresholds,
+                fractions=fractions[row],
+                minimum=minimum[row],
+                maximum=maximum[row],
+            )
+            assert np.allclose(out[row], h.evaluate(query), atol=1e-12)
+
+    def test_shape(self):
+        thresholds, fractions, minimum, maximum = self._setup()
+        out = interpolate_matrix(thresholds, fractions, minimum, maximum, np.asarray([3.0]))
+        assert out.shape == (2, 1)
+
+    def test_monotone_rows(self):
+        thresholds = np.asarray([1.0, 2.0, 3.0])
+        fractions = np.asarray([[0.5, 0.2, 0.9]])
+        out = interpolate_matrix(
+            thresholds, fractions, np.asarray([0.0]), np.asarray([4.0]), np.linspace(0, 4, 50)
+        )
+        assert np.all(np.diff(out[0]) >= -1e-12)
+
+    def test_unsorted_thresholds_rejected(self):
+        with pytest.raises(ProtocolError):
+            interpolate_matrix(
+                np.asarray([3.0, 1.0]),
+                np.asarray([[0.1, 0.9]]),
+                np.asarray([0.0]),
+                np.asarray([4.0]),
+                np.asarray([2.0]),
+            )
+
+    def test_bad_fraction_shape_rejected(self):
+        with pytest.raises(ProtocolError):
+            interpolate_matrix(
+                np.asarray([1.0, 2.0]),
+                np.asarray([[0.1]]),
+                np.asarray([0.0]),
+                np.asarray([4.0]),
+                np.asarray([2.0]),
+            )
+
+    def test_per_node_extremes(self):
+        thresholds = np.asarray([5.0])
+        fractions = np.asarray([[0.5], [0.5]])
+        minimum = np.asarray([0.0, 4.0])
+        maximum = np.asarray([10.0, 6.0])
+        out = interpolate_matrix(thresholds, fractions, minimum, maximum, np.asarray([2.0, 6.0]))
+        assert out[0, 0] > 0.0  # node 0's domain starts at 0
+        assert out[1, 0] == 0.0  # node 1's domain starts at 4
+        assert out[1, 1] == 1.0  # node 1's domain ends at 6

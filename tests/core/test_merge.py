@@ -1,0 +1,57 @@
+"""Tests for the gossip merge rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.interpolation import InterpolationSet
+from repro.core.merge import merge_average, merge_extremes, merge_interpolation_sets
+
+
+class TestMergeAverage:
+    def test_elementwise_mean(self):
+        out = merge_average(np.asarray([0.0, 1.0]), np.asarray([1.0, 0.0]))
+        assert np.array_equal(out, [0.5, 0.5])
+
+    def test_mass_conservation(self):
+        a = np.asarray([0.2, 0.8, 0.4])
+        b = np.asarray([0.6, 0.0, 1.0])
+        merged = merge_average(a, b)
+        assert (2 * merged).sum() == pytest.approx((a + b).sum())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            merge_average(np.asarray([1.0]), np.asarray([1.0, 2.0]))
+
+
+class TestMergeExtremes:
+    def test_min_max(self):
+        assert merge_extremes((1.0, 5.0), (0.5, 4.0)) == (0.5, 5.0)
+
+    def test_idempotent(self):
+        assert merge_extremes((1.0, 5.0), (1.0, 5.0)) == (1.0, 5.0)
+
+
+class TestMergeInterpolationSets:
+    def test_full_merge(self):
+        thresholds = np.asarray([10.0, 20.0])
+        a = InterpolationSet.from_indicator(5.0, thresholds)   # [1, 1]
+        b = InterpolationSet.from_indicator(15.0, thresholds)  # [0, 1]
+        merged = merge_interpolation_sets(a, b)
+        assert np.array_equal(merged.fractions, [0.5, 1.0])
+        assert merged.minimum == 5.0
+        assert merged.maximum == 15.0
+
+    def test_threshold_mismatch_rejected(self):
+        a = InterpolationSet.from_indicator(5.0, np.asarray([10.0]))
+        b = InterpolationSet.from_indicator(5.0, np.asarray([11.0]))
+        with pytest.raises(ProtocolError):
+            merge_interpolation_sets(a, b)
+
+    def test_inputs_not_mutated(self):
+        thresholds = np.asarray([10.0])
+        a = InterpolationSet.from_indicator(5.0, thresholds)
+        b = InterpolationSet.from_indicator(15.0, thresholds)
+        merge_interpolation_sets(a, b)
+        assert a.fractions[0] == 1.0
+        assert b.fractions[0] == 0.0

@@ -1,0 +1,190 @@
+"""Tests for Adam2Node and the pairwise gossip exchange."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rngs import make_rng, spawn
+from repro.core.config import Adam2Config
+from repro.core.node import Adam2Node, gossip_exchange
+
+
+def make_node(node_id, value, config=None, seed=0):
+    config = config or Adam2Config(points=4, rounds_per_instance=5)
+    return Adam2Node(node_id, value, config, make_rng(seed + node_id))
+
+
+def wire_population(values, config=None, seed=0):
+    return [make_node(i, v, config, seed) for i, v in enumerate(values)]
+
+
+class TestLifecycle:
+    def test_start_instance_creates_state(self):
+        node = make_node(0, 10.0)
+        iid = node.start_instance(neighbour_values=np.asarray([5.0, 20.0, 30.0, 40.0]))
+        assert iid in node.instances
+        state = node.instances[iid]
+        assert state.initiator
+        assert state.weight == 1.0
+        assert state.ttl == node.config.rounds_per_instance
+
+    def test_duplicate_instance_rejected(self):
+        node = make_node(0, 10.0)
+        node.start_instance(neighbour_values=np.asarray([5.0, 20.0]), instance_id="x")
+        with pytest.raises(ProtocolError):
+            node.start_instance(neighbour_values=np.asarray([5.0, 20.0]), instance_id="x")
+
+    def test_end_of_round_ttl_and_finalise(self):
+        config = Adam2Config(points=4, rounds_per_instance=2)
+        node = make_node(0, 10.0, config)
+        node.start_instance(neighbour_values=np.asarray([5.0, 20.0]))
+        assert node.end_of_round() == []
+        finished = node.end_of_round()
+        assert len(finished) == 1
+        assert node.instances == {}
+        assert node.current_estimate is not None
+
+    def test_double_join_rejected(self):
+        a = make_node(0, 10.0)
+        b = make_node(1, 20.0)
+        a.start_instance(neighbour_values=np.asarray([5.0, 20.0]), instance_id="x")
+        b.join_instance(a.instances["x"])
+        with pytest.raises(ProtocolError):
+            b.join_instance(a.instances["x"])
+
+    def test_self_exchange_rejected(self):
+        node = make_node(0, 10.0)
+        with pytest.raises(ProtocolError):
+            gossip_exchange(node, node)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_node(0, np.asarray([]))
+
+
+class TestGossipConvergence:
+    def _run_rounds(self, nodes, rounds, rng):
+        for _ in range(rounds):
+            order = rng.permutation(len(nodes))
+            for i in order:
+                j = int(rng.integers(0, len(nodes) - 1))
+                j = j + (j >= i)
+                gossip_exchange(nodes[int(i)], nodes[int(j)])
+            for node in nodes:
+                node.end_of_round()
+
+    def test_all_nodes_converge_to_true_fractions(self):
+        rng = make_rng(5)
+        values = np.asarray([10.0, 20.0, 30.0, 40.0] * 5)
+        config = Adam2Config(points=3, rounds_per_instance=30)
+        nodes = wire_population(values, config)
+        nodes[0].start_instance(neighbour_values=values, instance_id="x")
+        self._run_rounds(nodes, 31, rng)
+        for node in nodes:
+            assert node.current_estimate is not None
+            # F(20) over the population is exactly 0.5.
+            assert node.current_estimate.evaluate(np.asarray([20.0]))[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_size_estimation_converges(self):
+        rng = make_rng(6)
+        values = np.linspace(1, 100, 24)
+        config = Adam2Config(points=3, rounds_per_instance=30)
+        nodes = wire_population(values, config)
+        nodes[0].start_instance(neighbour_values=values, instance_id="x")
+        self._run_rounds(nodes, 31, rng)
+        for node in nodes:
+            assert node.size_estimate == pytest.approx(24.0, rel=1e-6)
+
+    def test_extremes_discovered(self):
+        rng = make_rng(7)
+        values = np.asarray([7.0, 3.0, 99.0, 50.0, 20.0, 12.0, 64.0, 31.0])
+        config = Adam2Config(points=3, rounds_per_instance=20)
+        nodes = wire_population(values, config)
+        nodes[0].start_instance(neighbour_values=values, instance_id="x")
+        self._run_rounds(nodes, 21, rng)
+        for node in nodes:
+            assert node.current_estimate.minimum == 3.0
+            assert node.current_estimate.maximum == 99.0
+
+    def test_literal_join_does_not_conserve_mass(self):
+        config = Adam2Config(points=2, rounds_per_instance=10, join_mode="literal")
+        a = make_node(0, 10.0, config)
+        b = make_node(1, 99.0, config)
+        a.start_instance(neighbour_values=np.asarray([10.0, 99.0]), instance_id="x")
+        before = a.instances["x"].h.fractions.copy()
+        gossip_exchange(a, b)
+        # Literal mode: the informed peer keeps its state unchanged.
+        assert np.array_equal(a.instances["x"].h.fractions, before)
+        assert "x" in b.instances
+
+    def test_symmetric_join_conserves_mass(self):
+        config = Adam2Config(points=2, rounds_per_instance=10, join_mode="symmetric")
+        a = make_node(0, 10.0, config)
+        b = make_node(1, 99.0, config)
+        a.start_instance(neighbour_values=np.asarray([10.0, 99.0]), instance_id="x")
+        indicator_a = a.instances["x"].h.fractions.copy()
+        gossip_exchange(a, b)
+        state_a = a.instances["x"].h.fractions
+        state_b = b.instances["x"].h.fractions
+        indicator_b = (99.0 <= a.instances["x"].h.thresholds).astype(float)
+        assert np.allclose(state_a + state_b, indicator_a + indicator_b)
+
+
+class TestConfidence:
+    def test_confidence_report_produced(self):
+        rng = make_rng(9)
+        config = Adam2Config(points=5, rounds_per_instance=25, verification_points=5)
+        values = np.linspace(1, 100, 16)
+        nodes = wire_population(values, config)
+        nodes[0].start_instance(neighbour_values=values, instance_id="x")
+        for _ in range(26):
+            order = rng.permutation(len(nodes))
+            for i in order:
+                j = int(rng.integers(0, len(nodes) - 1))
+                j = j + (j >= i)
+                gossip_exchange(nodes[int(i)], nodes[int(j)])
+            for node in nodes:
+                node.end_of_round()
+        for node in nodes:
+            assert node.last_confidence is not None
+            assert node.last_confidence.points == 5
+            assert node.last_confidence.est_maximum >= node.last_confidence.est_average
+
+
+class TestSchedulingAndBootstrap:
+    def test_should_start_probability(self):
+        config = Adam2Config(points=4, instance_frequency=1, initial_size_estimate=1.0)
+        node = make_node(0, 10.0, config)
+        # P_s = 1/(1*1) = 1 -> always starts.
+        assert node.should_start_instance()
+
+    def test_bootstrap_from_copies_estimate(self):
+        a = make_node(0, 10.0)
+        b = make_node(1, 20.0)
+        a.start_instance(neighbour_values=np.asarray([5.0, 20.0]), instance_id="x")
+        for _ in range(a.config.rounds_per_instance):
+            a.end_of_round()
+        b.bootstrap_from(a)
+        assert b.current_estimate is a.current_estimate
+        assert b.size_estimate == a.size_estimate
+
+    def test_refinement_uses_previous_estimate(self):
+        rng = make_rng(10)
+        values = np.asarray([10.0] * 8 + [100.0] * 8)
+        config = Adam2Config(points=4, rounds_per_instance=20, selection="minmax")
+        nodes = wire_population(values, config)
+        nodes[0].start_instance(neighbour_values=values, instance_id="a")
+        for _ in range(21):
+            order = rng.permutation(len(nodes))
+            for i in order:
+                j = int(rng.integers(0, len(nodes) - 1))
+                j = j + (j >= i)
+                gossip_exchange(nodes[int(i)], nodes[int(j)])
+            for node in nodes:
+                node.end_of_round()
+        # Second instance: thresholds must now anchor at the discovered
+        # global extremes.
+        iid = nodes[3].start_instance(neighbour_values=values)
+        thresholds = nodes[3].instances[iid].h.thresholds
+        assert thresholds[0] == 10.0
+        assert thresholds[-1] == 100.0

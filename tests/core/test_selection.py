@@ -1,0 +1,213 @@
+"""Tests for the threshold-selection heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.rngs import make_rng
+from repro.core.cdf import EstimatedCDF
+from repro.core.selection import (
+    GlobalLCutSelection,
+    HCutSelection,
+    LCutSelection,
+    MinMaxSelection,
+    NeighbourBasedSelection,
+    UniformSelection,
+    canonical_points,
+    fill_unique,
+    get_selection,
+)
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(31)
+
+
+@pytest.fixture()
+def smooth_previous():
+    """A smooth previous estimate over [0, 100]."""
+    thresholds = np.linspace(0, 100, 11)
+    return EstimatedCDF(thresholds, thresholds / 100.0, 0.0, 100.0)
+
+
+@pytest.fixture()
+def step_previous():
+    """A previous estimate with one huge step at x=50."""
+    thresholds = np.asarray([0.0, 49.0, 51.0, 100.0])
+    fractions = np.asarray([0.0, 0.05, 0.95, 1.0])
+    return EstimatedCDF(thresholds, fractions, 0.0, 100.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("uniform", UniformSelection),
+            ("neighbour", NeighbourBasedSelection),
+            ("hcut", HCutSelection),
+            ("minmax", MinMaxSelection),
+            ("lcut", LCutSelection),
+            ("lcut_global", GlobalLCutSelection),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_selection(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_selection("psychic")
+
+
+class TestFillUnique:
+    def test_exact_count(self):
+        out = fill_unique(np.asarray([1.0, 5.0]), 5, 0.0, 10.0)
+        assert out.size == 5
+        assert np.unique(out).size == 5
+
+    def test_sorted(self):
+        out = fill_unique(np.asarray([7.0, 1.0, 5.0]), 6, 0.0, 10.0)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_within_domain(self):
+        out = fill_unique(np.asarray([-5.0, 20.0]), 4, 0.0, 10.0)
+        assert out.min() >= 0.0
+        assert out.max() <= 10.0
+
+    def test_degenerate_domain(self):
+        out = fill_unique(np.asarray([3.0]), 4, 3.0, 3.0)
+        assert np.array_equal(out, [3.0] * 4)
+
+    def test_downsamples_excess(self):
+        out = fill_unique(np.linspace(0, 10, 100), 5, 0.0, 10.0)
+        assert out.size == 5
+
+
+class TestCanonicalPoints:
+    def test_exact_size_passthrough(self, smooth_previous):
+        xs, ys = smooth_previous.polyline()
+        ts, fs = canonical_points(smooth_previous, xs.size)
+        assert np.array_equal(ts, xs)
+
+    def test_trim_keeps_endpoints(self, smooth_previous):
+        ts, _ = canonical_points(smooth_previous, 5)
+        assert ts.size == 5
+        assert ts[0] == 0.0
+        assert ts[-1] == 100.0
+
+    def test_grow_bisects_widest_gap(self, step_previous):
+        ts, _ = canonical_points(step_previous, 10)
+        assert ts.size == 10
+        # New points concentrate inside the step gap [49, 51].
+        assert ((ts > 49.0) & (ts < 51.0)).sum() >= 3
+
+    def test_too_small_lam_rejected(self, smooth_previous):
+        with pytest.raises(ConfigurationError):
+            canonical_points(smooth_previous, 1)
+
+
+class TestUniform:
+    def test_even_spacing_from_previous(self, smooth_previous, rng):
+        out = UniformSelection().select(5, smooth_previous, rng)
+        assert np.allclose(np.diff(out), 25.0)
+
+    def test_from_neighbour_values(self, rng):
+        out = UniformSelection().select(3, None, rng, neighbour_values=np.asarray([10.0, 30.0]))
+        assert np.array_equal(out, [10.0, 20.0, 30.0])
+
+    def test_no_context_rejected(self, rng):
+        with pytest.raises(EstimationError):
+            UniformSelection().select(3, None, rng)
+
+
+class TestNeighbour:
+    def test_thresholds_from_neighbour_values(self, rng):
+        values = np.asarray([100.0, 200.0, 300.0, 400.0, 500.0])
+        out = NeighbourBasedSelection().select(3, None, rng, neighbour_values=values)
+        assert out.size == 3
+        assert set(out) <= set(values)
+
+    def test_fills_when_few_values(self, rng):
+        out = NeighbourBasedSelection().select(5, None, rng, neighbour_values=np.asarray([1.0, 9.0]))
+        assert out.size == 5
+        assert np.unique(out).size == 5
+
+    def test_requires_values(self, rng):
+        with pytest.raises(EstimationError):
+            NeighbourBasedSelection().select(3, None, rng)
+
+
+class TestHCut:
+    def test_equal_quantiles_on_smooth(self, smooth_previous, rng):
+        out = HCutSelection().select(5, smooth_previous, rng)
+        fractions = smooth_previous.evaluate(out)
+        assert np.allclose(np.diff(fractions), 0.25, atol=0.05)
+
+    def test_requires_previous(self, rng):
+        with pytest.raises(EstimationError):
+            HCutSelection().select(5, None, rng)
+
+    def test_count_and_uniqueness(self, step_previous, rng):
+        out = HCutSelection().select(8, step_previous, rng)
+        assert out.size == 8
+        assert np.unique(out).size == 8
+
+
+class TestMinMax:
+    def test_concentrates_on_step(self, step_previous, rng):
+        out = MinMaxSelection().select(8, step_previous, rng)
+        # Most of the vertical action is between 49 and 51.
+        assert ((out >= 48.0) & (out <= 52.0)).sum() >= 3
+
+    def test_keeps_endpoints(self, step_previous, rng):
+        out = MinMaxSelection().select(8, step_previous, rng)
+        assert out[0] == 0.0
+        assert out[-1] == 100.0
+
+    def test_noop_when_already_balanced(self, rng):
+        # A perfectly linear previous estimate has all gaps equal; the
+        # loop must terminate immediately and keep the points.
+        thresholds = np.linspace(0, 100, 6)
+        previous = EstimatedCDF(thresholds, thresholds / 100.0, 0.0, 100.0)
+        out = MinMaxSelection().select(6, previous, rng)
+        assert np.allclose(out, thresholds)
+
+    def test_requires_previous(self, rng):
+        with pytest.raises(EstimationError):
+            MinMaxSelection().select(5, None, rng)
+
+    def test_returns_requested_count(self, step_previous, rng):
+        for lam in (4, 8, 16):
+            assert MinMaxSelection().select(lam, step_previous, rng).size == lam
+
+
+class TestLCut:
+    def test_concentrates_on_step(self, step_previous, rng):
+        out = LCutSelection().select(10, step_previous, rng)
+        # The step carries ~90% of the arc length -> most points near it.
+        assert ((out >= 48.0) & (out <= 52.0)).sum() >= 4
+
+    def test_even_arc_on_diagonal(self, rng):
+        thresholds = np.linspace(0, 100, 5)
+        previous = EstimatedCDF(thresholds, thresholds / 100.0, 0.0, 100.0)
+        out = LCutSelection().select(5, previous, rng)
+        assert np.allclose(np.diff(out), 25.0, atol=1.0)
+
+    def test_requires_previous(self, rng):
+        with pytest.raises(EstimationError):
+            LCutSelection().select(5, None, rng)
+
+    def test_degenerate_domain(self, rng):
+        previous = EstimatedCDF(np.asarray([5.0]), np.asarray([1.0]), 5.0, 5.0)
+        out = LCutSelection().select(3, previous, rng)
+        assert np.array_equal(out, [5.0] * 3)
+
+
+class TestGlobalLCut:
+    def test_count(self, step_previous, rng):
+        out = GlobalLCutSelection().select(10, step_previous, rng)
+        assert out.size == 10
+
+    def test_requires_previous(self, rng):
+        with pytest.raises(EstimationError):
+            GlobalLCutSelection().select(5, None, rng)

@@ -1,0 +1,73 @@
+"""Tests for size estimation helpers and the multi-value scheme."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, ProtocolError
+from repro.core.multivalue import MultiValueState, multivalue_fractions
+from repro.core.sizing import size_from_weight
+
+
+class TestSizeFromWeight:
+    def test_inverse(self):
+        assert size_from_weight(0.01) == pytest.approx(100.0)
+
+    def test_unit_weight(self):
+        assert size_from_weight(1.0) == 1.0
+
+    @pytest.mark.parametrize("weight", [0.0, -0.5])
+    def test_non_positive_rejected(self, weight):
+        with pytest.raises(EstimationError):
+            size_from_weight(weight)
+
+
+class TestMultiValueFractions:
+    def test_ratio(self):
+        out = multivalue_fractions(np.asarray([1.0, 2.0, 4.0]), 4.0)
+        assert np.array_equal(out, [0.25, 0.5, 1.0])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ProtocolError):
+            multivalue_fractions(np.asarray([1.0]), 0.0)
+
+
+class TestMultiValueState:
+    def test_from_values_counts(self):
+        state = MultiValueState.from_values(
+            np.asarray([1.0, 5.0, 9.0]), np.asarray([2.0, 6.0, 10.0])
+        )
+        assert np.array_equal(state.counts, [1.0, 2.0, 3.0])
+        assert state.total == 3.0
+
+    def test_merge_averages(self):
+        a = MultiValueState.from_values(np.asarray([1.0]), np.asarray([2.0, 6.0]))
+        b = MultiValueState.from_values(np.asarray([5.0, 7.0]), np.asarray([2.0, 6.0]))
+        a.merge(b)
+        assert np.array_equal(a.counts, [0.5, 1.0])
+        assert a.total == 1.5
+
+    def test_merge_shape_mismatch(self):
+        a = MultiValueState.from_values(np.asarray([1.0]), np.asarray([2.0]))
+        b = MultiValueState.from_values(np.asarray([1.0]), np.asarray([2.0, 3.0]))
+        with pytest.raises(ProtocolError):
+            a.merge(b)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ProtocolError):
+            MultiValueState.from_values(np.asarray([]), np.asarray([1.0]))
+
+    def test_fractions_converge_to_population_cdf(self):
+        """Pairwise merging many states approaches the file-level CDF."""
+        rng = np.random.default_rng(3)
+        thresholds = np.asarray([100.0, 500.0])
+        value_sets = [rng.uniform(0, 1000, size=rng.integers(1, 6)) for _ in range(32)]
+        states = [MultiValueState.from_values(v, thresholds) for v in value_sets]
+        for _ in range(800):
+            i, j = rng.choice(len(states), size=2, replace=False)
+            snapshot = MultiValueState(states[i].counts.copy(), states[i].total)
+            states[i].merge(states[j])
+            states[j].merge(snapshot)
+        all_values = np.concatenate(value_sets)
+        expected = [(all_values <= t).mean() for t in thresholds]
+        for state in states:
+            assert np.allclose(state.fractions(), expected, atol=1e-3)

@@ -1,0 +1,110 @@
+"""Smoke tests for every registered experiment at tiny scale.
+
+These verify the wiring (parameters, row schemas, determinism) — the
+shape assertions that constitute the reproduction live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.experiments import (
+    ablations,
+    cost,
+    fig04_distributions,
+    fig05_bootstrap,
+    fig06_single_instance,
+    fig07_multi_instance,
+    fig09_sampling,
+    fig11_scalability,
+    fig12_churn_single,
+    fig14_confidence,
+)
+
+
+class TestRegistry:
+    def test_lists_all_figures(self):
+        names = list_experiments()
+        for fig in ["fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+                    "fig10", "fig11", "fig12", "fig13", "fig14", "cost"]:
+            assert fig in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_run_by_name(self):
+        result = run_experiment("fig04", n_samples=2_000)
+        assert result.name == "fig04_distributions"
+
+
+class TestSmokeRuns:
+    def test_fig04(self):
+        result = fig04_distributions.run(n_samples=2_000, attributes=("cpu", "ram"))
+        assert len(result) == 2
+        assert {"attribute", "min", "max", "p50"} <= set(result.columns())
+
+    def test_fig05(self):
+        result = fig05_bootstrap.run(n_nodes=80, points=8, instances=2, seed=1, attributes=("ram",))
+        assert len(result) == 4  # 2 bootstraps x 2 instances
+        assert all(0 <= r["err_max"] <= 1 for r in result.rows)
+
+    def test_fig06(self):
+        result = fig06_single_instance.run(n_nodes=80, points=8, rounds=15, track_every=5)
+        assert set(result.column("system")) == {"adam2", "equidepth", "equidepth_rank"}
+
+    def test_fig07(self):
+        result = fig07_multi_instance.run(
+            n_nodes=80, points=8, instances=2, attributes=("ram",), heuristics=("minmax",)
+        )
+        assert len(result) == 2
+
+    def test_fig09(self):
+        result = fig09_sampling.run(population=2_000, sample_counts=(10, 100), repeats=1)
+        assert len(result) == 4
+
+    def test_fig11(self):
+        result = fig11_scalability.run(sizes=(50, 100), points=8, instances=1, attributes=("ram",))
+        assert [r["nodes"] for r in result.rows] == [50, 100]
+
+    def test_fig12(self):
+        result = fig12_churn_single.run(n_nodes=80, points=8, rounds=12, churn_rate=0.01, track_every=4)
+        assert len(result.filter(system="adam2").rows) == 3
+
+    def test_fig14(self):
+        result = fig14_confidence.run(
+            n_nodes=80, points=8, instances=2, verification_counts=(5,), attributes=("ram",)
+        )
+        assert len(result) == 2  # both metrics
+        assert all(r["estimation_error"] >= 0 for r in result.rows)
+
+    def test_cost(self):
+        result = cost.run(sizes=(60,), rounds=10, instances=2)
+        systems = set(result.column("system"))
+        assert {"adam2-model", "adam2-measured", "sampling"} <= systems
+
+    def test_ablation_join(self):
+        result = ablations.run_join_mode(n_nodes=60, points=6, rounds=20)
+        modes = set(result.column("join_mode"))
+        assert modes == {"symmetric", "literal"}
+
+    def test_determinism(self):
+        a = fig07_multi_instance.run(n_nodes=60, points=6, instances=2, attributes=("ram",), heuristics=("lcut",), seed=5)
+        b = fig07_multi_instance.run(n_nodes=60, points=6, instances=2, attributes=("ram",), heuristics=("lcut",), seed=5)
+        assert a.rows == b.rows
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out
+
+    def test_run_one(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig04", "--nodes", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04_distributions" in out

@@ -1,0 +1,36 @@
+"""Tests for the figure-data CSV exporter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis.export import read_csv
+from repro.experiments.figdata import export_figures, main
+
+
+class TestExportFigures:
+    def test_writes_csv_per_experiment(self, tmp_path):
+        written = export_figures(
+            tmp_path, ["fig04", "fig09"], n_samples=1_000, population=1_000,
+            sample_counts=(10, 100), repeats=1,
+        )
+        assert [p.name for p in written] == ["fig04.csv", "fig09.csv"]
+        loaded = read_csv(written[1])
+        assert loaded.name == "fig09_sampling"
+        assert len(loaded) == 4
+
+    def test_unknown_params_filtered(self, tmp_path):
+        # n_samples applies to fig04 only; fig09's runner must not choke.
+        written = export_figures(tmp_path, ["fig04"], n_samples=500, bogus_free_param_not_used=1)
+        assert written[0].exists()
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_figures(tmp_path, ["fig99"])
+
+    def test_cli_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_cli_writes(self, tmp_path, capsys):
+        assert main([str(tmp_path), "fig04"]) == 0
+        assert (tmp_path / "fig04.csv").exists()

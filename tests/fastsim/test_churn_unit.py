@@ -1,0 +1,75 @@
+"""Unit tests for the fastsim churn helper and EquiDepth sample modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rngs import make_rng
+from repro.fastsim.churn import FastChurn
+from repro.fastsim.equidepth import EquiDepthSimulation
+from repro.workloads.synthetic import uniform_workload
+
+
+class TestFastChurn:
+    def test_zero_rate_no_victims(self):
+        churn = FastChurn(0.0, uniform_workload(0, 10), make_rng(0))
+        assert churn.select_victims(100).size == 0
+
+    def test_expected_victim_count(self):
+        churn = FastChurn(0.1, uniform_workload(0, 10), make_rng(1))
+        total = sum(churn.select_victims(1000).size for _ in range(50))
+        assert 4000 < total < 6000  # ~100/round over 50 rounds
+        assert churn.replaced_total == total
+
+    def test_never_empties(self):
+        churn = FastChurn(1.0, uniform_workload(0, 10), make_rng(2))
+        assert churn.select_victims(10).size <= 8
+
+    def test_victims_distinct(self):
+        churn = FastChurn(0.5, uniform_workload(0, 10), make_rng(3))
+        victims = churn.select_victims(100)
+        assert np.unique(victims).size == victims.size
+
+    def test_fresh_values_from_workload(self):
+        churn = FastChurn(0.1, uniform_workload(100, 200), make_rng(4))
+        values = churn.fresh_values(50)
+        assert values.size == 50
+        assert values.min() >= 99 and values.max() <= 201
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            FastChurn(-0.1, uniform_workload(0, 10), make_rng(0))
+
+
+class TestEquiDepthSampleModes:
+    """The non-default ablation modes must still produce sane estimates."""
+
+    @pytest.mark.parametrize("mode", ["rank", "resample"])
+    def test_mode_runs_and_is_bounded(self, mode):
+        sim = EquiDepthSimulation(
+            uniform_workload(0, 1000), 200, synopsis_size=25, seed=5, mode=mode
+        )
+        result = sim.run_phase(rounds=20)
+        assert 0.0 <= result.errors_entire.average <= 0.2
+        assert result.errors_entire.maximum <= 1.0
+
+    @pytest.mark.parametrize("mode", ["rank", "resample"])
+    def test_synopsis_bounded(self, mode):
+        sim = EquiDepthSimulation(
+            uniform_workload(0, 1000), 100, synopsis_size=10, seed=6, mode=mode
+        )
+        sim.run_phase(rounds=10)
+        for node in range(100):
+            assert sim._synopses[node].size <= 10
+
+    def test_histogram_beats_rank_on_steps(self):
+        """The mass-conserving merge handles atoms better than rank
+        reduction with its epidemic sample duplication."""
+        from repro.workloads.synthetic import step_workload
+
+        workload = step_workload([100.0, 500.0, 900.0], weights=[0.5, 0.3, 0.2])
+        errors = {}
+        for mode in ("histogram", "rank"):
+            sim = EquiDepthSimulation(workload, 300, synopsis_size=20, seed=7, mode=mode)
+            errors[mode] = sim.run_phase(rounds=25).errors_entire.average
+        assert errors["histogram"] <= errors["rank"] * 1.5

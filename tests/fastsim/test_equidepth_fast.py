@@ -1,0 +1,100 @@
+"""Tests for the vectorised EquiDepth baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fastsim.equidepth import EquiDepthSimulation, merge_histograms
+from repro.workloads.synthetic import step_workload, uniform_workload
+
+
+class TestMergeHistograms:
+    def test_mass_conserved(self):
+        va, wa = np.asarray([1.0, 2.0]), np.asarray([0.5, 0.5])
+        vb, wb = np.asarray([3.0, 4.0, 5.0]), np.asarray([0.4, 0.3, 0.3])
+        values, weights = merge_histograms(va, wa, vb, wb, bound=3)
+        assert values.size == 3
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_sorted_output(self):
+        va, wa = np.asarray([5.0, 1.0]), np.asarray([0.5, 0.5])
+        vb, wb = np.asarray([3.0]), np.asarray([1.0])
+        values, _ = merge_histograms(va, wa, vb, wb, bound=10)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_duplicates_collapsed(self):
+        va, wa = np.asarray([2.0, 2.0]), np.asarray([0.5, 0.5])
+        vb, wb = np.asarray([2.0]), np.asarray([1.0])
+        values, weights = merge_histograms(va, wa, vb, wb, bound=10)
+        assert values.size == 1
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_heavy_atoms_survive_reduction(self):
+        rng = np.random.default_rng(0)
+        va = np.concatenate(([100.0], rng.uniform(0, 50, 60)))
+        wa = np.concatenate(([0.5], np.full(60, 0.5 / 60)))
+        values, weights = merge_histograms(va, wa, va.copy(), wa.copy(), bound=10)
+        idx = np.flatnonzero(values == 100.0)
+        assert idx.size == 1
+        assert weights[idx[0]] >= 0.5  # the atom's mass is intact
+
+
+class TestEquiDepthSimulation:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EquiDepthSimulation(uniform_workload(0, 10), 1)
+        with pytest.raises(ConfigurationError):
+            EquiDepthSimulation(uniform_workload(0, 10), 10, synopsis_size=1)
+        with pytest.raises(ConfigurationError):
+            EquiDepthSimulation(uniform_workload(0, 10), 10, mode="wavelet")
+
+    def test_phase_produces_reasonable_estimate(self):
+        sim = EquiDepthSimulation(uniform_workload(0, 1000), 300, synopsis_size=30, seed=2)
+        result = sim.run_phase(rounds=25)
+        assert result.errors_entire.maximum < 0.25
+        assert result.errors_entire.average < 0.05
+
+    def test_error_plateaus_across_phases(self):
+        sim = EquiDepthSimulation(uniform_workload(0, 1000), 200, synopsis_size=20, seed=3)
+        results = sim.run_phases(3, rounds=20)
+        errs = [r.errors_entire.average for r in results]
+        assert max(errs) < 3 * min(errs)
+
+    def test_node_estimate_monotone(self):
+        sim = EquiDepthSimulation(uniform_workload(0, 1000), 100, synopsis_size=20, seed=4)
+        sim.run_phase(rounds=15)
+        estimate = sim.node_estimate(0)
+        grid = np.linspace(0, 1000, 200)
+        assert np.all(np.diff(estimate.evaluate(grid)) >= -1e-12)
+
+    def test_step_cdf_atoms_captured(self):
+        sim = EquiDepthSimulation(
+            step_workload([100.0, 500.0], weights=[0.5, 0.5]), 200, synopsis_size=20, seed=5
+        )
+        result = sim.run_phase(rounds=20)
+        estimate = sim.node_estimate(3)
+        # The two atoms dominate the synopsis.
+        assert np.abs(estimate.evaluate(np.asarray([100.0]))[0] - 0.5) < 0.15
+
+    def test_trace_tracking(self):
+        sim = EquiDepthSimulation(uniform_workload(0, 100), 100, synopsis_size=10, seed=6)
+        result = sim.run_phase(rounds=10, track=True, track_every=2)
+        assert len(result.trace) == 5
+
+    def test_churn_keeps_running(self):
+        sim = EquiDepthSimulation(
+            uniform_workload(0, 100), 150, synopsis_size=10, seed=7, churn_rate=0.02
+        )
+        result = sim.run_phase(rounds=15)
+        assert result.errors_entire.maximum <= 1.0
+
+    def test_invalid_rounds(self):
+        sim = EquiDepthSimulation(uniform_workload(0, 100), 50, synopsis_size=10)
+        with pytest.raises(ConfigurationError):
+            sim.run_phase(rounds=0)
+
+    def test_cost_accounting(self):
+        sim = EquiDepthSimulation(uniform_workload(0, 100), 100, synopsis_size=10, seed=8)
+        result = sim.run_phase(rounds=5)
+        assert result.messages_total == 2 * 100 * 5
+        assert result.bytes_total > 0

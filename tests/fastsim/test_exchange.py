@@ -1,0 +1,100 @@
+"""Tests for the vectorised gossip exchange kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.rngs import make_rng
+from repro.fastsim.exchange import matching_round, random_partners, sequential_round
+
+
+def make_state(n, k=3, seed=0):
+    rng = make_rng(seed)
+    averaged = rng.random((n, k))
+    values = rng.uniform(0, 100, n)
+    extremes = np.stack((values, values), axis=1)
+    joined = np.zeros(n, dtype=bool)
+    joined[0] = True
+    return averaged, extremes, joined
+
+
+class TestRandomPartners:
+    def test_partner_never_self(self):
+        rng = make_rng(1)
+        for _ in range(20):
+            order, partners = random_partners(50, rng)
+            assert (order != partners).all()
+
+    def test_order_is_permutation(self):
+        order, _ = random_partners(10, make_rng(2))
+        assert sorted(order) == list(range(10))
+
+    def test_too_small(self):
+        with pytest.raises(SimulationError):
+            random_partners(1, make_rng(0))
+
+
+@pytest.mark.parametrize("kernel", [sequential_round, matching_round])
+class TestKernels:
+    def test_mass_conserved_when_all_joined(self, kernel):
+        averaged, extremes, joined = make_state(40)
+        joined[:] = True
+        before = averaged.sum(axis=0)
+        kernel(averaged, extremes, joined, make_rng(3))
+        assert np.allclose(averaged.sum(axis=0), before)
+
+    def test_join_spreads_epidemically(self, kernel):
+        averaged, extremes, joined = make_state(128)
+        rng = make_rng(4)
+        for _ in range(12):
+            kernel(averaged, extremes, joined, rng)
+        assert joined.all()
+
+    def test_extremes_converge(self, kernel):
+        averaged, extremes, joined = make_state(64)
+        lo, hi = extremes[:, 0].min(), extremes[:, 1].max()
+        joined[:] = True
+        rng = make_rng(5)
+        for _ in range(15):
+            kernel(averaged, extremes, joined, rng)
+        assert (extremes[:, 0] == lo).all()
+        assert (extremes[:, 1] == hi).all()
+
+    def test_excluded_nodes_untouched(self, kernel):
+        averaged, extremes, joined = make_state(32)
+        joined[:] = True
+        excluded = np.zeros(32, dtype=bool)
+        excluded[5] = True
+        joined[5] = False
+        before = averaged[5].copy()
+        rng = make_rng(6)
+        for _ in range(5):
+            kernel(averaged, extremes, joined, rng, excluded=excluded)
+        assert np.array_equal(averaged[5], before)
+        assert not joined[5]
+
+    def test_variance_contracts(self, kernel):
+        averaged, extremes, joined = make_state(128)
+        joined[:] = True
+        rng = make_rng(7)
+        start = averaged.std(axis=0).max()
+        for _ in range(20):
+            kernel(averaged, extremes, joined, rng)
+        assert averaged.std(axis=0).max() < start * 1e-2
+
+
+class TestLiteralJoin:
+    def test_literal_breaks_mass_conservation(self):
+        averaged, extremes, joined = make_state(2)
+        expected = averaged.sum(axis=0).copy()
+        sequential_round(averaged, extremes, joined, make_rng(8), join_mode="literal")
+        assert joined.all()
+        # The Fig. 1 join rule averages the joiner but leaves the informer
+        # unchanged: the per-column totals shift (see DESIGN.md).
+        assert not np.allclose(averaged.sum(axis=0), expected)
+
+    def test_symmetric_preserves_mass(self):
+        averaged, extremes, joined = make_state(2)
+        expected = averaged.sum(axis=0).copy()
+        sequential_round(averaged, extremes, joined, make_rng(8), join_mode="symmetric")
+        assert np.allclose(averaged.sum(axis=0), expected)

@@ -1,0 +1,70 @@
+"""Tests for the InstanceArrays state container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rngs import make_rng
+from repro.fastsim.exchange import sequential_round
+from repro.fastsim.state import InstanceArrays
+
+
+@pytest.fixture()
+def arrays():
+    values = np.asarray([10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+    return InstanceArrays.create(values, thresholds=[25.0, 45.0], v_thresholds=[35.0], initiator=2)
+
+
+class TestCreate:
+    def test_shapes(self, arrays):
+        assert arrays.averaged.shape == (6, 4)  # 2 thresholds + 1 verification + weight
+        assert arrays.extremes.shape == (6, 2)
+        assert arrays.n_nodes == 6
+        assert arrays.k == 2
+
+    def test_indicator_initialisation(self, arrays):
+        # Node 0 (value 10) is below both thresholds and the v-threshold.
+        assert np.array_equal(arrays.averaged[0, :3], [1.0, 1.0, 1.0])
+        # Node 5 (value 60) is above everything.
+        assert np.array_equal(arrays.averaged[5, :3], [0.0, 0.0, 0.0])
+
+    def test_initiator_weight_and_join(self, arrays):
+        assert arrays.weights.sum() == 1.0
+        assert arrays.weights[2] == 1.0
+        assert arrays.joined.sum() == 1
+        assert arrays.joined[2]
+
+    def test_thresholds_sorted(self):
+        out = InstanceArrays.create(np.asarray([1.0, 2.0]), thresholds=[5.0, 1.0])
+        assert np.array_equal(out.thresholds, [1.0, 5.0])
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            InstanceArrays.create(np.asarray([1.0]), thresholds=[1.0])
+        with pytest.raises(ProtocolError):
+            InstanceArrays.create(np.asarray([1.0, 2.0]), thresholds=[1.0], initiator=5)
+
+
+class TestInvariants:
+    def test_mass_conserved_over_rounds(self, arrays):
+        rng = make_rng(0)
+        before = arrays.conserved_mass()
+        for _ in range(10):
+            sequential_round(arrays.averaged, arrays.extremes, arrays.joined, rng)
+        assert np.allclose(arrays.conserved_mass(), before)
+
+    def test_converges_to_population_fractions(self, arrays):
+        rng = make_rng(1)
+        for _ in range(40):
+            sequential_round(arrays.averaged, arrays.extremes, arrays.joined, rng)
+        # F(25) = 2/6, F(45) = 4/6, F(35) = 3/6 over the population.
+        assert np.allclose(arrays.fractions.mean(axis=0), [2 / 6, 4 / 6], atol=1e-9)
+        assert np.allclose(arrays.v_fractions.mean(axis=0), [3 / 6], atol=1e-9)
+        assert np.allclose(1.0 / arrays.weights, 6.0, rtol=1e-9)
+
+    def test_reset_node(self, arrays):
+        arrays.joined[:] = True
+        arrays.reset_node(0, value=55.0)
+        assert not arrays.joined[0]
+        assert np.array_equal(arrays.averaged[0], [0.0, 0.0, 0.0, 0.0])
+        assert tuple(arrays.extremes[0]) == (55.0, 55.0)

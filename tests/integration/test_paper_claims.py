@@ -1,0 +1,123 @@
+"""Integration tests that pin the paper's headline claims (small scale).
+
+The benchmark suite reproduces every figure; these tests keep the core
+claims under ``pytest tests/`` so a plain test run already certifies the
+reproduction's substance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Adam2Config, Adam2Simulation, boinc_cpu_mflops, boinc_ram_mb
+from repro.fastsim.equidepth import EquiDepthSimulation
+from repro.metrics.convergence import fit_exponential_rate
+
+
+class TestExponentialConvergence:
+    """§VII-A: error at interpolation points decays exponentially."""
+
+    def test_rate_is_exponential(self):
+        sim = Adam2Simulation(
+            boinc_ram_mb(), 400, Adam2Config(points=20, rounds_per_instance=40), seed=2
+        )
+        result = sim.run_instance(track=True)
+        trace = result.trace
+        rounds = np.asarray(trace.rounds[5:], dtype=float)
+        errors = np.asarray(trace.max_points[5:], dtype=float)
+        rate = fit_exponential_rate(rounds, errors, floor=1e-12)
+        assert rate < 0.7  # error shrinks by >30% per round
+
+    def test_nearly_identical_estimates(self):
+        """All peers generate nearly identical CDF approximations."""
+        sim = Adam2Simulation(
+            boinc_ram_mb(), 300, Adam2Config(points=20, rounds_per_instance=30), seed=3
+        )
+        result = sim.run_instance()
+        assert result.fractions.std(axis=0).max() < 1e-5
+
+
+class TestHeadlineAccuracy:
+    """Abstract: Err_m ~ 2%, Err_a ~ 0.05-0.1% after 3 instances, λ=50.
+
+    At laptop scale (1,500 nodes vs the paper's 100,000) we hold the same
+    order of magnitude: Err_m below 6% with MinMax and Err_a below 0.5%
+    with LCut on the stepped RAM attribute after four instances.
+    """
+
+    def test_ram_minmax_maximum_error(self):
+        sim = Adam2Simulation(
+            boinc_ram_mb(), 1_500,
+            Adam2Config(points=50, rounds_per_instance=30, selection="minmax"), seed=4,
+        )
+        run = sim.run_instances(4)
+        assert run.final_errors.maximum < 0.06
+
+    def test_ram_lcut_average_error(self):
+        sim = Adam2Simulation(
+            boinc_ram_mb(), 1_500,
+            Adam2Config(points=50, rounds_per_instance=30, selection="lcut"), seed=4,
+        )
+        run = sim.run_instances(4)
+        assert run.final_errors.average < 0.005
+
+    def test_cpu_smooth_easy(self):
+        sim = Adam2Simulation(
+            boinc_cpu_mflops(), 1_000,
+            Adam2Config(points=50, rounds_per_instance=30, selection="lcut"), seed=4,
+        )
+        run = sim.run_instances(3)
+        assert run.final_errors.maximum < 0.03
+        assert run.final_errors.average < 0.002
+
+
+class TestBeatsEquiDepth:
+    """§VII-C: Adam2 outperforms EquiDepth after a few instances."""
+
+    def test_maximum_error_gap(self):
+        adam2 = Adam2Simulation(
+            boinc_ram_mb(), 800,
+            Adam2Config(points=50, rounds_per_instance=25, selection="minmax"), seed=5,
+        )
+        adam2_err = adam2.run_instances(4).final_errors.maximum
+        equidepth = EquiDepthSimulation(boinc_ram_mb(), 800, synopsis_size=50, seed=5)
+        equidepth_err = equidepth.run_phases(4, rounds=25)[-1].errors_entire.maximum
+        assert adam2_err < 0.6 * equidepth_err
+
+    def test_average_error_gap(self):
+        adam2 = Adam2Simulation(
+            boinc_ram_mb(), 800,
+            Adam2Config(points=50, rounds_per_instance=25, selection="lcut"), seed=5,
+        )
+        adam2_err = adam2.run_instances(4).final_errors.average
+        equidepth = EquiDepthSimulation(boinc_ram_mb(), 800, synopsis_size=50, seed=5)
+        equidepth_err = equidepth.run_phases(4, rounds=25)[-1].errors_entire.average
+        assert adam2_err < 0.7 * equidepth_err
+
+
+class TestChurnResilience:
+    """§VII-G: accuracy survives the paper's reference churn."""
+
+    def test_reference_churn(self):
+        sim = Adam2Simulation(
+            boinc_ram_mb(), 600,
+            Adam2Config(points=30, rounds_per_instance=30, selection="minmax"),
+            seed=6, churn_rate=0.001,
+        )
+        sim.run_instances(4)
+        errors = sim.system_errors()
+        assert errors.maximum < 0.2
+        assert errors.average < 0.05
+
+
+class TestSizeIndependentCost:
+    """§VII-I: per-node traffic does not grow with N."""
+
+    def test_bytes_per_node_flat(self):
+        costs = []
+        for n in (200, 800):
+            sim = Adam2Simulation(
+                boinc_ram_mb(), n, Adam2Config(points=50, rounds_per_instance=25), seed=7
+            )
+            result = sim.run_instance()
+            costs.append(result.bytes_total / n)
+        assert abs(costs[0] - costs[1]) < 0.2 * costs[0]

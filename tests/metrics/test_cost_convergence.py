@@ -1,0 +1,98 @@
+"""Tests for the cost model, convergence traces, and estimation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.types import ErrorPair
+from repro.core.config import Adam2Config
+from repro.metrics.convergence import ConvergenceTrace, fit_exponential_rate
+from repro.metrics.cost import CostModel, instance_cost
+from repro.metrics.estimation import confidence_estimation_error
+
+
+class TestCostModel:
+    def test_paper_numbers(self):
+        """§VII-I: λ=50, 25 rounds, 3 instances -> ~120 kB per node."""
+        model = instance_cost(Adam2Config(points=50, rounds_per_instance=25), instances=3)
+        assert model.messages_per_instance == 50
+        assert model.total_messages == 150
+        assert 100_000 <= model.total_bytes <= 140_000
+        assert model.estimation_time_seconds(1.0) == 75.0
+        assert 1_200 <= model.bandwidth_bytes_per_second(1.0) <= 2_000
+
+    def test_size_independence(self):
+        # Cost depends only on protocol parameters, never on N.
+        import dataclasses
+
+        fields = {f.name for f in dataclasses.fields(CostModel)}
+        assert "nodes" not in fields and "n" not in fields
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(message_bytes=0)
+        model = CostModel(message_bytes=100)
+        with pytest.raises(ConfigurationError):
+            model.bandwidth_bytes_per_second(0)
+        with pytest.raises(ConfigurationError):
+            model.estimation_time_seconds(-1)
+
+
+class TestConvergenceTrace:
+    def test_record_and_final(self):
+        trace = ConvergenceTrace()
+        trace.record(1, ErrorPair(0.5, 0.1), ErrorPair(0.2, 0.05))
+        trace.record(2, ErrorPair(0.4, 0.08), ErrorPair(0.1, 0.02))
+        assert len(trace) == 2
+        entire, points = trace.final()
+        assert entire.maximum == 0.4
+        assert points.average == 0.02
+
+    def test_empty_final_raises(self):
+        with pytest.raises(EstimationError):
+            ConvergenceTrace().final()
+
+
+class TestFitExponentialRate:
+    def test_exact_exponential(self):
+        rounds = np.arange(20)
+        errors = 0.8**rounds
+        assert fit_exponential_rate(rounds, errors) == pytest.approx(0.8, rel=1e-6)
+
+    def test_floor_excluded(self):
+        rounds = np.arange(30)
+        errors = np.maximum(0.5**rounds, 1e-16)
+        rate = fit_exponential_rate(rounds, errors, floor=1e-14)
+        assert rate == pytest.approx(0.5, rel=0.05)
+
+    def test_too_few_samples(self):
+        with pytest.raises(EstimationError):
+            fit_exponential_rate(np.asarray([1.0]), np.asarray([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            fit_exponential_rate(np.asarray([1.0, 2.0]), np.asarray([0.5]))
+
+
+class TestConfidenceEstimationError:
+    def test_perfect_estimation(self):
+        true = np.asarray([0.1, 0.2])
+        assert confidence_estimation_error(true, true) == 0.0
+
+    def test_relative_semantics(self):
+        true = np.asarray([0.1])
+        est = np.asarray([0.05])
+        assert confidence_estimation_error(true, est) == pytest.approx(0.5)
+
+    def test_zero_true_errors_skipped(self):
+        true = np.asarray([0.0, 0.1])
+        est = np.asarray([0.5, 0.1])
+        assert confidence_estimation_error(true, est) == 0.0
+
+    def test_all_zero_raises(self):
+        with pytest.raises(EstimationError):
+            confidence_estimation_error(np.zeros(3), np.zeros(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            confidence_estimation_error(np.zeros(2), np.zeros(3))

@@ -1,0 +1,130 @@
+"""Tests for the paper's error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.core.cdf import EmpiricalCDF, EstimatedCDF
+from repro.metrics.error import (
+    aggregate_errors,
+    cdf_errors,
+    error_grid,
+    errors_at_points,
+    matrix_errors,
+)
+
+
+class TestErrorGrid:
+    def test_integer_grid_for_small_domains(self):
+        grid = error_grid(10.0, 20.0)
+        assert np.array_equal(grid, np.arange(10.0, 21.0))
+
+    def test_includes_non_integer_extremes(self):
+        grid = error_grid(9.5, 20.5)
+        assert grid[0] == 9.5
+        assert grid[-1] == 20.5
+
+    def test_linspace_for_huge_domains(self):
+        grid = error_grid(0.0, 1e9, max_points=1001)
+        assert grid.size == 1001
+        assert grid[0] == 0.0
+        assert grid[-1] == 1e9
+
+    def test_degenerate_domain(self):
+        assert np.array_equal(error_grid(5.0, 5.0), [5.0])
+
+    def test_invalid_domain(self):
+        with pytest.raises(EstimationError):
+            error_grid(5.0, 1.0)
+
+
+class TestCdfErrors:
+    def test_zero_for_identical(self, step_truth):
+        exact = EstimatedCDF(
+            step_truth.support(), step_truth.evaluate(step_truth.support()),
+            step_truth.minimum, step_truth.maximum,
+        )
+        # Piecewise-linear vs step: exact at atoms, off between them.
+        errors = cdf_errors(step_truth, exact)
+        assert errors.maximum <= 1.0
+        at_atoms = np.abs(exact.evaluate(step_truth.support()) - step_truth.evaluate(step_truth.support()))
+        assert at_atoms.max() < 1e-12
+
+    def test_known_residual(self):
+        truth = EmpiricalCDF(np.asarray([0.0, 10.0]))
+        estimate = EstimatedCDF(np.asarray([0.0, 10.0]), np.asarray([0.5, 1.0]), 0.0, 10.0)
+        errors = cdf_errors(truth, estimate)
+        # Truth jumps to 0.5 at 0 then 1.0 at 10; estimate is linear
+        # 0.5 -> 1.0; max gap is at x just below 10: 1.0 vs ~0.95.
+        assert errors.maximum == pytest.approx(0.45, abs=0.02)
+
+    def test_max_at_least_avg(self, step_truth, perfect_estimate):
+        errors = cdf_errors(step_truth, perfect_estimate)
+        assert errors.maximum >= errors.average
+
+
+class TestErrorsAtPoints:
+    def test_exact_fractions(self, step_truth):
+        thresholds = np.asarray([100.0, 400.0])
+        errors = errors_at_points(step_truth, thresholds, step_truth.evaluate(thresholds))
+        assert errors.maximum == 0.0
+
+    def test_known_offset(self, step_truth):
+        thresholds = np.asarray([100.0, 400.0])
+        fractions = step_truth.evaluate(thresholds) + np.asarray([0.1, 0.02])
+        errors = errors_at_points(step_truth, thresholds, fractions)
+        assert errors.maximum == pytest.approx(0.1)
+        assert errors.average == pytest.approx(0.06)
+
+    def test_empty_rejected(self, step_truth):
+        with pytest.raises(EstimationError):
+            errors_at_points(step_truth, np.asarray([]), np.asarray([]))
+
+
+class TestMatrixErrors:
+    def test_aggregation_semantics(self, step_truth):
+        thresholds = np.asarray([100.0, 200.0, 400.0, 800.0])
+        exact = step_truth.evaluate(thresholds)
+        fractions = np.vstack([exact, exact + 0.05])
+        entire, at_points = matrix_errors(
+            step_truth, thresholds, fractions,
+            np.full(2, step_truth.minimum), np.full(2, step_truth.maximum),
+        )
+        # at-points max is over ALL nodes: driven by the offset row.
+        assert at_points.maximum == pytest.approx(0.05, abs=1e-9)
+        # avg is the mean over nodes of per-node means.
+        assert at_points.average == pytest.approx(0.025, abs=1e-9)
+        assert entire.maximum >= at_points.maximum
+
+    def test_node_sampling(self, step_truth):
+        thresholds = np.asarray([100.0, 800.0])
+        exact = step_truth.evaluate(thresholds)
+        fractions = np.tile(exact, (30, 1))
+        rng = np.random.default_rng(0)
+        entire, _ = matrix_errors(
+            step_truth, thresholds, fractions,
+            np.full(30, step_truth.minimum), np.full(30, step_truth.maximum),
+            node_sample=5, rng=rng,
+        )
+        assert entire.maximum <= 1.0
+
+    def test_empty_rejected(self, step_truth):
+        with pytest.raises(EstimationError):
+            matrix_errors(step_truth, np.asarray([1.0]), np.empty((0, 1)), np.empty(0), np.empty(0))
+
+
+class TestAggregateErrors:
+    def test_max_of_max_avg_of_avg(self, step_truth):
+        thresholds = step_truth.support()
+        exact = step_truth.evaluate(thresholds)
+        good = EstimatedCDF(thresholds, exact, step_truth.minimum, step_truth.maximum)
+        bad = EstimatedCDF(thresholds, np.clip(exact + 0.2, 0, 1), step_truth.minimum, step_truth.maximum)
+        combined = aggregate_errors(step_truth, [good, bad])
+        solo_bad = cdf_errors(step_truth, bad)
+        solo_good = cdf_errors(step_truth, good)
+        assert combined.maximum == pytest.approx(solo_bad.maximum)
+        assert combined.average == pytest.approx((solo_bad.average + solo_good.average) / 2)
+
+    def test_empty_rejected(self, step_truth):
+        with pytest.raises(EstimationError):
+            aggregate_errors(step_truth, [])

@@ -1,0 +1,89 @@
+"""Tests for the Cyclon shuffle overlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OverlayError
+from repro.rngs import make_rng
+from repro.overlay.cyclon import CyclonOverlay
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(88)
+
+
+def make_overlay(n=60, capacity=8, rng=None, **kwargs):
+    rng = rng or make_rng(88)
+    return CyclonOverlay(list(range(n)), capacity=capacity, rng=rng, **kwargs)
+
+
+class TestConstruction:
+    def test_views_bounded(self, rng):
+        overlay = make_overlay(rng=rng)
+        for node in overlay.node_ids():
+            assert 1 <= len(overlay.neighbours(node)) <= 8
+
+    def test_validation(self, rng):
+        with pytest.raises(OverlayError):
+            CyclonOverlay([1], capacity=4, rng=rng)
+        with pytest.raises(OverlayError):
+            CyclonOverlay([1, 2], capacity=0, rng=rng)
+
+
+class TestShuffle:
+    def test_views_stay_bounded_and_self_free(self, rng):
+        overlay = make_overlay(rng=rng)
+        for _ in range(20):
+            overlay.step(rng)
+        for node in overlay.node_ids():
+            neighbours = overlay.neighbours(node)
+            assert len(neighbours) <= 8
+            assert node not in neighbours
+
+    def test_in_degree_roughly_uniform(self, rng):
+        overlay = make_overlay(n=100, capacity=10, rng=rng)
+        for _ in range(30):
+            overlay.step(rng)
+        degrees = np.asarray(list(overlay.in_degree_distribution().values()))
+        assert degrees.min() >= 1
+        assert degrees.std() < degrees.mean()  # no hubs, no starvation
+
+    def test_dead_peers_purged(self, rng):
+        overlay = make_overlay(n=60, capacity=8, rng=rng)
+        for victim in range(15):
+            overlay.remove_node(victim)
+        for _ in range(20):
+            overlay.step(rng)
+        live = set(overlay.node_ids())
+        dead_refs = sum(
+            1 for node in live for peer in overlay.neighbours(node) if peer not in live
+        )
+        assert dead_refs == 0  # oldest-first contact detects every death
+
+    def test_joiner_becomes_reachable(self, rng):
+        overlay = make_overlay(rng=rng)
+        overlay.add_node(999, bootstrap=[0, 1, 2])
+        for _ in range(10):
+            overlay.step(rng)
+        assert overlay.in_degree_distribution()[999] > 0
+
+    def test_select_neighbour(self, rng):
+        overlay = make_overlay(rng=rng)
+        peer = overlay.select_neighbour(0, rng)
+        assert peer in overlay.node_ids()
+        with pytest.raises(OverlayError):
+            overlay.select_neighbour(12345, rng)
+
+    def test_engine_integration(self, rng):
+        """Cyclon works as the engine's membership substrate."""
+        from repro.aggregation import AveragingProtocol
+        from repro.simulation.runner import build_engine
+        from repro.workloads.synthetic import uniform_workload
+
+        protocol = AveragingProtocol(lambda node: node.values[:1])
+        engine = build_engine(
+            uniform_workload(0, 100), 50, [protocol], make_rng(9), overlay="cyclon", degree=8
+        )
+        engine.run(25)
+        assert protocol.spread(engine) < 1.0

@@ -1,0 +1,157 @@
+"""Tests for the overlay implementations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OverlayError
+from repro.rngs import make_rng
+from repro.overlay.bootstrap import bootstrap_ids
+from repro.overlay.peer_sampling import PeerSamplingOverlay
+from repro.overlay.random_graph import FullMeshOverlay, RandomGraphOverlay
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(77)
+
+
+class TestFullMesh:
+    def test_select_never_self(self, rng):
+        overlay = FullMeshOverlay(list(range(10)))
+        for _ in range(100):
+            assert overlay.select_neighbour(3, rng) != 3
+
+    def test_neighbours_everyone_else(self):
+        overlay = FullMeshOverlay([0, 1, 2])
+        assert set(overlay.neighbours(0)) == {1, 2}
+
+    def test_selection_roughly_uniform(self, rng):
+        overlay = FullMeshOverlay(list(range(5)))
+        counts = {i: 0 for i in range(5)}
+        for _ in range(4000):
+            counts[overlay.select_neighbour(0, rng)] += 1
+        assert counts[0] == 0
+        for i in range(1, 5):
+            assert 800 < counts[i] < 1200
+
+    def test_add_remove(self, rng):
+        overlay = FullMeshOverlay([0, 1])
+        overlay.add_node(2)
+        assert len(overlay) == 3
+        overlay.remove_node(0)
+        assert 0 not in overlay.node_ids()
+        assert overlay.select_neighbour(1, rng) == 2
+
+    def test_single_node_no_neighbour(self, rng):
+        overlay = FullMeshOverlay([0])
+        assert overlay.select_neighbour(0, rng) is None
+
+    def test_unknown_node_raises(self, rng):
+        with pytest.raises(OverlayError):
+            FullMeshOverlay([0, 1]).select_neighbour(99, rng)
+
+
+class TestRandomGraph:
+    def test_degree_respected(self, rng):
+        overlay = RandomGraphOverlay(list(range(50)), degree=7, rng=rng)
+        for node in overlay.node_ids():
+            assert len(overlay.neighbours(node)) == 7
+
+    def test_no_self_links(self, rng):
+        overlay = RandomGraphOverlay(list(range(30)), degree=5, rng=rng)
+        for node in overlay.node_ids():
+            assert node not in overlay.neighbours(node)
+
+    def test_select_is_neighbour_or_live(self, rng):
+        overlay = RandomGraphOverlay(list(range(20)), degree=4, rng=rng)
+        peer = overlay.select_neighbour(0, rng)
+        assert peer in overlay.node_ids()
+        assert peer != 0
+
+    def test_dead_link_repair(self, rng):
+        overlay = RandomGraphOverlay(list(range(10)), degree=3, rng=rng)
+        victims = overlay.neighbours(0)
+        for victim in victims:
+            overlay.remove_node(victim)
+        peer = overlay.select_neighbour(0, rng)
+        assert peer is not None
+        assert peer in overlay.node_ids()
+
+    def test_add_node_with_bootstrap(self, rng):
+        overlay = RandomGraphOverlay(list(range(10)), degree=3, rng=rng)
+        overlay.add_node(100, bootstrap=[0, 1, 2, 3])
+        assert set(overlay.neighbours(100)) <= {0, 1, 2, 3}
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(OverlayError):
+            RandomGraphOverlay([0], degree=2, rng=rng)
+
+    def test_invalid_degree(self, rng):
+        with pytest.raises(OverlayError):
+            RandomGraphOverlay([0, 1], degree=0, rng=rng)
+
+
+class TestPeerSampling:
+    def test_views_filled(self, rng):
+        overlay = PeerSamplingOverlay(list(range(40)), capacity=8, rng=rng)
+        for node in overlay.node_ids():
+            assert 1 <= len(overlay.neighbours(node)) <= 8
+
+    def test_step_keeps_views_fresh_under_churn(self, rng):
+        overlay = PeerSamplingOverlay(list(range(40)), capacity=8, rng=rng)
+        # Remove a quarter of nodes; dead descriptors must age out.
+        for victim in range(10):
+            overlay.remove_node(victim)
+        for _ in range(15):
+            overlay.step(rng)
+        live = set(overlay.node_ids())
+        dead_refs = sum(
+            1 for node in live for peer in overlay.neighbours(node) if peer not in live
+        )
+        total_refs = sum(len(overlay.neighbours(node)) for node in live)
+        assert dead_refs / total_refs < 0.05
+
+    def test_join_becomes_reachable(self, rng):
+        overlay = PeerSamplingOverlay(list(range(20)), capacity=6, rng=rng)
+        overlay.add_node(100, bootstrap=[0, 1])
+        for _ in range(10):
+            overlay.step(rng)
+        in_degrees = overlay.in_degree_distribution()
+        assert in_degrees[100] > 0
+
+    def test_connectivity_after_steps(self, rng):
+        """The exchange graph stays connected (overlay health)."""
+        import networkx as nx
+
+        overlay = PeerSamplingOverlay(list(range(30)), capacity=6, rng=rng)
+        for _ in range(10):
+            overlay.step(rng)
+        graph = nx.Graph()
+        graph.add_nodes_from(overlay.node_ids())
+        for node in overlay.node_ids():
+            for peer in overlay.neighbours(node):
+                if peer in overlay._views:
+                    graph.add_edge(node, peer)
+        assert nx.is_connected(graph)
+
+    def test_select_skips_dead(self, rng):
+        overlay = PeerSamplingOverlay(list(range(10)), capacity=9, rng=rng)
+        for victim in range(1, 9):
+            overlay.remove_node(victim)
+        peer = overlay.select_neighbour(0, rng)
+        assert peer is None or peer in overlay.node_ids()
+
+
+class TestBootstrapIds:
+    def test_count_and_distinct(self, rng):
+        out = bootstrap_ids(list(range(100)), 5, rng)
+        assert len(out) == 5
+        assert len(set(out)) == 5
+
+    def test_fewer_live_than_requested(self, rng):
+        out = bootstrap_ids([1, 2], 10, rng)
+        assert sorted(out) == [1, 2]
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(OverlayError):
+            bootstrap_ids([], 3, rng)

@@ -1,0 +1,81 @@
+"""Tests for partial views and node descriptors."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.rngs import make_rng
+from repro.overlay.view import NodeDescriptor, PartialView
+
+
+class TestNodeDescriptor:
+    def test_aged(self):
+        d = NodeDescriptor(1, age=2)
+        assert d.aged().age == 3
+        assert d.age == 2  # immutable
+
+    def test_equality(self):
+        assert NodeDescriptor(1, 0) == NodeDescriptor(1, 0)
+
+
+class TestPartialView:
+    def test_capacity_enforced(self):
+        view = PartialView(capacity=3)
+        for i in range(10):
+            view.insert(NodeDescriptor(i, age=i))
+        assert len(view) == 3
+        # Freshest survive.
+        assert set(view.node_ids()) == {0, 1, 2}
+
+    def test_freshest_wins_dedup(self):
+        view = PartialView(capacity=5)
+        view.insert(NodeDescriptor(1, age=5))
+        view.insert(NodeDescriptor(1, age=2))
+        assert len(view) == 1
+        assert view.descriptors()[0].age == 2
+
+    def test_stale_does_not_overwrite(self):
+        view = PartialView(capacity=5)
+        view.insert(NodeDescriptor(1, age=2))
+        view.insert(NodeDescriptor(1, age=7))
+        assert view.descriptors()[0].age == 2
+
+    def test_merge_excludes_self(self):
+        view = PartialView(capacity=5)
+        view.merge([NodeDescriptor(1, 0), NodeDescriptor(2, 0)], exclude=1)
+        assert 1 not in view
+        assert 2 in view
+
+    def test_age_all(self):
+        view = PartialView(capacity=3, descriptors=[NodeDescriptor(1, 0)])
+        view.age_all()
+        assert view.descriptors()[0].age == 1
+
+    def test_oldest(self):
+        view = PartialView(capacity=3)
+        view.insert(NodeDescriptor(1, age=4))
+        view.insert(NodeDescriptor(2, age=9))
+        assert view.oldest().node_id == 2
+
+    def test_oldest_empty_raises(self):
+        with pytest.raises(OverlayError):
+            PartialView(capacity=2).oldest()
+
+    def test_random_member(self):
+        view = PartialView(capacity=4, descriptors=[NodeDescriptor(i, 0) for i in range(4)])
+        rng = make_rng(0)
+        picks = {view.random(rng).node_id for _ in range(50)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_random_empty_raises(self):
+        with pytest.raises(OverlayError):
+            PartialView(capacity=2).random(make_rng(0))
+
+    def test_remove(self):
+        view = PartialView(capacity=2, descriptors=[NodeDescriptor(1, 0)])
+        view.remove(1)
+        assert 1 not in view
+        view.remove(99)  # no-op
+
+    def test_invalid_capacity(self):
+        with pytest.raises(OverlayError):
+            PartialView(capacity=0)

@@ -1,0 +1,104 @@
+"""Further property-based tests: async events, drift, views, state arrays."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.asyncsim.events import EventQueue
+from repro.fastsim.state import InstanceArrays
+from repro.fastsim.exchange import matching_round, sequential_round
+from repro.overlay.view import NodeDescriptor, PartialView
+from repro.rngs import make_rng
+from repro.workloads.dynamic import DriftModel
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time(self, times):
+        queue = EventQueue()
+        fired: list[float] = []
+        for t in times:
+            queue.schedule(t, (lambda at: (lambda: fired.append(at)))(t))
+        queue.run_until(max(times))
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=30),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_deadline_splits_events_exactly(self, times, deadline):
+        queue = EventQueue()
+        for t in times:
+            queue.schedule(t, lambda: None)
+        fired = queue.run_until(deadline)
+        assert fired == sum(1 for t in times if t <= deadline)
+
+
+class TestDriftProperties:
+    @given(
+        arrays(np.float64, st.integers(2, 40), elements=st.floats(1, 1e6, allow_nan=False)),
+        st.floats(min_value=-0.4, max_value=0.4, allow_nan=False),
+    )
+    def test_growth_preserves_order(self, values, rate):
+        model = DriftModel(growth_per_round=rate)
+        out = model.apply(values, make_rng(0))
+        assert np.array_equal(np.argsort(values, kind="stable"), np.argsort(out, kind="stable"))
+
+    @given(arrays(np.float64, st.integers(2, 40), elements=st.floats(1, 1e6, allow_nan=False)))
+    def test_static_model_is_identity(self, values):
+        out = DriftModel().apply(values, make_rng(0))
+        assert np.array_equal(out, values)
+
+
+class TestPartialViewProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(st.tuples(st.integers(0, 30), st.integers(0, 20)), min_size=0, max_size=60),
+    )
+    def test_capacity_and_uniqueness_invariants(self, capacity, inserts):
+        view = PartialView(capacity)
+        for node_id, age in inserts:
+            view.insert(NodeDescriptor(node_id, age))
+        assert len(view) <= capacity
+        ids = view.node_ids()
+        assert len(ids) == len(set(ids))
+        # Every held descriptor is the freshest ever inserted for its id
+        # among those that could have survived truncation.
+        for d in view.descriptors():
+            best = min(age for node_id, age in inserts if node_id == d.node_id)
+            assert d.age >= best or d.age == best
+
+
+class TestInstanceArraysProperties:
+    @given(
+        arrays(np.float64, st.integers(2, 40), elements=st.floats(0, 1e4, allow_nan=False)),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kernels_preserve_conserved_mass(self, values, k, seed):
+        thresholds = np.linspace(values.min(), values.max() + 1, k)
+        arrays_state = InstanceArrays.create(values, thresholds)
+        before = arrays_state.conserved_mass()
+        rng = make_rng(seed)
+        kernel = sequential_round if seed % 2 == 0 else matching_round
+        for _ in range(5):
+            kernel(arrays_state.averaged, arrays_state.extremes, arrays_state.joined, rng)
+        assert np.allclose(arrays_state.conserved_mass(), before)
+
+    @given(
+        arrays(np.float64, st.integers(4, 40), elements=st.floats(0, 1e4, allow_nan=False)),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_extremes_never_shrink(self, values, seed):
+        thresholds = np.linspace(values.min(), values.max() + 1, 3)
+        state = InstanceArrays.create(values, thresholds)
+        rng = make_rng(seed)
+        for _ in range(8):
+            sequential_round(state.averaged, state.extremes, state.joined, rng)
+        assert (state.extremes[:, 0] >= values.min()).all()
+        assert (state.extremes[:, 1] <= values.max()).all()
+        assert (state.extremes[:, 0] <= state.extremes[:, 1]).all()

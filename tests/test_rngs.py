@@ -1,0 +1,62 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro import rngs
+
+
+class TestMakeRng:
+    def test_seeded_is_reproducible(self):
+        a = rngs.make_rng(7).random(5)
+        b = rngs.make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rngs.make_rng(7).random(5)
+        b = rngs.make_rng(8).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_works(self):
+        assert rngs.make_rng(None).random() >= 0.0
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        root = rngs.make_rng(1)
+        a = rngs.spawn(root)
+        b = rngs.spawn(root)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_is_deterministic_given_seed(self):
+        a = rngs.spawn(rngs.make_rng(2)).random(4)
+        b = rngs.spawn(rngs.make_rng(2)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_many_count(self):
+        children = rngs.spawn_many(rngs.make_rng(3), 5)
+        assert len(children) == 5
+
+    def test_spawn_many_negative_raises(self):
+        with pytest.raises(ValueError):
+            rngs.spawn_many(rngs.make_rng(3), -1)
+
+    def test_spawn_many_zero(self):
+        assert rngs.spawn_many(rngs.make_rng(3), 0) == []
+
+
+class TestDerive:
+    def test_same_path_same_stream(self):
+        a = rngs.derive(5, "churn", 3).random(4)
+        b = rngs.derive(5, "churn", 3).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        a = rngs.derive(5, "churn", 3).random(4)
+        b = rngs.derive(5, "churn", 4).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_string_components_distinguish(self):
+        a = rngs.derive(5, "alpha").random(4)
+        b = rngs.derive(5, "beta").random(4)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,33 @@
+"""Tests for shared value objects."""
+
+import math
+
+import pytest
+
+from repro.types import ErrorPair, Point
+
+
+class TestPoint:
+    def test_fields(self):
+        p = Point(threshold=10.0, fraction=0.5)
+        assert p.threshold == 10.0
+        assert p.fraction == 0.5
+
+    def test_frozen(self):
+        p = Point(1.0, 0.1)
+        with pytest.raises(AttributeError):
+            p.fraction = 0.2
+
+    def test_nan_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Point(1.0, math.nan)
+
+
+class TestErrorPair:
+    def test_unpacking(self):
+        maximum, average = ErrorPair(maximum=0.2, average=0.01)
+        assert maximum == 0.2
+        assert average == 0.01
+
+    def test_equality(self):
+        assert ErrorPair(0.1, 0.01) == ErrorPair(0.1, 0.01)

@@ -1,0 +1,95 @@
+"""Tests for the synthetic BOINC-like workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rngs import make_rng
+from repro.workloads import (
+    boinc_bandwidth_kbps,
+    boinc_cpu_mflops,
+    boinc_disk_gb,
+    boinc_ram_mb,
+    boinc_workload,
+)
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(99)
+
+
+class TestCpu:
+    def test_smooth_no_dominant_atom(self, rng):
+        values = boinc_cpu_mflops().sample(20_000, rng)
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() / values.size < 0.02
+
+    def test_heavy_tail_span(self, rng):
+        values = boinc_cpu_mflops().sample(20_000, rng)
+        assert values.max() / values.min() > 50
+
+    def test_integral(self, rng):
+        values = boinc_cpu_mflops().sample(100, rng)
+        assert np.array_equal(values, np.rint(values))
+
+    def test_positive(self, rng):
+        assert (boinc_cpu_mflops().sample(5_000, rng) > 0).all()
+
+
+class TestRam:
+    def test_step_structure(self, rng):
+        values = boinc_ram_mb().sample(20_000, rng)
+        unique, counts = np.unique(values, return_counts=True)
+        top5 = np.sort(counts)[-5:].sum() / values.size
+        assert top5 > 0.5, "RAM CDF must be dominated by a few exact sizes"
+
+    def test_standard_sizes_present(self, rng):
+        values = boinc_ram_mb().sample(20_000, rng)
+        for size in (512.0, 1024.0, 2048.0):
+            assert (values == size).mean() > 0.05
+
+    def test_domain_bounds(self, rng):
+        values = boinc_ram_mb().sample(20_000, rng)
+        assert values.min() >= 32.0
+        assert values.max() <= 16_384.0
+
+
+class TestOtherAttributes:
+    def test_bandwidth_positive_and_bounded(self, rng):
+        values = boinc_bandwidth_kbps().sample(5_000, rng)
+        assert (values >= 1.0).all()
+        assert values.max() <= 200_000.0
+
+    def test_disk_positive(self, rng):
+        values = boinc_disk_gb().sample(5_000, rng)
+        assert (values > 0).all()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["cpu", "ram", "bandwidth", "disk", "CPU", "ram_mb"])
+    def test_lookup(self, name):
+        assert boinc_workload(name) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(WorkloadError):
+            boinc_workload("gpu")
+
+    def test_sample_negative_raises(self, rng):
+        with pytest.raises(WorkloadError):
+            boinc_cpu_mflops().sample(-1, rng)
+
+    def test_sample_zero_is_empty(self, rng):
+        assert boinc_cpu_mflops().sample(0, rng).size == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = boinc_ram_mb().sample(1_000, make_rng(5))
+        b = boinc_ram_mb().sample(1_000, make_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_sample_one(self, rng):
+        value = boinc_ram_mb().sample_one(rng)
+        assert isinstance(value, float)
+        assert value >= 32.0

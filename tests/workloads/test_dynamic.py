@@ -1,0 +1,84 @@
+"""Tests for drift models and drifting instances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rngs import make_rng
+from repro.core.config import Adam2Config
+from repro.fastsim.adam2 import Adam2Simulation
+from repro.workloads.dynamic import DriftModel
+from repro.workloads.synthetic import uniform_workload
+
+
+class TestDriftModel:
+    def test_growth(self):
+        model = DriftModel(growth_per_round=0.1)
+        out = model.apply(np.asarray([100.0, 200.0]), make_rng(0))
+        assert np.allclose(out, [110.0, 220.0])
+
+    def test_shift(self):
+        model = DriftModel(shift_per_round=5.0)
+        out = model.apply(np.asarray([1.0]), make_rng(0))
+        assert out[0] == 6.0
+
+    def test_resample(self):
+        model = DriftModel(resample_fraction=0.5, resample_workload=uniform_workload(1000, 2000))
+        values = np.zeros(100)
+        out = model.apply(values, make_rng(1))
+        assert ((out >= 999) & (out <= 2001)).sum() == 50
+        assert (out == 0).sum() == 50
+
+    def test_input_not_mutated(self):
+        values = np.asarray([1.0, 2.0])
+        DriftModel(growth_per_round=0.1).apply(values, make_rng(0))
+        assert np.array_equal(values, [1.0, 2.0])
+
+    def test_is_static(self):
+        assert DriftModel().is_static
+        assert not DriftModel(growth_per_round=0.01).is_static
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriftModel(growth_per_round=0.9)
+        with pytest.raises(ConfigurationError):
+            DriftModel(resample_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            DriftModel(resample_fraction=0.1)  # no workload given
+
+
+class TestDriftingInstance:
+    def _run(self, rate, rounds=25):
+        sim = Adam2Simulation(
+            uniform_workload(100, 1000), 300,
+            Adam2Config(points=15, rounds_per_instance=rounds), seed=2,
+        )
+        sim.run_instance()  # warm-up on the static distribution
+        return sim.run_instance(rounds=rounds, drift=DriftModel(growth_per_round=rate))
+
+    def test_static_drift_is_baseline(self):
+        result = self._run(0.0)
+        assert result.errors_entire.maximum < 0.1
+
+    def test_error_grows_with_drift(self):
+        slow = self._run(0.001).errors_entire.average
+        fast = self._run(0.02).errors_entire.average
+        assert fast > 2 * slow
+
+    def test_values_actually_drift(self):
+        sim = Adam2Simulation(
+            uniform_workload(100, 1000), 100,
+            Adam2Config(points=10, rounds_per_instance=10), seed=3,
+        )
+        before = sim.values.copy()
+        sim.run_instance(drift=DriftModel(growth_per_round=0.05))
+        assert sim.values.mean() > before.mean() * 1.3
+
+    def test_truth_measured_at_end(self):
+        """Under drift the recorded truth reflects the final population."""
+        sim = Adam2Simulation(
+            uniform_workload(100, 1000), 100,
+            Adam2Config(points=10, rounds_per_instance=10), seed=4,
+        )
+        result = sim.run_instance(drift=DriftModel(growth_per_round=0.05))
+        assert result.truth.maximum == pytest.approx(sim.values.max())

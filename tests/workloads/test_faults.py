@@ -1,0 +1,74 @@
+"""Tests for faulty-reading injection and filtering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rngs import make_rng
+from repro.workloads.faults import FaultModel, filter_faulty, inject_faults
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(8)
+
+
+@pytest.fixture()
+def clean(rng):
+    return rng.uniform(1, 1000, size=2_000)
+
+
+class TestFaultModel:
+    def test_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            FaultModel(rate=1.5)
+        with pytest.raises(WorkloadError):
+            FaultModel(rate=-0.1)
+
+    def test_invalid_plausible_max(self):
+        with pytest.raises(WorkloadError):
+            FaultModel(plausible_max=0)
+
+
+class TestInject:
+    def test_corrupts_expected_fraction(self, clean, rng):
+        model = FaultModel(rate=0.05)
+        corrupted = inject_faults(clean, model, rng)
+        changed = (corrupted != clean) | np.isnan(corrupted)
+        assert changed.sum() == int(round(0.05 * clean.size))
+
+    def test_zero_rate_is_identity(self, clean, rng):
+        out = inject_faults(clean, FaultModel(rate=0.0), rng)
+        assert np.array_equal(out, clean)
+
+    def test_does_not_mutate_input(self, clean, rng):
+        original = clean.copy()
+        inject_faults(clean, FaultModel(rate=0.1), rng)
+        assert np.array_equal(clean, original)
+
+    def test_fault_modes_present(self, clean, rng):
+        corrupted = inject_faults(clean, FaultModel(rate=0.3), rng)
+        assert np.isnan(corrupted).any()
+        assert (corrupted < 0).any()
+        assert (corrupted > 1e12).any()
+
+
+class TestFilter:
+    def test_roundtrip_recovers_clean_population(self, clean, rng):
+        corrupted = inject_faults(clean, FaultModel(rate=0.1), rng)
+        survivors = filter_faulty(corrupted)
+        assert np.isfinite(survivors).all()
+        assert (survivors >= 0).all()
+        # All clean readings survive.
+        assert survivors.size >= int(clean.size * 0.9)
+
+    def test_filters_paper_examples(self):
+        # The paper's examples: bandwidth above 10^31 bps, negative memory.
+        values = np.asarray([100.0, 1e31, -512.0, np.nan, np.inf, 5.0])
+        out = filter_faulty(values)
+        assert np.array_equal(out, [100.0, 5.0])
+
+    def test_custom_plausible_max(self):
+        values = np.asarray([10.0, 100.0, 1_000.0])
+        out = filter_faulty(values, FaultModel(plausible_max=100.0))
+        assert np.array_equal(out, [10.0, 100.0])

@@ -1,0 +1,87 @@
+"""Tests for the generic synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rngs import make_rng
+from repro.workloads.synthetic import (
+    lognormal_workload,
+    normal_workload,
+    step_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(4)
+
+
+class TestUniform:
+    def test_bounds(self, rng):
+        values = uniform_workload(10, 20).sample(5_000, rng)
+        assert values.min() >= 10 - 0.5  # rounding slack
+        assert values.max() <= 20 + 0.5
+
+    def test_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            uniform_workload(5, 5)
+
+    def test_non_integral(self, rng):
+        values = uniform_workload(0, 1, integral=False).sample(100, rng)
+        assert not np.array_equal(values, np.rint(values))
+
+
+class TestNormal:
+    def test_clipped_at_zero(self, rng):
+        values = normal_workload(mean=1.0, std=10.0).sample(2_000, rng)
+        assert (values >= 0).all()
+
+    def test_invalid_std(self):
+        with pytest.raises(WorkloadError):
+            normal_workload(std=0.0)
+
+
+class TestLognormal:
+    def test_median_roughly_matches(self, rng):
+        values = lognormal_workload(median=500.0, sigma=0.5).sample(20_000, rng)
+        assert 400 < np.median(values) < 600
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            lognormal_workload(median=-1)
+        with pytest.raises(WorkloadError):
+            lognormal_workload(sigma=0)
+
+
+class TestZipf:
+    def test_capped(self, rng):
+        values = zipf_workload(exponent=1.5, cap=100.0).sample(5_000, rng)
+        assert values.max() <= 100.0
+
+    def test_invalid_exponent(self):
+        with pytest.raises(WorkloadError):
+            zipf_workload(exponent=1.0)
+
+
+class TestStep:
+    def test_only_levels_appear(self, rng):
+        levels = [10.0, 20.0, 30.0]
+        values = step_workload(levels).sample(1_000, rng)
+        assert set(np.unique(values)) <= set(levels)
+
+    def test_weights_respected(self, rng):
+        values = step_workload([1.0, 2.0], weights=[0.9, 0.1]).sample(10_000, rng)
+        assert (values == 1.0).mean() > 0.8
+
+    def test_bad_weights(self):
+        with pytest.raises(WorkloadError):
+            step_workload([1.0, 2.0], weights=[1.0])
+        with pytest.raises(WorkloadError):
+            step_workload([1.0, 2.0], weights=[-1.0, 2.0])
+
+    def test_too_few_levels(self):
+        with pytest.raises(WorkloadError):
+            step_workload([1.0])

@@ -1,0 +1,74 @@
+"""Tests for trace save/load and SampledWorkload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rngs import make_rng
+from repro.workloads.base import SampledWorkload
+from repro.workloads.traces import load_trace, save_trace
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(17)
+
+
+class TestSampledWorkload:
+    def test_samples_come_from_trace(self, rng):
+        trace = np.asarray([1.0, 2.0, 3.0])
+        workload = SampledWorkload(trace)
+        drawn = workload.sample(500, rng)
+        assert set(np.unique(drawn)) <= {1.0, 2.0, 3.0}
+
+    def test_len(self):
+        assert len(SampledWorkload(np.asarray([1.0, 2.0]))) == 2
+
+    def test_values_read_only(self):
+        workload = SampledWorkload(np.asarray([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            workload.values[0] = 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            SampledWorkload(np.asarray([]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(WorkloadError):
+            SampledWorkload(np.asarray([1.0, np.nan]))
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            SampledWorkload(np.asarray([1.0])).sample(-1, rng)
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        values = np.rint(rng.uniform(0, 100, size=50))
+        path = tmp_path / "trace.csv"
+        save_trace(path, values, name="load", unit="req/s", integral=True)
+        workload = load_trace(path)
+        assert workload.name == "load"
+        assert workload.unit == "req/s"
+        assert workload.integral is True
+        assert np.array_equal(np.sort(workload.values), np.sort(values))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# name=x, unit=, integral=1\nvalue\nnot-a-number\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# name=x, unit=, integral=1\nvalue\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_save_rejects_2d(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(tmp_path / "x.csv", np.zeros((2, 2)))
