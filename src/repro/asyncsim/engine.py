@@ -80,6 +80,7 @@ class AsyncEngine:
         period_jitter: float = 0.05,
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
+        sanitize: bool | None = None,
     ):
         if gossip_period <= 0:
             raise ConfigurationError("gossip period must be positive")
@@ -89,6 +90,12 @@ class AsyncEngine:
             raise ConfigurationError("loss rate must be in [0, 1)")
         self.overlay = overlay
         self.protocol = protocol
+        # Opt-in invariant sanitizer (ADAM2_SANITIZE=1 or sanitize=True):
+        # wrap the protocol so every delivered merge is mass-checked.
+        from repro.lint.sanitizer import SanitizedAsyncProtocol, sanitize_enabled
+
+        if sanitize_enabled(sanitize):
+            self.protocol = SanitizedAsyncProtocol(protocol)
         self.rng = rng
         self.gossip_period = gossip_period
         self.period_jitter = period_jitter

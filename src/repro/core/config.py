@@ -5,10 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.core.conservation import register_non_conserving
 
-__all__ = ["Adam2Config"]
+__all__ = ["Adam2Config", "LITERAL_JOIN_BIAS"]
 
 _JOIN_MODES = ("symmetric", "literal")
+
+#: The estimation bias of the paper's Fig. 1 join rule, declared once so
+#: every kernel implementing the mode registers the same account of it.
+LITERAL_JOIN_BIAS = (
+    "Fig. 1 literal join: the joiner averages with the contacted peer's state "
+    "but the peer ignores the empty reply, duplicating the peer's averaged "
+    "mass; fraction/weight column sums inflate with every join, so size "
+    "estimates 1/w are biased low and fractions are pulled towards "
+    "already-joined nodes' values"
+)
+register_non_conserving("literal", LITERAL_JOIN_BIAS)
 _ERROR_TARGETS = ("average", "maximum")
 
 

@@ -1,0 +1,69 @@
+"""Registry of exchange modes that do *not* conserve averaging mass.
+
+Adam2's convergence proof (PAPER.md, §averaging) rests on push–pull
+exchanges conserving the per-column sums of all averaged quantities:
+interpolation fractions converge to ``F(t_i)`` and size weights keep a
+total of exactly 1 only because every exchange replaces two states by
+their mean.  Some modes deliberately break this — most prominently the
+``"literal"`` Fig. 1 join semantics, where the contacted peer ignores the
+joiner's reply — and the runtime sanitizer must not silently exempt them.
+
+Instead, a non-conserving mode is *declared* here, with a human-readable
+account of the bias it introduces.  The sanitizer consults
+:func:`is_mass_conserving` before enforcing conservation, and the
+``ADM004`` lint rule requires any module branching on a ``join_mode``
+string to register that mode in the same module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NON_CONSERVING_MODES",
+    "register_non_conserving",
+    "is_mass_conserving",
+    "non_conserving_reason",
+]
+
+#: mode name -> documented estimation bias.  Mutated only through
+#: :func:`register_non_conserving`.
+NON_CONSERVING_MODES: dict[str, str] = {}
+
+
+def register_non_conserving(mode: str, reason: str) -> str:
+    """Declare ``mode`` as a non-mass-conserving exchange mode.
+
+    Args:
+        mode: the mode string as it appears in configuration
+            (e.g. ``"literal"``).
+        reason: a short account of the estimation bias the mode
+            introduces; surfaced in sanitizer reports.
+
+    Returns:
+        The registered mode name (so the call can double as a constant
+        definition at module level).
+    """
+    if not mode:
+        raise ConfigurationError("cannot register an empty exchange mode")
+    if not reason or not reason.strip():
+        raise ConfigurationError(
+            f"non-conserving mode {mode!r} must document the bias it introduces"
+        )
+    existing = NON_CONSERVING_MODES.get(mode)
+    if existing is not None and existing != reason:
+        raise ConfigurationError(
+            f"exchange mode {mode!r} already registered with a different reason"
+        )
+    NON_CONSERVING_MODES[mode] = reason
+    return mode
+
+
+def is_mass_conserving(mode: str) -> bool:
+    """Whether exchanges under ``mode`` conserve averaged-column mass."""
+    return mode not in NON_CONSERVING_MODES
+
+
+def non_conserving_reason(mode: str) -> str | None:
+    """The declared bias of a non-conserving mode (None if conserving)."""
+    return NON_CONSERVING_MODES.get(mode)

@@ -136,6 +136,8 @@ class Adam2Simulation:
             initiator for the neighbour-based bootstrap.
         node_sample: node subsample size for the expensive entire-domain
             error metrics (the cross-node spread is ~1e-5, see §VII-A).
+        sanitize: run the invariant sanitizer after every round
+            (default: follow the ``ADAM2_SANITIZE`` env var).
     """
 
     def __init__(
@@ -148,6 +150,7 @@ class Adam2Simulation:
         churn_rate: float = 0.0,
         neighbour_sample: int | None = None,
         node_sample: int = 64,
+        sanitize: bool | None = None,
     ):
         if n_nodes < 2:
             raise ConfigurationError("need at least 2 nodes")
@@ -169,6 +172,9 @@ class Adam2Simulation:
         )
         self.neighbour_sample = neighbour_sample or max(config.points, 20)
         self.node_sample = node_sample
+        from repro.lint.sanitizer import FastsimSanitizer, sanitize_enabled
+
+        self._sanitizer = FastsimSanitizer() if sanitize_enabled(sanitize) else None
         # Post-instance per-node estimate state (shared thresholds).
         self.prev_thresholds: np.ndarray | None = None
         self.prev_fractions: np.ndarray | None = None
@@ -243,6 +249,9 @@ class Adam2Simulation:
         grid = error_grid(truth.minimum, truth.maximum)
         trace = ConvergenceTrace() if track else None
         messages = 0
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_instance(averaged, cfg.join_mode, instance=self.instances_run)
 
         for round_index in range(rounds):
             if drift is not None and not drift.is_static:
@@ -260,10 +269,16 @@ class Adam2Simulation:
                 grid = error_grid(truth.minimum, truth.maximum)
             if self.churn is not None:
                 self._apply_churn(averaged, extremes, joined, excluded, participants, all_t, k)
+            if sanitizer is not None and (self.churn is not None or (drift is not None and not drift.is_static)):
+                # Churn resets rows and drift re-evaluates pending ones —
+                # legitimate external mass changes; rebase the invariant.
+                sanitizer.rebaseline(averaged)
             active = self.kernel(
                 averaged, extremes, joined, self._gossip_rng, cfg.join_mode,
                 excluded=excluded if self.churn is not None else None,
             )
+            if sanitizer is not None:
+                sanitizer.after_round(averaged, k, round_index)
             # An exchange with an excluded peer carries no instance data;
             # approximate the active count accordingly for accounting.
             messages += 2 * active

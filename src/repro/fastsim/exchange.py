@@ -27,6 +27,18 @@ Both kernels implement the two join semantics discussed in DESIGN.md:
 ``literal`` (paper Fig. 1: the joiner merges, the contacted peer ignores
 the empty reply — not mass-conserving) and ``symmetric`` (the joiner
 initialises first and a normal exchange follows — mass-conserving).
+
+The ``literal`` mode is *registered* as non-mass-conserving below rather
+than silently exempted: every join under it duplicates the contacted
+peer's averaged mass (the joiner absorbs half of the peer's state while
+the peer keeps all of it), so the column sums the convergence proof
+relies on inflate with each join.  Concretely, size weights gain mass —
+``sum(w)`` grows beyond 1 and per-node size estimates ``1/w`` are biased
+low — and fraction columns are pulled towards the values of nodes that
+joined early, over-weighting the initiator's neighbourhood.  The runtime
+sanitizer (:mod:`repro.lint.sanitizer`) skips the mass-equality check
+for registered modes by declaration, while still enforcing per-node
+range and monotonicity invariants.
 """
 
 from __future__ import annotations
@@ -34,8 +46,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.core.config import LITERAL_JOIN_BIAS
+from repro.core.conservation import register_non_conserving
 
 __all__ = ["sequential_round", "matching_round", "random_partners"]
+
+register_non_conserving("literal", LITERAL_JOIN_BIAS)
 
 
 def random_partners(n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:

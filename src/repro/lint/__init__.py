@@ -1,0 +1,40 @@
+"""Protocol-invariant tooling: static AST linter + runtime sanitizer.
+
+Two layers of machine-checked enforcement of the invariants Adam2's
+correctness rests on (see DESIGN.md, "Static analysis & sanitizer"):
+
+* :mod:`repro.lint.engine` — the ``adam2-lint`` AST linter with the
+  protocol-specific rules ``ADM001``–``ADM007``;
+* :mod:`repro.lint.sanitizer` — opt-in runtime instrumentation
+  (``ADAM2_SANITIZE=1``) asserting mass conservation, weight sanity,
+  fraction ranges and CDF monotonicity after every exchange/round in
+  all three simulation backends.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintEngine, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, get_rules
+from repro.lint.sanitizer import (
+    FastsimSanitizer,
+    InvariantViolation,
+    SanitizedAsyncProtocol,
+    SanitizedProtocol,
+    sanitize_enabled,
+)
+from repro.lint.violation import LintReport, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "FastsimSanitizer",
+    "InvariantViolation",
+    "LintEngine",
+    "LintReport",
+    "SanitizedAsyncProtocol",
+    "SanitizedProtocol",
+    "Violation",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+    "sanitize_enabled",
+]

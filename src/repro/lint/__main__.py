@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — same entry point as ``adam2-lint``."""
+
+from repro.lint.engine import main
+
+raise SystemExit(main())

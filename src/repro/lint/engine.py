@@ -1,0 +1,164 @@
+"""The lint engine and the ``adam2-lint`` command-line entry point.
+
+Walks Python files, parses each into a :class:`ModuleContext`, runs
+every registered ADM rule, and reports violations as human-readable
+text or machine-readable JSON (for CI).  Exit status is 0 when clean,
+1 when violations were found, 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.rules import ALL_RULES, ModuleContext, Rule, get_rules
+from repro.lint.violation import LintReport, Violation
+
+__all__ = ["LintEngine", "lint_paths", "lint_source", "main"]
+
+#: directories never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+class LintEngine:
+    """Runs a set of rules over files or source strings."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None):
+        self.rules: list[Rule] = list(rules) if rules is not None else get_rules()
+
+    # -- discovery -----------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Iterable[str]) -> list[Path]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        files: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                for candidate in path.rglob("*.py"):
+                    if not _SKIP_DIRS & set(candidate.parts):
+                        files.add(candidate)
+            elif path.suffix == ".py":
+                files.add(path)
+        return sorted(files)
+
+    # -- execution -----------------------------------------------------
+
+    def check_source(self, source: str, path: str = "<string>") -> list[Violation]:
+        """Lint one source string (exposed for tests and tooling)."""
+        module = ModuleContext.from_source(source, path=path)
+        return self.check_module(module)
+
+    def check_module(self, module: ModuleContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for rule in self.rules:
+            violations.extend(rule.check(module))
+        violations.sort(key=lambda v: (v.path, v.line, v.column, v.code))
+        return violations
+
+    def run(self, paths: Iterable[str]) -> LintReport:
+        report = LintReport()
+        paths = list(paths)
+        # A typo'd path must not silently pass the lint gate.
+        for raw in paths:
+            if not Path(raw).exists():
+                report.parse_errors.append(f"{raw}: no such file or directory")
+        for path in self.discover(paths):
+            try:
+                source = path.read_text(encoding="utf-8")
+                module = ModuleContext.from_source(source, path=str(path))
+            except (OSError, SyntaxError, ValueError) as exc:
+                report.parse_errors.append(f"{path}: {exc}")
+                continue
+            report.files_checked += 1
+            report.violations.extend(self.check_module(module))
+        report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.code))
+        return report
+
+
+def lint_paths(paths: Iterable[str], select: set[str] | None = None) -> LintReport:
+    """Convenience wrapper: lint files/directories with (a subset of) rules."""
+    return LintEngine(get_rules(select)).run(paths)
+
+
+def lint_source(source: str, path: str = "<string>", select: set[str] | None = None) -> list[Violation]:
+    """Convenience wrapper: lint one source string."""
+    return LintEngine(get_rules(select)).check_source(source, path=path)
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+
+
+def _format_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "files_checked": report.files_checked,
+            "violations": [v.to_json() for v in report.violations],
+            "codes": report.codes(),
+            "parse_errors": report.parse_errors,
+            "ok": report.ok,
+        },
+        indent=2,
+    )
+
+
+def _format_text(report: LintReport) -> str:
+    lines = [v.format_text() for v in report.violations]
+    lines.extend(f"parse error: {err}" for err in report.parse_errors)
+    summary = (
+        f"{report.files_checked} file(s) checked, "
+        f"{len(report.violations)} violation(s)"
+    )
+    if report.codes():
+        summary += f" [{', '.join(report.codes())}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in ALL_RULES:
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"{cls.code}  {cls.name}: {doc}")
+        if cls.hint:
+            lines.append(f"        fix: {cls.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="adam2-lint",
+        description="Protocol-invariant linter for the Adam2 reproduction (rules ADM001-ADM007).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"), default="text", dest="fmt")
+    parser.add_argument(
+        "--select", default="", help="comma-separated rule codes to run (default: all)"
+    )
+    parser.add_argument("--list-rules", action="store_true", help="describe every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = {code.strip().upper() for code in args.select.split(",") if code.strip()} or None
+    try:
+        report = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"adam2-lint: {exc}", file=sys.stderr)
+        return 2
+
+    print(_format_json(report) if args.fmt == "json" else _format_text(report))
+    if report.parse_errors:
+        return 2
+    return 0 if not report.violations else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Rule registry for the Adam2 protocol-invariant linter."""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import ModuleContext, Rule
+from repro.lint.rules.defaults import NoMutableDefaults
+from repro.lint.rules.exceptions import NoSwallowedErrors
+from repro.lint.rules.exchange import ExchangeConservation
+from repro.lint.rules.floats import FloatEqualityOnEstimates
+from repro.lint.rules.rng import NoGlobalRng, RngParameter
+from repro.lint.rules.wallclock import NoWallClock
+
+__all__ = ["ALL_RULES", "get_rules", "ModuleContext", "Rule"]
+
+#: every rule class, in code order
+ALL_RULES: tuple[type[Rule], ...] = (
+    NoGlobalRng,          # ADM001
+    RngParameter,         # ADM002
+    FloatEqualityOnEstimates,  # ADM003
+    ExchangeConservation,      # ADM004
+    NoSwallowedErrors,    # ADM005
+    NoMutableDefaults,    # ADM006
+    NoWallClock,          # ADM007
+)
+
+
+def get_rules(select: set[str] | None = None) -> list[Rule]:
+    """Instantiate rules, optionally restricted to a set of codes."""
+    rules = [cls() for cls in ALL_RULES]
+    if select:
+        unknown = select - {r.code for r in rules}
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        rules = [r for r in rules if r.code in select]
+    return rules

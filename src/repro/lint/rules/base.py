@@ -1,0 +1,112 @@
+"""Rule interface and the module context rules operate on."""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.violation import Violation
+
+__all__ = ["ModuleContext", "Rule"]
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """A parsed source module handed to every rule.
+
+    Attributes:
+        path: display path of the file (as given on the command line).
+        source: full source text.
+        tree: the parsed AST.
+        module_name: best-effort dotted module name (``repro.fastsim.exchange``
+            for files under a ``repro`` package root, else the stem).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    module_name: str
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "ModuleContext":
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            module_name=_module_name(path),
+        )
+
+    def stdlib_random_aliases(self) -> set[str]:
+        """Names bound to the stdlib ``random`` module in this file."""
+        aliases: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return aliases
+
+    def numpy_aliases(self) -> set[str]:
+        """Names bound to the ``numpy`` module (``np`` conventionally)."""
+        aliases: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        aliases.add(alias.asname or "numpy")
+        return aliases
+
+
+def _module_name(path: str) -> str:
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro"):])
+    return Path(path).stem
+
+
+class Rule(ABC):
+    """One protocol-invariant lint rule.
+
+    Subclasses define ``code`` and ``name``, document the protected
+    invariant in their docstring, and provide a generic ``hint`` used
+    when a site-specific one is not built.
+    """
+
+    #: stable rule code, ``ADM0xx``
+    code: str = "ADM000"
+    #: short kebab-case rule name
+    name: str = "base-rule"
+    #: generic autofix hint
+    hint: str = ""
+
+    @abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``module``."""
+
+    def violation(
+        self, module: ModuleContext, node: ast.AST, message: str, hint: str | None = None
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None if not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None

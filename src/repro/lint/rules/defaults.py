@@ -1,0 +1,49 @@
+"""ADM006: no mutable default arguments.
+
+Paper invariant (indirectly): per-node state must be private to the
+node.  A mutable default is module-level shared state — two nodes
+handed the same default list/dict/array alias each other's state, the
+decentralised analogue of mass duplication.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import ModuleContext, Rule, attribute_chain
+from repro.lint.violation import Violation
+
+__all__ = ["NoMutableDefaults"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "array", "zeros", "ones", "empty"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = attribute_chain(node.func)
+        return chain is not None and chain[-1] in _MUTABLE_CALLS
+    return False
+
+
+class NoMutableDefaults(Rule):
+    """ADM006: list/dict/set/array literals (or constructors) as defaults."""
+
+    code = "ADM006"
+    name = "no-mutable-defaults"
+    hint = "default to None (or use dataclasses.field(default_factory=...)) and construct inside the function"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *[d for d in args.kw_defaults if d is not None]]:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        module, default,
+                        f"mutable default argument in {name}() is shared across all calls",
+                    )

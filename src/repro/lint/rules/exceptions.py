@@ -1,0 +1,80 @@
+"""ADM005: no bare ``except:`` and no swallowed protocol errors.
+
+Paper invariant: a violated protocol invariant (``SimulationError``,
+``ProtocolError``) means the simulated system state is no longer the one
+the convergence analysis describes; swallowing it turns a detectable
+failure into a silently biased estimate — exactly the failure mode
+Spectra/robust-gossip work shows dominates epidemic estimation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import ModuleContext, Rule, attribute_chain
+from repro.lint.violation import Violation
+
+__all__ = ["NoSwallowedErrors"]
+
+#: exception names whose silent swallowing hides invariant violations
+_CRITICAL = {
+    "Exception", "BaseException",
+    "ReproError", "SimulationError", "ProtocolError",
+}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    if node is None:
+        return set()
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for element in elements:
+        chain = attribute_chain(element)
+        if chain:
+            names.add(chain[-1])
+    return names
+
+
+def _is_trivial_body(body: list[ast.stmt]) -> bool:
+    """Only pass / ``...`` / continue — i.e. the error vanishes."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant) and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+class NoSwallowedErrors(Rule):
+    """ADM005: bare ``except:`` clauses and swallowed invariant errors.
+
+    Flags every bare ``except:`` and every handler that catches
+    ``Exception``/``BaseException`` or a protocol-invariant error
+    (``ReproError``, ``SimulationError``, ``ProtocolError``) with a body
+    that only passes/continues — the violation disappears without a
+    trace.
+    """
+
+    code = "ADM005"
+    name = "no-swallowed-errors"
+    hint = "catch the narrowest exception and handle or re-raise it (`raise ... from exc`)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    module, node, "bare `except:` catches everything, including invariant errors"
+                )
+                continue
+            caught = _handler_names(node)
+            if caught & _CRITICAL and _is_trivial_body(node.body):
+                names = ", ".join(sorted(caught & _CRITICAL))
+                yield self.violation(
+                    module, node,
+                    f"handler swallows {names} without handling or re-raising",
+                )

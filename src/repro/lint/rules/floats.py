@@ -1,0 +1,93 @@
+"""ADM003: no exact float equality between estimate expressions.
+
+Paper invariant: per-node fractions, weights and CDF estimates converge
+*towards* their fixed points exponentially but never reach them exactly;
+exact ``==``/``!=`` on such quantities encodes a convergence assumption
+the protocol does not make (nodes agree to ~1e-5, not bit-exactly).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import ModuleContext, Rule
+from repro.lint.violation import Violation
+
+__all__ = ["FloatEqualityOnEstimates"]
+
+#: identifier substrings marking an expression as an estimate quantity
+ESTIMATE_TOKENS = ("fraction", "weight", "estimate", "cdf", "mass")
+
+#: exact sentinel values a state machine may legitimately compare against
+#: (initial weight 0, initiator weight 1)
+_SENTINELS = (0.0, 1.0)
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    """The rightmost identifier of an expression, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _terminal_identifier(node.value)
+    if isinstance(node, ast.Call):
+        return _terminal_identifier(node.func)
+    return None
+
+
+def _is_estimate_expr(node: ast.expr) -> bool:
+    ident = _terminal_identifier(node)
+    if ident is None:
+        return False
+    lowered = ident.lower()
+    return any(token in lowered for token in ESTIMATE_TOKENS)
+
+
+def _is_nonsentinel_float(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node.value not in _SENTINELS
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_nonsentinel_float(node.operand)
+    return False
+
+
+class FloatEqualityOnEstimates(Rule):
+    """ADM003: ``==``/``!=`` between float estimate expressions.
+
+    Flags an equality comparison when both sides are estimate
+    expressions (identifier mentions fraction/weight/estimate/cdf/mass),
+    or one side is an estimate expression and the other a non-sentinel
+    float literal.  Self-comparison (``x == x``, the NaN-guard idiom) and
+    comparisons against the exact sentinels 0.0/1.0 (initial/initiator
+    state checks) are allowed.
+    """
+
+    code = "ADM003"
+    name = "float-equality-on-estimates"
+    hint = "compare with a tolerance: math.isclose / np.isclose / np.allclose"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if ast.dump(left) == ast.dump(right):
+                    continue  # NaN-guard idiom
+                left_est = _is_estimate_expr(left)
+                right_est = _is_estimate_expr(right)
+                flagged = (left_est and right_est) or (
+                    (left_est and _is_nonsentinel_float(right))
+                    or (right_est and _is_nonsentinel_float(left))
+                )
+                if flagged:
+                    yield self.violation(
+                        module, node,
+                        "exact float equality between estimate expressions "
+                        "(estimates converge, they never match exactly)",
+                    )

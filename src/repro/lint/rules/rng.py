@@ -1,0 +1,224 @@
+"""RNG discipline rules: ADM001 (no global RNG), ADM002 (thread the rng).
+
+Paper invariant: every experiment must be reproducible from one integer
+seed (`rngs.py` is the single entry point for generator construction).
+Global or ad-hoc RNG state breaks replayability of gossip schedules and
+therefore of every reported error curve.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import ModuleContext, Rule, attribute_chain
+from repro.lint.violation import Violation
+
+__all__ = ["NoGlobalRng", "RngParameter"]
+
+#: numpy legacy global-state drawing/seeding functions (``np.random.<fn>``)
+_NP_GLOBAL_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+    "normal", "standard_normal", "lognormal", "exponential", "poisson",
+    "binomial", "beta", "gamma", "bytes", "get_state", "set_state",
+}
+
+#: generator-construction callables allowed only inside ``repro/rngs.py``
+_NP_CONSTRUCTORS = {"default_rng"}
+
+#: non-drawing attributes of ``np.random`` that are fine anywhere
+_NP_ALLOWED = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "SFC64", "MT19937"}
+
+#: methods of ``np.random.Generator`` that draw randomness
+DRAW_METHODS = {
+    "integers", "random", "choice", "permutation", "permuted", "shuffle",
+    "uniform", "normal", "standard_normal", "lognormal", "exponential",
+    "poisson", "binomial", "beta", "gamma", "pareto", "zipf", "weibull",
+    "triangular", "laplace", "logistic", "geometric", "multinomial",
+    "dirichlet", "bytes", "spawn",
+}
+
+#: stdlib ``random`` module functions that use the hidden global state
+_STDLIB_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "paretovariate",
+    "weibullvariate", "triangular", "vonmisesvariate", "seed",
+    "getrandbits", "randbytes", "binomialvariate",
+}
+
+
+def _is_rngs_module(module: ModuleContext) -> bool:
+    return module.module_name == "repro.rngs" or module.path.endswith("rngs.py")
+
+
+class NoGlobalRng(Rule):
+    """ADM001: no global or ad-hoc RNG construction outside ``repro.rngs``.
+
+    Flags calls through the stdlib ``random`` module's hidden global
+    state, calls through NumPy's legacy global state
+    (``np.random.<fn>``), and any ``default_rng(...)`` construction
+    outside ``repro/rngs.py`` — seedless construction is irreproducible
+    outright, and ad-hoc seeded construction (e.g. from ``hash()``, which
+    is salted per process) bypasses the seed-tree that makes experiments
+    replayable.
+    """
+
+    code = "ADM001"
+    name = "no-global-rng"
+    hint = (
+        "construct generators only via repro.rngs (make_rng / spawn / derive) "
+        "and thread the np.random.Generator to the call site"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if _is_rngs_module(module):
+            return
+        stdlib = module.stdlib_random_aliases()
+        numpy = module.numpy_aliases()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            yield from self._check_chain(module, node, chain, stdlib, numpy)
+
+    def _check_chain(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        chain: list[str],
+        stdlib: set[str],
+        numpy: set[str],
+    ) -> Iterator[Violation]:
+        root, attrs = chain[0], chain[1:]
+        if root in stdlib and len(attrs) == 1 and attrs[0] in _STDLIB_FNS:
+            yield self.violation(
+                module, node,
+                f"call to stdlib global RNG random.{attrs[0]}() — hidden global state",
+            )
+        elif root in numpy and len(attrs) == 2 and attrs[0] == "random":
+            fn = attrs[1]
+            if fn in _NP_CONSTRUCTORS:
+                kind = "seedless" if not node.args and not node.keywords else "ad-hoc"
+                yield self.violation(
+                    module, node,
+                    f"{kind} np.random.default_rng(...) outside repro.rngs",
+                )
+            elif fn in _NP_GLOBAL_FNS:
+                yield self.violation(
+                    module, node,
+                    f"call to NumPy legacy global RNG np.random.{fn}()",
+                )
+        elif len(chain) == 1 and chain[0] in _NP_CONSTRUCTORS:
+            # `from numpy.random import default_rng; default_rng()`
+            yield self.violation(
+                module, node, "default_rng(...) construction outside repro.rngs"
+            )
+
+
+class RngParameter(Rule):
+    """ADM002: public functions drawing randomness must accept an ``rng``.
+
+    A public function whose body draws randomness (calls a
+    ``np.random.Generator`` drawing method) on a receiver that is not a
+    parameter, not reached through ``self``/``cls``, and not a local
+    binding must declare an ``rng: np.random.Generator`` parameter —
+    otherwise it is drawing from module-level state and the call site
+    cannot control determinism.
+    """
+
+    code = "ADM002"
+    name = "rng-parameter"
+    hint = "add an `rng: np.random.Generator` parameter and draw from it"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        params = _parameter_names(fn)
+        if any(p == "rng" or p.endswith("_rng") for p in params):
+            return
+        local_bindings = _local_bindings(fn)
+        for node in _own_scope_walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None or len(chain) < 2 or chain[-1] not in DRAW_METHODS:
+                continue
+            root = chain[0]
+            if root in ("self", "cls") or root in params or root in local_bindings:
+                continue
+            yield self.violation(
+                module, node,
+                f"public function {fn.name}() draws randomness via "
+                f"{'.'.join(chain)}() but has no rng parameter",
+            )
+
+
+def _own_scope_walk(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes.
+
+    Nested ``def``s are linted on their own; lambdas receive their own
+    parameters (the usual way workloads thread an ``rng``), so calls
+    inside them are not draws from the enclosing function's scope.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _parameter_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _local_bindings(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    bound: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, ast.NamedExpr):
+            bound.update(_target_names(node.target))
+    return bound
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()

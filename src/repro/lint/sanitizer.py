@@ -1,0 +1,513 @@
+"""Runtime mass-conservation sanitizer for all three simulation backends.
+
+Opt-in instrumentation (set ``ADAM2_SANITIZE=1`` or pass
+``sanitize=True`` to an engine) that asserts, as the simulation runs,
+the invariants Adam2's convergence argument rests on:
+
+* **mass conservation** — per-column sums of all averaged quantities
+  (interpolation fractions, verification fractions, the size weight)
+  are invariant under symmetric push–pull exchanges; joins add exactly
+  the joiner's initial indicator contribution.  Exchange modes that
+  intentionally break this must be registered in
+  :mod:`repro.core.conservation` — the sanitizer whitelists them *by
+  declaration*, never silently.
+* **weight sanity** — size weights stay in ``[0, 1]`` and the weight
+  column keeps total mass 1 (one initiator).
+* **fraction range** — per-node (normalised) fractions stay in
+  ``[0, 1]``.
+* **monotone interpolation points** — each node's fraction vector is
+  non-decreasing over its sorted thresholds, so every intermediate CDF
+  estimate is a valid CDF.
+
+Violations raise :class:`InvariantViolation` carrying backend, round,
+instance and node context.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.core.conservation import is_mass_conserving, non_conserving_reason
+from repro.core.instance import InstanceState
+from repro.core.node import Adam2Node
+
+__all__ = [
+    "InvariantViolation",
+    "sanitize_enabled",
+    "FastsimSanitizer",
+    "SanitizedProtocol",
+    "SanitizedAsyncProtocol",
+]
+
+#: env var switching the sanitizer on globally
+ENV_FLAG = "ADAM2_SANITIZE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: tolerance for column-mass comparisons (rtol scales with population mass)
+MASS_RTOL = 1e-9
+MASS_ATOL = 1e-7
+#: tolerance for per-node range and monotonicity checks
+RANGE_TOL = 1e-9
+
+
+def sanitize_enabled(flag: bool | None = None) -> bool:
+    """Resolve an explicit engine flag against the ``ADAM2_SANITIZE`` env var."""
+    if flag is not None:
+        return flag
+    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+class InvariantViolation(ReproError):
+    """A protocol invariant was violated at runtime.
+
+    Attributes:
+        invariant: which invariant failed (``mass-conservation``,
+            ``weight-sum``, ``fraction-range``, ``monotone-cdf``,
+            ``exchange-payload``).
+        backend: ``simulation`` / ``fastsim`` / ``asyncsim``.
+        round_index: round (or event) at which the violation surfaced.
+        instance: instance identifier/index, when known.
+        node: node identifier/index, when known.
+        detail: human-readable numeric context.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        backend: str,
+        round_index: int | float | None = None,
+        instance: Any = None,
+        node: Any = None,
+    ):
+        self.invariant = invariant
+        self.backend = backend
+        self.round_index = round_index
+        self.instance = instance
+        self.node = node
+        self.detail = detail
+        context = [f"backend={backend}"]
+        if round_index is not None:
+            context.append(f"round={round_index}")
+        if instance is not None:
+            context.append(f"instance={instance}")
+        if node is not None:
+            context.append(f"node={node}")
+        super().__init__(f"[{invariant}] {detail} ({', '.join(context)})")
+
+
+# ---------------------------------------------------------------------
+# Shared checks
+# ---------------------------------------------------------------------
+
+
+def _check_mass(
+    actual: np.ndarray,
+    expected: np.ndarray,
+    *,
+    backend: str,
+    round_index: int | float | None,
+    instance: Any,
+) -> None:
+    actual = np.atleast_1d(np.asarray(actual, dtype=float))
+    expected = np.atleast_1d(np.asarray(expected, dtype=float))
+    tolerance = MASS_ATOL + MASS_RTOL * np.abs(expected)
+    deviation = np.abs(actual - expected)
+    if np.any(deviation > tolerance):
+        column = int(np.argmax(deviation - tolerance))
+        raise InvariantViolation(
+            "mass-conservation",
+            f"column {column} mass drifted from {expected[column]!r} to "
+            f"{actual[column]!r} (|Δ|={deviation[column]:.3e})",
+            backend=backend,
+            round_index=round_index,
+            instance=instance,
+        )
+
+
+def _check_fraction_rows(
+    fractions: np.ndarray,
+    *,
+    backend: str,
+    round_index: int | float | None,
+    instance: Any,
+    node: Any = None,
+) -> None:
+    """Range [0, 1] and row-wise monotonicity of interpolation fractions."""
+    fractions = np.atleast_2d(np.asarray(fractions, dtype=float))
+    if fractions.size == 0:
+        return
+    low = fractions.min()
+    high = fractions.max()
+    if low < -RANGE_TOL or high > 1.0 + RANGE_TOL:
+        rows, cols = np.where((fractions < -RANGE_TOL) | (fractions > 1.0 + RANGE_TOL))
+        raise InvariantViolation(
+            "fraction-range",
+            f"fraction {fractions[rows[0], cols[0]]!r} outside [0, 1] "
+            f"at point {int(cols[0])}",
+            backend=backend,
+            round_index=round_index,
+            instance=instance,
+            node=node if node is not None else int(rows[0]),
+        )
+    if fractions.shape[1] > 1:
+        steps = np.diff(fractions, axis=1)
+        if np.any(steps < -RANGE_TOL):
+            rows, cols = np.where(steps < -RANGE_TOL)
+            raise InvariantViolation(
+                "monotone-cdf",
+                f"interpolation points decrease by {-float(steps[rows[0], cols[0]]):.3e} "
+                f"between points {int(cols[0])} and {int(cols[0]) + 1}",
+                backend=backend,
+                round_index=round_index,
+                instance=instance,
+                node=node if node is not None else int(rows[0]),
+            )
+
+
+def _check_weights(
+    weights: np.ndarray,
+    *,
+    backend: str,
+    round_index: int | float | None,
+    instance: Any,
+) -> None:
+    weights = np.atleast_1d(np.asarray(weights, dtype=float))
+    if np.any(weights < -RANGE_TOL) or np.any(weights > 1.0 + RANGE_TOL):
+        bad = int(np.argmax((weights < -RANGE_TOL) | (weights > 1.0 + RANGE_TOL)))
+        raise InvariantViolation(
+            "weight-sum",
+            f"size weight {weights[bad]!r} outside [0, 1]",
+            backend=backend,
+            round_index=round_index,
+            instance=instance,
+            node=bad,
+        )
+
+
+# ---------------------------------------------------------------------
+# Fastsim backend
+# ---------------------------------------------------------------------
+
+
+class FastsimSanitizer:
+    """Per-instance invariant checks over the dense fastsim arrays.
+
+    Usage (see :class:`repro.fastsim.adam2.Adam2Simulation`): call
+    :meth:`begin_instance` once the instance arrays are initialised,
+    :meth:`rebaseline` after any *legitimate* external mutation of the
+    averaged matrix (churn resets, drift re-evaluation), and
+    :meth:`after_round` after every gossip round.
+    """
+
+    backend = "fastsim"
+
+    def __init__(self) -> None:
+        self._expected: np.ndarray | None = None
+        self._conserving: bool = True
+        self._mode: str = "symmetric"
+        self._instance: Any = None
+
+    def begin_instance(self, averaged: np.ndarray, join_mode: str, instance: Any = None) -> None:
+        self._mode = join_mode
+        self._conserving = is_mass_conserving(join_mode)
+        self._instance = instance
+        self._expected = averaged.sum(axis=0).copy()
+
+    def rebaseline(self, averaged: np.ndarray) -> None:
+        """Accept the current mass as the new baseline (churn/drift)."""
+        self._expected = averaged.sum(axis=0).copy()
+
+    def after_round(self, averaged: np.ndarray, k: int, round_index: int) -> None:
+        if self._expected is None:
+            raise InvariantViolation(
+                "mass-conservation",
+                "after_round() called before begin_instance()",
+                backend=self.backend,
+                round_index=round_index,
+            )
+        if self._conserving:
+            _check_mass(
+                averaged.sum(axis=0),
+                self._expected,
+                backend=self.backend,
+                round_index=round_index,
+                instance=self._instance,
+            )
+        _check_weights(
+            averaged[:, -1],
+            backend=self.backend,
+            round_index=round_index,
+            instance=self._instance,
+        )
+        _check_fraction_rows(
+            averaged[:, :k],
+            backend=self.backend,
+            round_index=round_index,
+            instance=self._instance,
+        )
+
+    @property
+    def whitelisted_reason(self) -> str | None:
+        """Why mass checks are off, when the mode is registered non-conserving."""
+        return non_conserving_reason(self._mode)
+
+
+# ---------------------------------------------------------------------
+# Round-based engine backend
+# ---------------------------------------------------------------------
+
+
+def _instance_masses(adam2: Adam2Node) -> dict[Any, dict[str, Any]]:
+    return {
+        iid: {
+            "fractions": state.h.fractions.copy(),
+            "v_fractions": state.v_fractions.copy(),
+            "weight": state.weight,
+            "count": state.count_average,
+            "thresholds": state.h.thresholds,
+            "v_thresholds": state.v_thresholds,
+        }
+        for iid, state in adam2.instances.items()
+    }
+
+
+def _initial_contribution(values: np.ndarray, snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Mass a fresh joiner adds: its indicator counts, weight 0."""
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    thresholds = snapshot["thresholds"]
+    v_thresholds = snapshot["v_thresholds"]
+    return {
+        "fractions": (values[None, :] <= thresholds[:, None]).sum(axis=1).astype(float),
+        "v_fractions": (values[None, :] <= v_thresholds[:, None]).sum(axis=1).astype(float),
+        "weight": 0.0,
+        "count": float(values.size),
+    }
+
+
+def _pair_mass(parts: list[dict[str, Any]]) -> np.ndarray:
+    """Flatten the summed averaged quantities of a set of per-node states."""
+    fractions = np.sum([p["fractions"] for p in parts], axis=0)
+    v_fractions = np.sum([p["v_fractions"] for p in parts], axis=0)
+    weight = float(np.sum([p["weight"] for p in parts]))
+    count = float(np.sum([p["count"] for p in parts]))
+    return np.concatenate((np.atleast_1d(fractions), np.atleast_1d(v_fractions), [weight, count]))
+
+
+def _check_node_states(
+    adam2: Adam2Node, *, backend: str, round_index: int | float | None, node: Any
+) -> None:
+    for iid, state in adam2.instances.items():
+        if state.count_average > 0:
+            _check_fraction_rows(
+                state.h.fractions[None, :] / state.count_average,
+                backend=backend,
+                round_index=round_index,
+                instance=iid,
+                node=node,
+            )
+        _check_weights(
+            np.asarray([state.weight]),
+            backend=backend,
+            round_index=round_index,
+            instance=iid,
+        )
+
+
+class SanitizedProtocol:
+    """Wraps a round-based :class:`repro.simulation.engine.Protocol`.
+
+    Every ``exchange`` is bracketed: the per-instance averaged masses of
+    the two peers must be identical before and after (modulo the exact
+    initial contribution of a node joining an instance mid-exchange),
+    and the exchange must return a payload tuple.  Per-node range and
+    monotonicity checks run on both peers afterwards.  Exchange modes
+    registered non-conserving skip only the mass equality, never the
+    per-node checks.
+    """
+
+    backend = "simulation"
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+        self.name = inner.name
+
+    # -- delegation ----------------------------------------------------
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self.inner, attr)
+
+    def on_node_added(self, node: Any, engine: Any) -> None:
+        self.inner.on_node_added(node, engine)
+
+    def on_node_removed(self, node: Any, engine: Any) -> None:
+        self.inner.on_node_removed(node, engine)
+
+    def before_round(self, engine: Any) -> None:
+        self.inner.before_round(engine)
+
+    def after_node_round(self, node: Any, engine: Any) -> None:
+        self.inner.after_node_round(node, engine)
+
+    def after_round(self, engine: Any) -> None:
+        self.inner.after_round(engine)
+
+    # -- the instrumented hook -----------------------------------------
+
+    def exchange(self, initiator: Any, responder: Any, engine: Any) -> tuple[int, int]:
+        a = initiator.state.get(self.name)
+        b = responder.state.get(self.name)
+        checkable = isinstance(a, Adam2Node) and isinstance(b, Adam2Node)
+        if checkable:
+            pre_a = _instance_masses(a)
+            pre_b = _instance_masses(b)
+
+        result = self.inner.exchange(initiator, responder, engine)
+
+        if not (isinstance(result, tuple) and len(result) == 2):
+            raise InvariantViolation(
+                "exchange-payload",
+                f"exchange returned {result!r}, not a (request_bytes, response_bytes) tuple",
+                backend=self.backend,
+                round_index=getattr(engine, "round", None),
+                node=initiator.node_id,
+            )
+        if not checkable:
+            return result
+
+        round_index = getattr(engine, "round", None)
+        join_mode = getattr(getattr(self.inner, "config", None), "join_mode", "symmetric")
+        post_a = _instance_masses(a)
+        post_b = _instance_masses(b)
+        for iid in set(post_a) | set(post_b):
+            before: list[dict[str, Any]] = []
+            joined_fresh = False
+            for node, pre, post in ((initiator, pre_a, post_a), (responder, pre_b, post_b)):
+                if iid in pre:
+                    before.append(pre[iid])
+                elif iid in post:
+                    joined_fresh = True
+                    before.append(_initial_contribution(node.values, post[iid]))
+            if joined_fresh and not is_mass_conserving(join_mode):
+                continue  # declared non-conserving join (e.g. "literal")
+            after = [post[iid] for post in (post_a, post_b) if iid in post]
+            if not before or not after:
+                continue
+            _check_mass(
+                _pair_mass(after),
+                _pair_mass(before),
+                backend=self.backend,
+                round_index=round_index,
+                instance=iid,
+            )
+        for node, adam2 in ((initiator, a), (responder, b)):
+            _check_node_states(
+                adam2, backend=self.backend, round_index=round_index, node=node.node_id
+            )
+        return result
+
+
+# ---------------------------------------------------------------------
+# Async engine backend
+# ---------------------------------------------------------------------
+
+
+class SanitizedAsyncProtocol:
+    """Wraps an :class:`repro.asyncsim.engine.AsyncProtocol`.
+
+    The atomic unit under asynchrony is one message delivery: merging a
+    received instance snapshot must replace the local state by the exact
+    mean of (local-or-initial, remote) — the half of the push–pull pair
+    that executes locally.  The wrapper verifies this averaging property
+    for every instance carried by a delivered request or response, plus
+    the per-node range/monotonicity checks.
+    """
+
+    backend = "asyncsim"
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+        self.name = inner.name
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self.inner, attr)
+
+    def on_node_added(self, node: Any, engine: Any) -> None:
+        self.inner.on_node_added(node, engine)
+
+    def on_timer(self, node: Any, engine: Any) -> Any | None:
+        payload = self.inner.on_timer(node, engine)
+        self._check_node(node, engine)
+        return payload
+
+    def on_request(self, node: Any, payload: Any, engine: Any) -> Any | None:
+        response = self._bracket_merge(node, payload, engine, self.inner.on_request)
+        return response
+
+    def on_response(self, node: Any, payload: Any, engine: Any) -> None:
+        def handler(n: Any, p: Any, e: Any) -> None:
+            self.inner.on_response(n, p, e)
+
+        self._bracket_merge(node, payload, engine, handler)
+
+    def payload_bytes(self, payload: Any) -> int:
+        return self.inner.payload_bytes(payload)
+
+    # -- internals -----------------------------------------------------
+
+    def _bracket_merge(self, node: Any, payload: Any, engine: Any, handler: Any) -> Any:
+        adam2 = node.state.get(self.name)
+        checkable = isinstance(adam2, Adam2Node) and isinstance(payload, dict)
+        if checkable:
+            pre = _instance_masses(adam2)
+
+        result = handler(node, payload, engine)
+
+        if not checkable:
+            return result
+        now = getattr(engine, "now", None)
+        post = _instance_masses(adam2)
+        for iid, remote in payload.items():
+            if not isinstance(remote, InstanceState) or iid not in post:
+                continue
+            if iid in pre:
+                local_before = pre[iid]
+            else:
+                local_before = _initial_contribution(adam2.values, post[iid])
+            expected = 0.5 * (_pair_mass([local_before]) + _pair_mass([_masses_of(remote)]))
+            _check_mass(
+                _pair_mass([post[iid]]),
+                expected,
+                backend=self.backend,
+                round_index=now,
+                instance=iid,
+            )
+        self._check_node(node, engine)
+        return result
+
+    def _check_node(self, node: Any, engine: Any) -> None:
+        adam2 = node.state.get(self.name)
+        if isinstance(adam2, Adam2Node):
+            _check_node_states(
+                adam2,
+                backend=self.backend,
+                round_index=getattr(engine, "now", None),
+                node=node.node_id,
+            )
+
+
+def _masses_of(state: InstanceState) -> dict[str, Any]:
+    return {
+        "fractions": state.h.fractions,
+        "v_fractions": state.v_fractions,
+        "weight": state.weight,
+        "count": state.count_average,
+        "thresholds": state.h.thresholds,
+        "v_thresholds": state.v_thresholds,
+    }

@@ -1,0 +1,60 @@
+"""Violation record emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule violation at one source location.
+
+    Attributes:
+        code: the rule code (``ADM001`` … ``ADM007``).
+        message: what is wrong at this site.
+        path: file the violation was found in.
+        line: 1-based source line.
+        column: 0-based source column.
+        hint: how to fix it (the rule's autofix hint, possibly
+            specialised to the site).
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    hint: str = ""
+
+    def format_text(self) -> str:
+        text = f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "hint": self.hint,
+        }
+
+
+@dataclass(slots=True)
+class LintReport:
+    """All violations from one lint run, plus file accounting."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def codes(self) -> list[str]:
+        return sorted({v.code for v in self.violations})

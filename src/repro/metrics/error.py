@@ -14,6 +14,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.rngs import make_rng
 from repro.types import ErrorPair
 from repro.core.cdf import EmpiricalCDF, EstimatedCDF
 from repro.core.interpolation import interpolate_matrix
@@ -118,7 +119,7 @@ def matrix_errors(
     )
 
     if node_sample is not None and node_sample < n:
-        rng = rng or np.random.default_rng(0)
+        rng = rng or make_rng(0)
         idx = rng.choice(n, size=node_sample, replace=False)
     else:
         idx = np.arange(n)

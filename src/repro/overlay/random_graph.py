@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import OverlayError
 from repro.overlay.base import Overlay
+from repro.rngs import derive
 
 __all__ = ["RandomGraphOverlay", "FullMeshOverlay"]
 
@@ -130,7 +131,10 @@ class RandomGraphOverlay(Overlay):
         pool = np.asarray(bootstrap if bootstrap else list(self._links))
         if pool.size == 0:
             raise OverlayError("cannot add a node to an empty overlay without bootstrap")
-        rng = np.random.default_rng(abs(hash(("wire", node_id))) % (2**32))
+        # Derive the wiring stream from the node id alone: `hash()` is
+        # salted per process, which would make late-join wiring (and so
+        # whole runs) irreproducible across processes.
+        rng = derive(node_id, "wire")
         self._links[node_id] = self._wire(node_id, pool, rng)
 
     def remove_node(self, node_id: int) -> None:

@@ -71,6 +71,7 @@ class Engine:
         network: NetworkAccounting | None = None,
         observers: Iterable[Callable[["Engine"], None]] = (),
         loss_rate: float = 0.0,
+        sanitize: bool | None = None,
     ):
         names = [p.name for p in protocols]
         if len(set(names)) != len(names):
@@ -79,6 +80,12 @@ class Engine:
             raise SimulationError(f"loss rate must be in [0, 1), got {loss_rate}")
         self.overlay = overlay
         self.protocols = list(protocols)
+        # Opt-in invariant sanitizer (ADAM2_SANITIZE=1 or sanitize=True):
+        # wrap every protocol so each exchange is mass-checked.
+        from repro.lint.sanitizer import SanitizedProtocol, sanitize_enabled
+
+        if sanitize_enabled(sanitize):
+            self.protocols = [SanitizedProtocol(p) for p in self.protocols]
         self.rng = rng
         self.churn = churn
         self.network = network or NetworkAccounting()

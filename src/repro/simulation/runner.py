@@ -28,6 +28,7 @@ def build_engine(
     churn=None,
     observers: Iterable = (),
     loss_rate: float = 0.0,
+    sanitize: bool | None = None,
 ) -> Engine:
     """Build an engine with an initial population drawn from a workload.
 
@@ -44,6 +45,8 @@ def build_engine(
         degree: link/view size for the graph overlays.
         churn: optional churn model.
         observers: per-round observer callables.
+        sanitize: enable the invariant sanitizer (default: follow the
+            ``ADAM2_SANITIZE`` env var).
     """
     if n_nodes < 2:
         raise SimulationError("need at least 2 nodes")
@@ -67,6 +70,7 @@ def build_engine(
         churn=churn,
         observers=observers,
         loss_rate=loss_rate,
+        sanitize=sanitize,
     )
     values = workload.sample(n_nodes, spawn(rng))
     engine.populate(values)

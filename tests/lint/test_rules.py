@@ -1,0 +1,285 @@
+"""Per-rule unit tests: one positive and one negative fixture per ADM rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import lint_source
+
+
+def codes(source: str, path: str = "src/repro/fastsim/example.py") -> list[str]:
+    return [v.code for v in lint_source(textwrap.dedent(source), path=path)]
+
+
+class TestADM001NoGlobalRng:
+    def test_flags_stdlib_global_random(self):
+        src = """
+            import random
+
+            def pick():
+                return random.randint(0, 10)
+        """
+        assert "ADM001" in codes(src)
+
+    def test_flags_numpy_legacy_global(self):
+        src = """
+            import numpy as np
+
+            def pick():
+                return np.random.randint(0, 10)
+        """
+        assert "ADM001" in codes(src)
+
+    def test_flags_seedless_default_rng(self):
+        src = """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+        """
+        violations = lint_source(textwrap.dedent(src), path="src/repro/x.py")
+        assert any(v.code == "ADM001" and "seedless" in v.message for v in violations)
+
+    def test_flags_adhoc_seeded_default_rng(self):
+        src = """
+            import numpy as np
+
+            def make(node_id):
+                return np.random.default_rng(abs(hash(("wire", node_id))))
+        """
+        assert "ADM001" in codes(src)
+
+    def test_allows_construction_inside_rngs_module(self):
+        src = """
+            import numpy as np
+
+            def make_rng(seed=None):
+                return np.random.default_rng(seed)
+        """
+        assert codes(src, path="src/repro/rngs.py") == []
+
+    def test_allows_threaded_generator(self):
+        src = """
+            import numpy as np
+
+            def pick(rng: np.random.Generator) -> int:
+                return int(rng.integers(0, 10))
+        """
+        assert "ADM001" not in codes(src)
+
+
+class TestADM002RngParameter:
+    def test_flags_public_function_drawing_from_module_state(self):
+        src = """
+            from somewhere import shared_rng
+
+            def jitter(x):
+                return x + shared_rng.uniform(-1, 1)
+        """
+        assert "ADM002" in codes(src)
+
+    def test_allows_rng_parameter(self):
+        src = """
+            def jitter(x, rng):
+                return x + rng.uniform(-1, 1)
+        """
+        assert codes(src) == []
+
+    def test_allows_self_attribute_rng(self):
+        src = """
+            class Node:
+                def step(self):
+                    return self.rng.random()
+        """
+        assert codes(src) == []
+
+    def test_allows_lambda_with_own_rng_parameter(self):
+        src = """
+            def uniform_workload(low, high):
+                return Workload(lambda n, rng: rng.uniform(low, high, size=n))
+        """
+        assert codes(src) == []
+
+    def test_private_functions_exempt(self):
+        src = """
+            from somewhere import shared_rng
+
+            def _internal(x):
+                return x + shared_rng.uniform(-1, 1)
+        """
+        assert "ADM002" not in codes(src)
+
+
+class TestADM003FloatEquality:
+    def test_flags_estimate_equality(self):
+        src = """
+            def agree(a, b):
+                return a.fraction == b.fraction
+        """
+        assert "ADM003" in codes(src)
+
+    def test_flags_estimate_vs_float_literal(self):
+        src = """
+            def half(state):
+                return state.weight == 0.5
+        """
+        assert "ADM003" in codes(src)
+
+    def test_allows_tolerance_helpers_and_sentinels(self):
+        src = """
+            import math
+
+            def agree(a, b):
+                return math.isclose(a.fraction, b.fraction)
+
+            def fresh(state):
+                return state.weight == 0.0
+
+            def nan_guard(p):
+                return not (p.fraction == p.fraction)
+        """
+        assert codes(src) == []
+
+
+class TestADM004ExchangeConservation:
+    def test_flags_exchange_returning_none(self):
+        src = """
+            from repro.simulation.engine import Protocol
+
+            class Broken(Protocol):
+                def exchange(self, initiator, responder, engine):
+                    return None
+        """
+        assert "ADM004" in codes(src)
+
+    def test_flags_unregistered_join_mode(self):
+        src = """
+            def round_(state, join_mode="symmetric"):
+                if join_mode == "leaky":
+                    state *= 0.5
+        """
+        assert "ADM004" in codes(src)
+
+    def test_allows_registered_mode_and_tuple_return(self):
+        src = """
+            from repro.core.conservation import register_non_conserving
+            from repro.simulation.engine import Protocol
+
+            register_non_conserving("leaky", "drops half the mass, biases fractions low")
+
+            def round_(state, join_mode="symmetric"):
+                if join_mode == "leaky":
+                    state *= 0.5
+
+            class Fine(Protocol):
+                def exchange(self, initiator, responder, engine):
+                    return 64, 64
+        """
+        assert codes(src) == []
+
+    def test_symmetric_never_needs_registration(self):
+        src = """
+            def round_(state, join_mode="symmetric"):
+                if join_mode == "symmetric":
+                    state += 0
+        """
+        assert codes(src) == []
+
+
+class TestADM005NoSwallowedErrors:
+    def test_flags_bare_except(self):
+        src = """
+            def run(fn):
+                try:
+                    fn()
+                except:
+                    pass
+        """
+        assert "ADM005" in codes(src)
+
+    def test_flags_swallowed_simulation_error(self):
+        src = """
+            from repro.errors import SimulationError
+
+            def run(fn):
+                try:
+                    fn()
+                except SimulationError:
+                    pass
+        """
+        assert "ADM005" in codes(src)
+
+    def test_allows_narrow_handled_exceptions(self):
+        src = """
+            from repro.errors import OverlayError
+
+            def run(table, node_id):
+                try:
+                    return table[node_id]
+                except KeyError:
+                    raise OverlayError(f"unknown node {node_id}") from None
+        """
+        assert codes(src) == []
+
+
+class TestADM006NoMutableDefaults:
+    def test_flags_list_default(self):
+        src = """
+            def gather(into=[]):
+                into.append(1)
+                return into
+        """
+        assert "ADM006" in codes(src)
+
+    def test_allows_none_default(self):
+        src = """
+            def gather(into=None):
+                into = [] if into is None else into
+                into.append(1)
+                return into
+        """
+        assert codes(src) == []
+
+
+class TestADM007NoWallClock:
+    def test_flags_wall_clock_in_simulation_module(self):
+        src = """
+            import time
+
+            def run_round(engine):
+                engine.started = time.time()
+        """
+        assert "ADM007" in codes(src, path="src/repro/simulation/engine.py")
+
+    def test_flags_datetime_now(self):
+        src = """
+            from datetime import datetime
+
+            def stamp(node):
+                node.seen = datetime.now()
+        """
+        assert "ADM007" in codes(src, path="src/repro/fastsim/adam2.py")
+
+    def test_experiment_drivers_exempt(self):
+        src = """
+            import time
+
+            def run_experiment():
+                started = time.time()
+                return time.time() - started
+        """
+        assert codes(src, path="src/repro/experiments/cli.py") == []
+
+
+class TestSelection:
+    def test_select_restricts_rules(self):
+        src = """
+            import random
+
+            def gather(into=[]):
+                return random.random()
+        """
+        from repro.lint.engine import lint_source as ls
+
+        only_006 = ls(textwrap.dedent(src), select={"ADM006"})
+        assert {v.code for v in only_006} == {"ADM006"}

@@ -1,0 +1,263 @@
+"""Runtime sanitizer integration: injected invariant violations must be
+caught in all three backends, and declared non-conserving modes must be
+whitelisted by declaration, not silently."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import Adam2Config
+from repro.core.conservation import (
+    NON_CONSERVING_MODES,
+    is_mass_conserving,
+    non_conserving_reason,
+)
+from repro.core.protocol import Adam2Protocol
+from repro.asyncsim.adam2 import AsyncAdam2
+from repro.asyncsim.engine import AsyncEngine
+from repro.fastsim.adam2 import Adam2Simulation
+from repro.fastsim.exchange import sequential_round
+from repro.lint.sanitizer import (
+    ENV_FLAG,
+    FastsimSanitizer,
+    InvariantViolation,
+    sanitize_enabled,
+)
+from repro.overlay.random_graph import FullMeshOverlay
+from repro.rngs import make_rng
+from repro.simulation.runner import build_engine
+from repro.workloads.synthetic import uniform_workload
+
+CONFIG = Adam2Config(points=6, rounds_per_instance=8)
+
+
+# ---------------------------------------------------------------------
+# Flag resolution and mode registry
+# ---------------------------------------------------------------------
+
+
+def test_env_var_switches_sanitizer_on(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    assert not sanitize_enabled()
+    monkeypatch.setenv(ENV_FLAG, "1")
+    assert sanitize_enabled()
+    assert not sanitize_enabled(False)  # explicit flag wins over env
+    monkeypatch.setenv(ENV_FLAG, "0")
+    assert not sanitize_enabled()
+    assert sanitize_enabled(True)
+
+
+def test_literal_join_mode_is_registered_by_declaration():
+    assert not is_mass_conserving("literal")
+    assert "literal" in NON_CONSERVING_MODES
+    reason = non_conserving_reason("literal")
+    assert reason is not None and "mass" in reason
+    assert is_mass_conserving("symmetric")
+
+
+# ---------------------------------------------------------------------
+# Fastsim backend
+# ---------------------------------------------------------------------
+
+
+def _fast_sim(**kwargs) -> Adam2Simulation:
+    return Adam2Simulation(
+        uniform_workload(0, 1000), n_nodes=24, config=kwargs.pop("config", CONFIG),
+        seed=7, sanitize=True, **kwargs,
+    )
+
+
+def test_fastsim_clean_run_passes():
+    result = _fast_sim().run_instance()
+    assert result.joined.any()
+
+
+def test_fastsim_detects_mass_leak():
+    sim = _fast_sim()
+    inner = sim.kernel
+
+    def leaky_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None):
+        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded)
+        averaged[:, 0] += 1e-3  # create fraction mass out of thin air
+        return active
+
+    sim.kernel = leaky_kernel
+    with pytest.raises(InvariantViolation) as exc:
+        sim.run_instance()
+    assert exc.value.invariant == "mass-conservation"
+    assert exc.value.backend == "fastsim"
+    assert exc.value.round_index == 0
+
+
+def test_fastsim_detects_non_monotone_estimate():
+    # Literal mode: the mass check is whitelisted by declaration, so the
+    # injected non-monotone interpolation points are what gets caught.
+    sim = _fast_sim(config=Adam2Config(points=6, rounds_per_instance=8, join_mode="literal"))
+    inner = sim.kernel
+
+    def scrambling_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None):
+        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded)
+        averaged[0, 0] = 0.9  # F(t_0) > F(t_1): no longer a CDF
+        averaged[0, 1] = 0.1
+        return active
+
+    sim.kernel = scrambling_kernel
+    with pytest.raises(InvariantViolation) as exc:
+        sim.run_instance()
+    assert exc.value.invariant == "monotone-cdf"
+
+
+def test_fastsim_literal_join_mode_is_whitelisted():
+    config = Adam2Config(points=6, rounds_per_instance=8, join_mode="literal")
+    result = _fast_sim(config=config).run_instance()
+    assert result.joined.any()
+
+
+def test_fastsim_detects_weight_violation():
+    sim = _fast_sim(config=Adam2Config(points=6, rounds_per_instance=8, join_mode="literal"))
+    inner = sim.kernel
+
+    def inflating_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None):
+        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded)
+        averaged[0, -1] = 1.5  # a size weight above 1 is impossible
+        return active
+
+    sim.kernel = inflating_kernel
+    with pytest.raises(InvariantViolation) as exc:
+        sim.run_instance()
+    assert exc.value.invariant == "weight-sum"
+
+
+def test_fastsim_sanitizer_unit_checks():
+    sanitizer = FastsimSanitizer()
+    averaged = np.asarray([[0.2, 0.6, 0.0], [0.4, 0.8, 1.0]])
+    sanitizer.begin_instance(averaged, "symmetric", instance=0)
+    sanitizer.after_round(averaged, k=2, round_index=0)  # untouched: fine
+    averaged[0, 1] += 0.1  # keeps the row monotone, breaks column mass
+    with pytest.raises(InvariantViolation):
+        sanitizer.after_round(averaged, k=2, round_index=1)
+    sanitizer.rebaseline(averaged)  # declare the mutation legitimate
+    sanitizer.after_round(averaged, k=2, round_index=2)
+
+
+# ---------------------------------------------------------------------
+# Round-based simulation backend
+# ---------------------------------------------------------------------
+
+
+class LeakyAdam2Protocol(Adam2Protocol):
+    """Adam2 whose exchange inflates the initiator's fraction mass."""
+
+    def exchange(self, initiator, responder, engine):
+        result = super().exchange(initiator, responder, engine)
+        adam2 = initiator.state[self.name]
+        for state in adam2.instances.values():
+            state.h.fractions = state.h.fractions * 1.01 + 1e-4
+        return result
+
+
+def test_simulation_engine_detects_mass_leak():
+    protocol = LeakyAdam2Protocol(CONFIG)
+    engine = build_engine(
+        uniform_workload(0, 1000), 16, [protocol], make_rng(3), sanitize=True
+    )
+    protocol.trigger_instance(engine)
+    with pytest.raises(InvariantViolation) as exc:
+        engine.run(CONFIG.rounds_per_instance)
+    assert exc.value.invariant == "mass-conservation"
+    assert exc.value.backend == "simulation"
+
+
+def test_simulation_engine_clean_run_passes():
+    protocol = Adam2Protocol(CONFIG)
+    engine = build_engine(
+        uniform_workload(0, 1000), 16, [protocol], make_rng(3), sanitize=True
+    )
+    protocol.trigger_instance(engine)
+    engine.run(CONFIG.rounds_per_instance + 2)
+    estimates = protocol.estimates(engine)
+    assert estimates
+
+
+class TuplelessProtocol(Adam2Protocol):
+    def exchange(self, initiator, responder, engine):
+        super().exchange(initiator, responder, engine)
+        return None  # drops network accounting
+
+
+def test_simulation_engine_detects_payload_violation():
+    protocol = TuplelessProtocol(CONFIG)
+    engine = build_engine(
+        uniform_workload(0, 1000), 16, [protocol], make_rng(3), sanitize=True
+    )
+    protocol.trigger_instance(engine)
+    with pytest.raises(InvariantViolation) as exc:
+        engine.run(2)
+    assert exc.value.invariant == "exchange-payload"
+
+
+# ---------------------------------------------------------------------
+# Async backend
+# ---------------------------------------------------------------------
+
+
+class LeakyAsyncAdam2(AsyncAdam2):
+    """Async Adam2 whose request handling inflates local fraction mass."""
+
+    def on_request(self, node, payload, engine):
+        response = super().on_request(node, payload, engine)
+        adam2 = node.state[self.name]
+        for state in adam2.instances.values():
+            state.h.fractions = state.h.fractions * 1.1 + 1e-3
+        return response
+
+
+def _async_engine(protocol) -> AsyncEngine:
+    rng = make_rng(11)
+    values = uniform_workload(0, 1000).sample(16, rng)
+    engine = AsyncEngine(FullMeshOverlay(), protocol, rng, sanitize=True)
+    engine.populate(values)
+    return engine
+
+
+def test_asyncsim_detects_mass_leak():
+    protocol = LeakyAsyncAdam2(CONFIG)
+    engine = _async_engine(protocol)
+    protocol.trigger_instance(engine)
+    with pytest.raises(InvariantViolation) as exc:
+        engine.run_for(10.0)
+    assert exc.value.invariant == "mass-conservation"
+    assert exc.value.backend == "asyncsim"
+
+
+def test_asyncsim_clean_run_passes():
+    protocol = AsyncAdam2(CONFIG)
+    engine = _async_engine(protocol)
+    protocol.trigger_instance(engine)
+    engine.run_for(float(CONFIG.rounds_per_instance + 2))
+    assert protocol.estimates(engine)
+
+
+# ---------------------------------------------------------------------
+# Sequential kernel sanity under instrumentation (regression guard)
+# ---------------------------------------------------------------------
+
+
+def test_sequential_kernel_conserves_mass_under_sanitizer():
+    rng = make_rng(0)
+    values = rng.uniform(0, 100, size=32)
+    thresholds = np.linspace(0, 100, 5)
+    averaged = np.concatenate(
+        ((values[:, None] <= thresholds[None, :]).astype(float), np.zeros((32, 1))), axis=1
+    )
+    averaged[0, -1] = 1.0
+    joined = np.zeros(32, dtype=bool)
+    joined[0] = True
+    extremes = np.stack((values, values), axis=1)
+
+    sanitizer = FastsimSanitizer()
+    sanitizer.begin_instance(averaged, "symmetric")
+    for round_index in range(10):
+        sequential_round(averaged, extremes, joined, rng)
+        sanitizer.after_round(averaged, k=5, round_index=round_index)

@@ -44,7 +44,10 @@ class TestDriftProperties:
     def test_growth_preserves_order(self, values, rate):
         model = DriftModel(growth_per_round=rate)
         out = model.apply(values, make_rng(0))
-        assert np.array_equal(np.argsort(values, kind="stable"), np.argsort(out, kind="stable"))
+        # Multiplicative growth is a monotone map: it preserves weak order.
+        # (Strict argsort equality is too strong — values a few ulps apart
+        # can collapse to the same float after scaling.)
+        assert np.all(np.diff(out[np.argsort(values, kind="stable")]) >= 0)
 
     @given(arrays(np.float64, st.integers(2, 40), elements=st.floats(1, 1e6, allow_nan=False)))
     def test_static_model_is_identity(self, values):
