@@ -1,0 +1,89 @@
+"""The backend-agnostic result shape returned by :func:`repro.api.run`.
+
+Every backend — vectorised fastsim, the round-based engine, the
+asynchronous event-driven engine — reduces a run to the same structure:
+one :class:`InstanceSummary` per aggregation instance plus a consensus
+:class:`~repro.core.cdf.EstimatedCDF`, so experiments, observers and
+benchmarks treat all backends identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cdf import EstimatedCDF
+from repro.core.config import Adam2Config
+from repro.errors import SimulationError
+from repro.metrics.convergence import ConvergenceTrace
+from repro.types import ErrorPair
+
+__all__ = ["InstanceSummary", "RunResult"]
+
+
+@dataclass
+class InstanceSummary:
+    """Uniform per-instance outcome across backends.
+
+    Attributes:
+        index: instance index within the run (0-based).
+        thresholds: the instance's shared interpolation thresholds.
+        fractions: consensus fraction estimates at the thresholds (mean
+            over the peers that completed the instance).
+        errors_entire: ``(Err_m, Err_a)`` over the whole CDF domain.
+        errors_points: the same pair restricted to the thresholds.
+        reached: peers the instance reached before terminating.
+        messages: messages attributed to this instance.
+        bytes: payload bytes attributed to this instance.
+        trace: per-round error trace when tracking was requested
+            (fast backend only).
+        raw: the backend-native instance record (e.g.
+            :class:`repro.fastsim.adam2.FastInstanceResult`) for
+            backend-specific analysis; ``None`` when not applicable.
+    """
+
+    index: int
+    thresholds: np.ndarray
+    fractions: np.ndarray
+    errors_entire: ErrorPair
+    errors_points: ErrorPair
+    reached: int
+    messages: int
+    bytes: int
+    trace: ConvergenceTrace | None = None
+    raw: object = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`repro.api.run` call, identical across backends."""
+
+    backend: str
+    n_nodes: int
+    seed: int
+    config: Adam2Config
+    instances: list[InstanceSummary] = field(default_factory=list)
+    estimate: EstimatedCDF | None = None
+    metrics: dict[str, object] = field(default_factory=dict)
+    extras: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def final(self) -> InstanceSummary:
+        if not self.instances:
+            raise SimulationError("run produced no instances")
+        return self.instances[-1]
+
+    @property
+    def final_errors(self) -> ErrorPair:
+        return self.final.errors_entire
+
+    def errors_by_instance(self) -> tuple[list[float], list[float]]:
+        """(max errors, avg errors) per instance — the Fig. 7 series."""
+        return (
+            [summary.errors_entire.maximum for summary in self.instances],
+            [summary.errors_entire.average for summary in self.instances],
+        )
+
+    def __len__(self) -> int:
+        return len(self.instances)

@@ -17,6 +17,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.observer import NULL_HUB, ObserverHub
 from repro.rngs import spawn
 from repro.asyncsim.events import EventQueue
 from repro.overlay.base import Overlay
@@ -81,6 +82,7 @@ class AsyncEngine:
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
         sanitize: bool | None = None,
+        obs: ObserverHub | None = None,
     ):
         if gossip_period <= 0:
             raise ConfigurationError("gossip period must be positive")
@@ -102,6 +104,8 @@ class AsyncEngine:
         self.latency = latency or LatencyModel()
         self.loss_rate = loss_rate
         self.queue = EventQueue()
+        #: observability hub (:mod:`repro.obs`); disabled by default
+        self.obs = obs if obs is not None else NULL_HUB
         self.nodes: dict[int, SimNode] = {}
         self.messages_sent = 0
         self.messages_lost = 0
@@ -151,7 +155,8 @@ class AsyncEngine:
         """Advance the simulation by ``duration`` seconds of virtual time."""
         if duration < 0:
             raise SimulationError("duration must be non-negative")
-        return self.queue.run_until(self.queue.now + duration, max_events=max_events)
+        with self.obs.span("round"):
+            return self.queue.run_until(self.queue.now + duration, max_events=max_events)
 
     # ------------------------------------------------------------------
     # Internals

@@ -26,8 +26,7 @@ import numpy as np
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import get_scale, run_adam2
 from repro.workloads import boinc_workload
 
 __all__ = ["run_join_mode", "run_lcut_variant", "run_exchange_kernel"]
@@ -51,8 +50,11 @@ def run_join_mode(
     )
     for mode in ("symmetric", "literal"):
         config = Adam2Config(points=points, rounds_per_instance=rounds, join_mode=mode)
-        sim = Adam2Simulation(workload, n, config, seed=seed, exchange=scale.exchange)
-        instance = sim.run_instance()
+        # Pinned to the fast backend: per-node size estimates via raw result.
+        instance = run_adam2(
+            config, workload, n_nodes=n, seed=seed, backend="fast",
+            exchange=scale.exchange,
+        ).final.raw
         result.add_row(
             join_mode=mode,
             points_err_max=instance.errors_points.maximum,
@@ -81,11 +83,13 @@ def run_lcut_variant(
     )
     for variant in ("lcut", "lcut_global"):
         config = Adam2Config(points=points, rounds_per_instance=scale.rounds_per_instance, selection=variant)
-        sim = Adam2Simulation(workload, n, config, seed=seed, exchange=scale.exchange, node_sample=scale.node_sample)
-        for instance in sim.run_instances(instances).instances:
+        run_result = run_adam2(
+            config, workload, n_nodes=n, instances=instances, seed=seed, scale=scale
+        )
+        for instance in run_result.instances:
             result.add_row(
                 variant=variant,
-                instance=instance.instance_index + 1,
+                instance=instance.index + 1,
                 err_max=instance.errors_entire.maximum,
                 err_avg=instance.errors_entire.average,
             )
@@ -110,8 +114,11 @@ def run_exchange_kernel(
     )
     for kernel in ("sequential", "matching"):
         config = Adam2Config(points=points, rounds_per_instance=rounds)
-        sim = Adam2Simulation(workload, n, config, seed=seed, exchange=kernel)
-        instance = sim.run_instance(track=True, track_every=10)
+        # Pinned to the fast backend: the kernel choice is the ablation.
+        instance = run_adam2(
+            config, workload, n_nodes=n, seed=seed, backend="fast",
+            exchange=kernel, track=True, track_every=10,
+        ).final
         for i, round_ in enumerate(instance.trace.rounds):
             result.add_row(
                 kernel=kernel,

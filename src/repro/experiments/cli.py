@@ -5,19 +5,28 @@ Examples::
     adam2-experiments --list
     adam2-experiments fig07
     adam2-experiments fig07 --nodes 3000 --seed 7
+    adam2-experiments fig07 --backend round --trace fig07.jsonl
+    adam2-experiments fig05 --metrics-out fig05_metrics.json
+    adam2-experiments --profile --profile-sizes 1000,10000
     REPRO_SCALE=quick adam2-experiments all
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 import time
 
 from repro.analysis.report import format_table
+from repro.errors import ConfigurationError
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main"]
+
+#: Experiment size knobs recognised for the ``--nodes`` override.
+_SIZE_PARAMS = ("n_nodes", "population")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -30,45 +39,158 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--nodes", type=int, default=None, help="override system size")
     parser.add_argument("--points", type=int, default=None, help="override interpolation point count")
     parser.add_argument("--seed", type=int, default=None, help="experiment seed")
+    parser.add_argument(
+        "--backend",
+        choices=("fast", "round", "async"),
+        default=None,
+        help="simulation backend for backend-agnostic experiments "
+        "(experiments that need fast-only features keep the fast backend)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append a JSONL event trace (runs, instances, per-round probes) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the aggregated metrics/span snapshot as JSON to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="benchmark all backends and write a machine-readable report "
+        "instead of running experiments",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default="BENCH_backends.json",
+        help="output path for --profile (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--profile-sizes",
+        metavar="N,N,...",
+        default=None,
+        help="comma-separated system sizes for --profile (default: 1000,10000)",
+    )
     return parser
+
+
+def _override_params(name: str, args: argparse.Namespace) -> dict[str, int]:
+    """Map CLI overrides onto the runner's signature, or fail loudly.
+
+    A silently dropped ``--nodes`` is worse than an error: the user reads
+    results for a system size they did not ask for.
+    """
+    runner = get_experiment(name)
+    signature = inspect.signature(runner)
+    params: dict[str, int] = {}
+    if args.seed is not None:
+        if "seed" not in signature.parameters:
+            raise ConfigurationError(f"experiment {name!r} does not accept --seed")
+        params["seed"] = args.seed
+    if args.points is not None:
+        if "points" not in signature.parameters:
+            raise ConfigurationError(f"experiment {name!r} does not accept --points")
+        params["points"] = args.points
+    if args.nodes is not None:
+        for knob in _SIZE_PARAMS:
+            if knob in signature.parameters:
+                params[knob] = args.nodes
+                break
+        else:
+            raise ConfigurationError(
+                f"experiment {name!r} has no system-size parameter; --nodes does not apply"
+            )
+    return params
 
 
 def _run_one(name: str, args: argparse.Namespace) -> None:
     runner = get_experiment(name)
-    params = {}
-    if args.seed is not None:
-        params["seed"] = args.seed
-    if args.points is not None:
-        params["points"] = args.points
-    if args.nodes is not None:
-        # Experiments use either n_nodes or population for their size knob.
-        import inspect
-
-        signature = inspect.signature(runner)
-        if "n_nodes" in signature.parameters:
-            params["n_nodes"] = args.nodes
-        elif "population" in signature.parameters:
-            params["population"] = args.nodes
+    params = _override_params(name, args)
     started = time.time()
     result = runner(**params)
     print(format_table(result))
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.core.config import Adam2Config
+    from repro.obs import profile_backends, write_benchmark
+    from repro.workloads import boinc_workload
+
+    if args.profile_sizes is not None:
+        try:
+            sizes = tuple(int(part) for part in args.profile_sizes.split(","))
+        except ValueError:
+            raise ConfigurationError(
+                f"--profile-sizes must be comma-separated integers, got {args.profile_sizes!r}"
+            ) from None
+        if not sizes or any(size < 2 for size in sizes):
+            raise ConfigurationError("--profile-sizes needs sizes >= 2")
+    else:
+        sizes = (1_000, 10_000)
+    points = args.points if args.points is not None else 20
+    seed = args.seed if args.seed is not None else 0
+    workload = boinc_workload("ram")
+    config = Adam2Config(points=points, rounds_per_instance=30)
+    document = profile_backends(workload, config, sizes=sizes, seed=seed)
+    write_benchmark(document, args.profile_out)
+    print(f"wrote {args.profile_out} ({len(document['entries'])} entries)")
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_context
+    from repro.obs import JsonlSink, ObserverHub, RunObserver
+
+    observers: list[RunObserver] = []
+    if args.trace is not None:
+        observers.append(JsonlSink(args.trace))
+    if args.metrics_out is not None and not observers:
+        # Probes only fire with at least one observer attached; a silent
+        # base observer turns them on so the metrics registry fills up.
+        observers.append(RunObserver())
+    hub = None
+    if observers or args.metrics_out is not None:
+        hub = ObserverHub(observers, instrument=args.metrics_out is not None)
+
+    names = list_experiments() if args.experiment == "all" else [args.experiment]
+    # Validate every override up front so 'all' fails before hours of work.
+    for name in names:
+        _override_params(name, args)
+    try:
+        with run_context(hub=hub, backend=args.backend):
+            for name in names:
+                _run_one(name, args)
+    finally:
+        if hub is not None:
+            if args.metrics_out is not None:
+                with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                    json.dump(hub.snapshot(), handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            hub.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.list or not args.experiment:
-        print("available experiments:")
-        for name in list_experiments():
-            print(f"  {name}")
-        return 0
-    if args.experiment == "all":
-        for name in list_experiments():
-            _run_one(name, args)
-        return 0
-    _run_one(args.experiment, args)
-    return 0
+    try:
+        if args.profile:
+            return _run_profile(args)
+        if args.list or not args.experiment:
+            print("available experiments:")
+            for name in list_experiments():
+                print(f"  {name}")
+            return 0
+        return _run_experiments(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

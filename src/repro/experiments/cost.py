@@ -15,8 +15,7 @@ from __future__ import annotations
 from repro.analysis.results import ExperimentResult
 from repro.baselines.sampling import RandomSamplingEstimator
 from repro.core.config import Adam2Config
-from repro.experiments.common import get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import get_scale, run_adam2
 from repro.metrics.cost import instance_cost
 from repro.rngs import make_rng, spawn
 from repro.workloads import boinc_workload
@@ -52,10 +51,12 @@ def run(
     )
     workload = boinc_workload(attribute)
     for n in sizes:
-        sim = Adam2Simulation(workload, n, config, seed=seed, exchange=scale.exchange)
-        run_result = sim.run_instances(instances, rounds=rounds)
-        messages = sum(r.messages_total for r in run_result.instances)
-        payload = sum(r.bytes_total for r in run_result.instances)
+        run_result = run_adam2(
+            config, workload, n_nodes=n, instances=instances, rounds=rounds,
+            seed=seed, scale=scale,
+        )
+        messages = sum(r.messages for r in run_result.instances)
+        payload = sum(r.bytes for r in run_result.instances)
         result.add_row(
             system="adam2-measured",
             nodes=n,

@@ -18,8 +18,7 @@ from __future__ import annotations
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import get_scale, run_adam2
 from repro.workloads import boinc_workload
 from repro.workloads.dynamic import DriftModel
 
@@ -48,21 +47,20 @@ def run(
     )
     for rate in drift_rates:
         for label, rounds in (("normal", rounds_normal), ("short", rounds_short)):
-            sim = Adam2Simulation(
-                workload, n, Adam2Config(points=points, rounds_per_instance=rounds),
-                seed=seed, exchange=scale.exchange, node_sample=scale.node_sample,
-            )
             # Warm-up instance on the static distribution so the drifting
             # instance starts from refined thresholds (steady state).
-            sim.run_instance()
-            drift = DriftModel(growth_per_round=rate)
-            instance = sim.run_instance(rounds=rounds, drift=drift)
+            # Pinned to the fast backend: drift models are fast-only.
+            instance = run_adam2(
+                Adam2Config(points=points, rounds_per_instance=rounds), workload,
+                n_nodes=n, seed=seed, scale=scale, backend="fast",
+                warmup_instances=1, drift=DriftModel(growth_per_round=rate),
+            ).final
             result.add_row(
                 drift_per_round=rate,
                 instance=label,
                 rounds=rounds,
                 err_max=instance.errors_entire.maximum,
                 err_avg=instance.errors_entire.average,
-                messages_per_node=instance.messages_total / n,
+                messages_per_node=instance.messages / n,
             )
     return result

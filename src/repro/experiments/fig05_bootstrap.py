@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import attribute_workloads, get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import attribute_workloads, get_scale, run_adam2
 
 __all__ = ["run"]
 
@@ -41,15 +40,14 @@ def run(
                 selection="minmax",
                 bootstrap=bootstrap,
             )
-            sim = Adam2Simulation(
-                workload, n, config, seed=seed, exchange=scale.exchange, node_sample=scale.node_sample
+            run_result = run_adam2(
+                config, workload, n_nodes=n, instances=instances, seed=seed, scale=scale
             )
-            run_result = sim.run_instances(instances)
             for instance in run_result.instances:
                 result.add_row(
                     attribute=attr,
                     bootstrap=bootstrap,
-                    instance=instance.instance_index + 1,
+                    instance=instance.index + 1,
                     err_max=instance.errors_entire.maximum,
                     err_avg=instance.errors_entire.average,
                 )

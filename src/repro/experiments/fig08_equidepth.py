@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import attribute_workloads, get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import attribute_workloads, get_scale, run_adam2
 from repro.fastsim.equidepth import EquiDepthSimulation
 
 __all__ = ["run"]
@@ -49,14 +48,14 @@ def run(
             config = Adam2Config(
                 points=points, rounds_per_instance=scale.rounds_per_instance, selection=heuristic
             )
-            sim = Adam2Simulation(
-                workload, n, config, seed=seed, exchange=scale.exchange, node_sample=scale.node_sample
+            run_result = run_adam2(
+                config, workload, n_nodes=n, instances=phases, seed=seed, scale=scale
             )
-            for instance in sim.run_instances(phases).instances:
+            for instance in run_result.instances:
                 result.add_row(
                     attribute=attr,
                     system=heuristic,
-                    instance=instance.instance_index + 1,
+                    instance=instance.index + 1,
                     err_max=instance.errors_entire.maximum,
                     err_avg=instance.errors_entire.average,
                 )

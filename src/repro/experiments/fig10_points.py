@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import attribute_workloads, get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import attribute_workloads, get_scale, run_adam2
 from repro.fastsim.equidepth import EquiDepthSimulation
 
 __all__ = ["run", "DEFAULT_POINT_COUNTS"]
@@ -41,10 +40,9 @@ def run(
                 config = Adam2Config(
                     points=points, rounds_per_instance=scale.rounds_per_instance, selection=heuristic
                 )
-                sim = Adam2Simulation(
-                    workload, n, config, seed=seed, exchange=scale.exchange, node_sample=scale.node_sample
-                )
-                final = sim.run_instances(instances).final
+                final = run_adam2(
+                    config, workload, n_nodes=n, instances=instances, seed=seed, scale=scale
+                ).final
                 result.add_row(
                     attribute=attr,
                     system=heuristic,

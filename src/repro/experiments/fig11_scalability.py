@@ -9,10 +9,11 @@ larger systems (longer distribution tails are easy to interpolate).
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import attribute_workloads, get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import attribute_workloads, get_scale, run_adam2
 
 __all__ = ["run", "DEFAULT_SIZES"]
 
@@ -37,14 +38,15 @@ def run(
     for attr, workload in attribute_workloads(tuple(attributes)):
         for n in sizes:
             # Large populations gossip via the vectorised matching kernel.
-            exchange = "matching" if n > 20_000 else scale.exchange
+            size_scale = (
+                dataclasses.replace(scale, exchange="matching") if n > 20_000 else scale
+            )
             config = Adam2Config(
                 points=points, rounds_per_instance=scale.rounds_per_instance, selection=selection
             )
-            sim = Adam2Simulation(
-                workload, n, config, seed=seed, exchange=exchange, node_sample=scale.node_sample
-            )
-            final = sim.run_instances(instances).final
+            final = run_adam2(
+                config, workload, n_nodes=n, instances=instances, seed=seed, scale=size_scale
+            ).final
             result.add_row(
                 attribute=attr,
                 nodes=n,

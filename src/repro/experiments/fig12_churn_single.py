@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import get_scale, run_adam2
 from repro.fastsim.equidepth import EquiDepthSimulation
 from repro.workloads import boinc_workload
 
@@ -50,11 +49,11 @@ def run(
     )
 
     config = Adam2Config(points=points, rounds_per_instance=rounds)
-    adam2 = Adam2Simulation(
-        workload, n, config, seed=seed, exchange=scale.exchange,
-        churn_rate=churn_rate, node_sample=scale.node_sample,
-    )
-    instance = adam2.run_instance(rounds=rounds, track=True, track_every=track_every)
+    # Pinned to the fast backend: replacement churn_rate + tracking.
+    instance = run_adam2(
+        config, workload, n_nodes=n, seed=seed, scale=scale, backend="fast",
+        churn_rate=churn_rate, track=True, track_every=track_every,
+    ).final
     for i, round_ in enumerate(instance.trace.rounds):
         result.add_row(
             system="adam2",

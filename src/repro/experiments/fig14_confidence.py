@@ -15,8 +15,7 @@ import numpy as np
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import Adam2Config
-from repro.experiments.common import attribute_workloads, get_scale
-from repro.fastsim.adam2 import Adam2Simulation
+from repro.experiments.common import attribute_workloads, get_scale, run_adam2
 from repro.metrics.estimation import confidence_estimation_error
 
 __all__ = ["run", "DEFAULT_VERIFICATION_COUNTS"]
@@ -50,12 +49,11 @@ def run(
                     verification_points=v_count,
                     verification_target=target,
                 )
-                sim = Adam2Simulation(
-                    workload, n, config, seed=seed, exchange=scale.exchange, node_sample=scale.node_sample
-                )
-                final = None
-                for i in range(instances):
-                    final = sim.run_instance(confidence_sample=scale.node_sample)
+                # Pinned to the fast backend: per-node confidence sampling.
+                final = run_adam2(
+                    config, workload, n_nodes=n, instances=instances, seed=seed,
+                    scale=scale, backend="fast", confidence_sample=scale.node_sample,
+                ).final.raw
                 if metric == "maximum":
                     estimation_error = confidence_estimation_error(final.true_errm, final.est_errm)
                 else:

@@ -24,4 +24,19 @@ __all__ = [
     "sequential_round",
     "matching_round",
     "InstanceArrays",
+    "run_adam2",
 ]
+
+
+def run_adam2(config, workload, **kwargs):
+    """Deprecated: use ``repro.api.run(config, workload, backend="fast")``."""
+    import warnings
+
+    warnings.warn(
+        "repro.fastsim.run_adam2 is deprecated; use repro.api.run(..., backend='fast')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import run
+
+    return run(config, workload, backend="fast", **kwargs)

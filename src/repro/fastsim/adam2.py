@@ -34,6 +34,9 @@ from repro.fastsim.churn import FastChurn
 from repro.fastsim.exchange import matching_round, sequential_round
 from repro.metrics.error import error_grid
 from repro.metrics.convergence import ConvergenceTrace
+from repro.obs.bridges import RateTracker
+from repro.obs.events import InstanceCompleted, InstanceStarted, RoundSample
+from repro.obs.observer import NULL_HUB, ObserverHub
 from repro.workloads.base import AttributeWorkload
 
 __all__ = ["Adam2Simulation", "FastInstanceResult", "FastRunResult"]
@@ -138,6 +141,9 @@ class Adam2Simulation:
             error metrics (the cross-node spread is ~1e-5, see §VII-A).
         sanitize: run the invariant sanitizer after every round
             (default: follow the ``ADAM2_SANITIZE`` env var).
+        obs: observability hub (:mod:`repro.obs`); per-round probes and
+            lifecycle events are emitted only when observers are
+            attached, so the default costs one branch per round.
     """
 
     def __init__(
@@ -151,6 +157,7 @@ class Adam2Simulation:
         neighbour_sample: int | None = None,
         node_sample: int = 64,
         sanitize: bool | None = None,
+        obs: ObserverHub | None = None,
     ):
         if n_nodes < 2:
             raise ConfigurationError("need at least 2 nodes")
@@ -175,6 +182,7 @@ class Adam2Simulation:
         from repro.lint.sanitizer import FastsimSanitizer, sanitize_enabled
 
         self._sanitizer = FastsimSanitizer() if sanitize_enabled(sanitize) else None
+        self._obs = obs if obs is not None else NULL_HUB
         # Post-instance per-node estimate state (shared thresholds).
         self.prev_thresholds: np.ndarray | None = None
         self.prev_fractions: np.ndarray | None = None
@@ -252,6 +260,15 @@ class Adam2Simulation:
         sanitizer = self._sanitizer
         if sanitizer is not None:
             sanitizer.begin_instance(averaged, cfg.join_mode, instance=self.instances_run)
+        hub = self._obs
+        probes = hub if hub.probes_enabled else None
+        rate_tracker = RateTracker() if probes is not None else None
+        if probes is not None:
+            probes.instance_started(InstanceStarted(
+                instance=self.instances_run,
+                thresholds=tuple(float(t) for t in thresholds),
+                v_thresholds=tuple(float(t) for t in v_thresholds),
+            ))
 
         for round_index in range(rounds):
             if drift is not None and not drift.is_static:
@@ -273,15 +290,20 @@ class Adam2Simulation:
                 # Churn resets rows and drift re-evaluates pending ones —
                 # legitimate external mass changes; rebase the invariant.
                 sanitizer.rebaseline(averaged)
-            active = self.kernel(
-                averaged, extremes, joined, self._gossip_rng, cfg.join_mode,
-                excluded=excluded if self.churn is not None else None,
-            )
+            with hub.span("round"):
+                active = self.kernel(
+                    averaged, extremes, joined, self._gossip_rng, cfg.join_mode,
+                    excluded=excluded if self.churn is not None else None,
+                )
             if sanitizer is not None:
                 sanitizer.after_round(averaged, k, round_index)
             # An exchange with an excluded peer carries no instance data;
             # approximate the active count accordingly for accounting.
             messages += 2 * active
+            if probes is not None:
+                probes.round_sample(self._round_sample(
+                    averaged, joined, k, round_index, 2 * active, rate_tracker
+                ))
             if track and (round_index + 1) % track_every == 0:
                 entire, points = self._instance_errors(
                     averaged[:, :k], extremes, joined, participants & ~excluded, thresholds, truth, grid
@@ -316,6 +338,16 @@ class Adam2Simulation:
         if v and confidence_sample:
             self._evaluate_confidence(result, confidence_sample, grid)
 
+        if probes is not None:
+            probes.instance_completed(InstanceCompleted(
+                instance=self.instances_run,
+                rounds=rounds,
+                reached=int((joined & eligible).sum()),
+                err_max=entire.maximum,
+                err_avg=entire.average,
+                messages=messages,
+                bytes=result.bytes_total,
+            ))
         self._commit_estimates(result, excluded)
         self.instances_run += 1
         return result
@@ -369,6 +401,41 @@ class Adam2Simulation:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _round_sample(
+        self,
+        averaged: np.ndarray,
+        joined: np.ndarray,
+        k: int,
+        round_index: int,
+        round_messages: int,
+        tracker: RateTracker,
+    ) -> RoundSample:
+        """Per-round observability probe over the joined rows.
+
+        The weight column sums to 1.0 over joined nodes under the
+        symmetric exchange (the conservation diagnostic); the fraction
+        mass grows as the instance reaches new nodes and is conserved
+        once fully spread.  The spread is the epidemic-averaging variance
+        diagnostic whose per-round decay factor the paper's convergence
+        claims are about.
+        """
+        reached = int(joined.sum())
+        rows = averaged[joined]
+        mass_sum = float(rows[:, :k].sum())
+        weight_sum = float(rows[:, -1].sum())
+        spread = float(rows[:, :k].std(axis=0).mean()) if reached > 1 else 0.0
+        return RoundSample(
+            instance=self.instances_run,
+            round=round_index + 1,
+            mass_sum=mass_sum,
+            weight_sum=weight_sum,
+            reached=reached,
+            spread=spread,
+            convergence_rate=tracker.rate(self.instances_run, spread),
+            messages=round_messages,
+            bytes=round_messages * self.config.message_bytes(),
+        )
 
     def _select_points(
         self, initiator: int, selection: str | None, bootstrap: str | None

@@ -33,8 +33,9 @@ _CLOCK_CALLS = {
 }
 
 #: top-level ``repro`` subpackages exempt from the rule (drivers and
-#: offline tooling, not simulated time)
-_EXEMPT_PACKAGES = {"experiments", "analysis", "lint"}
+#: offline tooling, not simulated time; ``obs`` measures host wall time
+#: by design — its spans profile the simulator, never steer it)
+_EXEMPT_PACKAGES = {"experiments", "analysis", "lint", "obs"}
 
 
 def _is_exempt(module: ModuleContext) -> bool:

@@ -1,0 +1,165 @@
+"""Structured observability events.
+
+Every event is a small frozen dataclass with a stable ``type`` tag and a
+:meth:`to_dict` projection used by the JSONL trace sink.  Events carry
+only *simulation-derived* quantities (rounds, masses, counts) — never
+wall-clock readings — so a trace of the same seeded run is byte-identical
+across machines and re-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Event",
+    "InstanceCompleted",
+    "InstanceStarted",
+    "RoundSample",
+    "RunCompleted",
+    "RunStarted",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RunStarted:
+    """A backend run begins (one facade ``run()`` call)."""
+
+    type = "run_start"
+
+    backend: str
+    n_nodes: int
+    instances: int
+    rounds: int
+    seed: int
+    points: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": self.type,
+            "backend": self.backend,
+            "n_nodes": self.n_nodes,
+            "instances": self.instances,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "points": self.points,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceStarted:
+    """An aggregation instance starts (thresholds chosen by the initiator)."""
+
+    type = "instance_start"
+
+    instance: int
+    thresholds: tuple[float, ...]
+    v_thresholds: tuple[float, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": self.type,
+            "instance": self.instance,
+            "thresholds": list(self.thresholds),
+            "v_thresholds": list(self.v_thresholds),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RoundSample:
+    """Per-round protocol probe for one aggregation instance.
+
+    Attributes:
+        instance: index of the instance within the run.
+        round: 1-based gossip round within the instance (for the async
+            backend: the virtual gossip period).
+        mass_sum: total fraction mass over all peers holding the
+            instance, summed over interpolation points; conserved by the
+            symmetric exchange, so drift flags a conservation bug.
+        weight_sum: total size weight over all peers (conserved at 1.0).
+        reached: number of peers the instance has reached.
+        spread: mean (over interpolation points) standard deviation of
+            the per-peer fractions — the variance diagnostic whose decay
+            rate characterises epidemic averaging.
+        convergence_rate: per-round spread decay factor
+            ``spread_t / spread_{t-1}`` (0.5 = halving per round);
+            ``None`` on the first sample or when the spread has hit zero.
+        messages: messages exchanged for this instance this round.
+        bytes: payload bytes exchanged for this instance this round.
+    """
+
+    type = "round"
+
+    instance: int
+    round: int
+    mass_sum: float
+    weight_sum: float
+    reached: int
+    spread: float
+    convergence_rate: float | None
+    messages: int
+    bytes: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": self.type,
+            "instance": self.instance,
+            "round": self.round,
+            "mass_sum": self.mass_sum,
+            "weight_sum": self.weight_sum,
+            "reached": self.reached,
+            "spread": self.spread,
+            "convergence_rate": self.convergence_rate,
+            "messages": self.messages,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceCompleted:
+    """An aggregation instance terminated (TTL expired everywhere)."""
+
+    type = "instance_end"
+
+    instance: int
+    rounds: int
+    reached: int
+    err_max: float | None
+    err_avg: float | None
+    messages: int
+    bytes: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": self.type,
+            "instance": self.instance,
+            "rounds": self.rounds,
+            "reached": self.reached,
+            "err_max": self.err_max,
+            "err_avg": self.err_avg,
+            "messages": self.messages,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RunCompleted:
+    """The run finished; totals over all instances."""
+
+    type = "run_end"
+
+    instances: int
+    messages: int
+    bytes: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": self.type,
+            "instances": self.instances,
+            "messages": self.messages,
+            "bytes": self.bytes,
+        }
+
+
+Event = Union[RunStarted, InstanceStarted, RoundSample, InstanceCompleted, RunCompleted]

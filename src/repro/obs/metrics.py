@@ -1,0 +1,127 @@
+"""Counters, gauges and histograms for run-level metrics.
+
+All instruments are plain in-process objects owned by a
+:class:`MetricsRegistry`; a snapshot projects the whole registry into
+JSON-serialisable dictionaries (the ``--metrics-out`` CLI payload).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can move in either direction (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution summary with powers-of-two buckets.
+
+    Records count/sum/min/max exactly and bins observations into
+    log2-spaced buckets (keyed by the bucket's upper bound) — enough to
+    reconstruct latency/size distributions without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.buckets: dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"histogram {self.name!r} observed non-finite value {value}")
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        bound = 0.0 if value <= 0 else float(2.0 ** math.ceil(math.log2(value)))
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+            "buckets": {str(bound): n for bound, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict[str, object]:
+        """Project every instrument into plain JSON-serialisable data."""
+        return {
+            "counters": {name: c.snapshot() for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.snapshot() for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.snapshot() for name, h in sorted(self._histograms.items())},
+        }

@@ -1,0 +1,151 @@
+"""The observer interface and the hub that engines talk to.
+
+:class:`RunObserver` is the subscriber interface: five lifecycle hooks
+mirroring the run hierarchy (run, instance, round) plus :meth:`close`.
+All hooks default to no-ops, so sinks override only what they need.
+
+:class:`ObserverHub` is the single object an engine receives.  It fans
+events out to observers, maintains a :class:`MetricsRegistry`, and owns
+a :class:`SpanRegistry` for profiling.  Two independent switches keep
+the disabled path at a single branch per round:
+
+* ``probes_enabled`` — true when at least one observer is attached;
+  engines skip *computing* probe quantities entirely otherwise.
+* ``timing_enabled`` — true when the hub was built with
+  ``instrument=True``; engines only open wall-clock spans then.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager, nullcontext
+from typing import Iterable
+
+from repro.obs.events import (
+    InstanceCompleted,
+    InstanceStarted,
+    RoundSample,
+    RunCompleted,
+    RunStarted,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRegistry
+
+__all__ = ["NULL_HUB", "ObserverHub", "RunObserver"]
+
+
+class RunObserver:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_run_start(self, event: RunStarted) -> None:
+        """A backend run begins."""
+
+    def on_instance_start(self, event: InstanceStarted) -> None:
+        """An aggregation instance starts."""
+
+    def on_round(self, event: RoundSample) -> None:
+        """A gossip round (or async gossip period) completed."""
+
+    def on_instance_end(self, event: InstanceCompleted) -> None:
+        """An aggregation instance terminated."""
+
+    def on_run_end(self, event: RunCompleted) -> None:
+        """The run finished."""
+
+    def close(self) -> None:
+        """Release any resources (files, handles)."""
+
+
+class ObserverHub:
+    """Dispatches events to observers and aggregates metrics/spans.
+
+    Args:
+        observers: subscribers to fan events out to.
+        instrument: enable wall-clock span timing (profiling runs).
+        metrics: share an existing registry (default: a fresh one).
+        spans: share an existing span registry (default: a fresh one).
+    """
+
+    __slots__ = ("observers", "metrics", "spans", "probes_enabled", "timing_enabled")
+
+    def __init__(
+        self,
+        observers: Iterable[RunObserver] = (),
+        *,
+        instrument: bool = False,
+        metrics: MetricsRegistry | None = None,
+        spans: SpanRegistry | None = None,
+    ) -> None:
+        self.observers: tuple[RunObserver, ...] = tuple(observers)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanRegistry()
+        self.probes_enabled = bool(self.observers)
+        self.timing_enabled = bool(instrument)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the hub does anything at all."""
+        return self.probes_enabled or self.timing_enabled
+
+    # ------------------------------------------------------------------
+    # Event emission (call only when ``probes_enabled``)
+    # ------------------------------------------------------------------
+
+    def run_started(self, event: RunStarted) -> None:
+        self.metrics.counter("runs_total").inc()
+        for observer in self.observers:
+            observer.on_run_start(event)
+
+    def instance_started(self, event: InstanceStarted) -> None:
+        self.metrics.counter("instances_total").inc()
+        for observer in self.observers:
+            observer.on_instance_start(event)
+
+    def round_sample(self, event: RoundSample) -> None:
+        metrics = self.metrics
+        metrics.counter("rounds_total").inc()
+        metrics.counter("messages_total").inc(event.messages)
+        metrics.counter("bytes_total").inc(event.bytes)
+        metrics.gauge("weight_sum").set(event.weight_sum)
+        metrics.gauge("mass_sum").set(event.mass_sum)
+        metrics.gauge("reached").set(event.reached)
+        for observer in self.observers:
+            observer.on_round(event)
+
+    def instance_completed(self, event: InstanceCompleted) -> None:
+        if event.err_avg is not None:
+            self.metrics.histogram("instance_err_avg").observe(event.err_avg)
+        for observer in self.observers:
+            observer.on_instance_end(event)
+
+    def run_completed(self, event: RunCompleted) -> None:
+        for observer in self.observers:
+            observer.on_run_end(event)
+
+    # ------------------------------------------------------------------
+    # Profiling spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str) -> AbstractContextManager[None]:
+        """A timing span when instrumented, else a free no-op context."""
+        if self.timing_enabled:
+            return self.spans.span(name)
+        return nullcontext()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close all attached observers (owned by whoever built the hub)."""
+        for observer in self.observers:
+            observer.close()
+
+    def snapshot(self) -> dict[str, object]:
+        """Metrics + span aggregates as plain JSON-serialisable data."""
+        data = self.metrics.snapshot()
+        data["spans"] = self.spans.snapshot()
+        return data
+
+
+#: A shared, permanently disabled hub for default arguments.
+NULL_HUB = ObserverHub()

@@ -1,0 +1,93 @@
+"""Cross-backend profiling: machine-readable wall-time benchmarks.
+
+:func:`profile_backends` runs the same seeded workload through each
+registered backend at several population sizes with span timing enabled
+and reduces the span statistics to one record per (backend, size) pair.
+:func:`write_benchmark` serialises the result as ``BENCH_backends.json``
+— the artifact the CI benchmark smoke job publishes.
+
+The record *schema* is deterministic (fixed keys, sorted entries); the
+wall-time values naturally vary with the host.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.config import Adam2Config
+from repro.obs.observer import ObserverHub
+from repro.obs.spans import SEP
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["profile_backends", "write_benchmark"]
+
+#: the paper-benchmark population sizes
+DEFAULT_SIZES = (1_000, 10_000)
+
+#: span path engines time each gossip round under
+_ROUND_PATH = SEP.join(("run", "instance", "round"))
+_RUN_PATH = "run"
+
+
+def profile_backends(
+    workload: AttributeWorkload,
+    config: Adam2Config,
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    backends: Iterable[str] = ("fast", "round", "async"),
+    instances: int = 1,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Time every backend at every size; returns the benchmark document.
+
+    Each entry reports total run wall time, per-round wall time (mean
+    over all timed rounds) and the raw span aggregates, so regressions
+    can be localised to the round kernel vs. setup/measurement overhead.
+    """
+    from repro.api import run  # late import: repro.api depends on repro.obs
+
+    entries: list[dict[str, object]] = []
+    for backend in backends:
+        for n_nodes in sizes:
+            hub = ObserverHub(instrument=True)
+            result = run(
+                config,
+                workload,
+                backend=backend,
+                n_nodes=int(n_nodes),
+                instances=instances,
+                seed=seed,
+                hub=hub,
+            )
+            run_stats = hub.spans.stats(_RUN_PATH)
+            round_stats = hub.spans.stats(_ROUND_PATH)
+            entries.append({
+                "backend": backend,
+                "n_nodes": int(n_nodes),
+                "instances": instances,
+                "rounds_per_instance": config.rounds_per_instance,
+                "points": config.points,
+                "seed": seed,
+                "rounds_timed": 0 if round_stats is None else round_stats.count,
+                "wall_time_s": 0.0 if run_stats is None else run_stats.total_seconds,
+                "time_per_round_s": (
+                    0.0 if round_stats is None else round_stats.mean_seconds
+                ),
+                "final_err_avg": result.final_errors.average,
+                "spans": hub.spans.snapshot(),
+            })
+    entries.sort(key=lambda e: (str(e["backend"]), int(e["n_nodes"])))  # type: ignore[arg-type]
+    return {
+        "benchmark": "adam2-backends",
+        "sizes": [int(n) for n in sizes],
+        "entries": entries,
+    }
+
+
+def write_benchmark(document: dict[str, object], path: str | Path) -> Path:
+    """Write the benchmark document as pretty, key-sorted JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

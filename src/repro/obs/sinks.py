@@ -1,0 +1,137 @@
+"""Ready-made observers: in-memory capture, JSONL traces, stdout summary."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.obs.events import (
+    Event,
+    InstanceCompleted,
+    InstanceStarted,
+    RoundSample,
+    RunCompleted,
+    RunStarted,
+)
+from repro.obs.observer import RunObserver
+
+__all__ = ["JsonlSink", "MemorySink", "StdoutSummarySink"]
+
+
+class MemorySink(RunObserver):
+    """Capture every event in order, plus per-type views (for tests/analysis)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self.runs: list[RunStarted] = []
+        self.instances: list[InstanceStarted] = []
+        self.rounds: list[RoundSample] = []
+        self.completed: list[InstanceCompleted] = []
+        self.finished_runs: list[RunCompleted] = []
+
+    def on_run_start(self, event: RunStarted) -> None:
+        self.events.append(event)
+        self.runs.append(event)
+
+    def on_instance_start(self, event: InstanceStarted) -> None:
+        self.events.append(event)
+        self.instances.append(event)
+
+    def on_round(self, event: RoundSample) -> None:
+        self.events.append(event)
+        self.rounds.append(event)
+
+    def on_instance_end(self, event: InstanceCompleted) -> None:
+        self.events.append(event)
+        self.completed.append(event)
+
+    def on_run_end(self, event: RunCompleted) -> None:
+        self.events.append(event)
+        self.finished_runs.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.runs.clear()
+        self.instances.clear()
+        self.rounds.clear()
+        self.completed.clear()
+        self.finished_runs.clear()
+
+
+class JsonlSink(RunObserver):
+    """Stream every event as one JSON object per line.
+
+    The sink stays open across multiple runs (a figure experiment may
+    drive many backend runs through one trace file); each line carries a
+    ``run`` sequence number assigned at ``run_start``.  Events contain
+    only simulation-derived values, so the trace of a seeded run is
+    byte-identical across re-runs.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self._run = -1
+
+    def _write(self, payload: dict[str, object]) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace sink {self.path} is closed")
+        payload["run"] = self._run
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+    def on_run_start(self, event: RunStarted) -> None:
+        self._run += 1
+        self._write(event.to_dict())
+
+    def on_instance_start(self, event: InstanceStarted) -> None:
+        self._write(event.to_dict())
+
+    def on_round(self, event: RoundSample) -> None:
+        self._write(event.to_dict())
+
+    def on_instance_end(self, event: InstanceCompleted) -> None:
+        self._write(event.to_dict())
+
+    def on_run_end(self, event: RunCompleted) -> None:
+        self._write(event.to_dict())
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StdoutSummarySink(RunObserver):
+    """Print a compact per-run summary when each run completes."""
+
+    def __init__(self) -> None:
+        self._header: RunStarted | None = None
+        self._instances: list[InstanceCompleted] = []
+
+    def on_run_start(self, event: RunStarted) -> None:
+        self._header = event
+        self._instances = []
+
+    def on_instance_end(self, event: InstanceCompleted) -> None:
+        self._instances.append(event)
+
+    def on_run_end(self, event: RunCompleted) -> None:
+        header = self._header
+        label = f"{header.backend} n={header.n_nodes} seed={header.seed}" if header else "run"
+        print(f"[obs] {label}: {event.instances} instance(s), "
+              f"{event.messages} messages, {event.bytes} bytes")
+        for done in self._instances:
+            err_m = "n/a" if done.err_max is None else f"{done.err_max:.4f}"
+            err_a = "n/a" if done.err_avg is None else f"{done.err_avg:.5f}"
+            print(f"[obs]   instance {done.instance}: rounds={done.rounds} "
+                  f"reached={done.reached} err_max={err_m} err_avg={err_a} "
+                  f"messages={done.messages}")

@@ -1,0 +1,85 @@
+"""Hierarchical wall-clock timing spans.
+
+A :class:`SpanRegistry` times nested regions of a run — the canonical
+hierarchy is ``run / instance / round / exchange`` — and aggregates the
+durations per path.  Spans read the host clock, so they are **off by
+default** everywhere: engines only open spans when an
+:class:`~repro.obs.observer.ObserverHub` was created with
+``instrument=True`` (the profiling path).  Simulation *logic* never
+branches on span data, keeping simulated behaviour machine-independent.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["SpanRegistry", "SpanStats"]
+
+#: separator between levels of the span hierarchy in snapshot keys
+SEP = "/"
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing of one span path."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total_seconds += duration
+        self.min_seconds = min(self.min_seconds, duration)
+        self.max_seconds = max(self.max_seconds, duration)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class SpanRegistry:
+    """Aggregates nested span timings keyed by their slash-joined path."""
+
+    __slots__ = ("_stats", "_stack")
+
+    def __init__(self) -> None:
+        self._stats: dict[str, SpanStats] = {}
+        self._stack: list[str] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a region; nests under any currently open span."""
+        self._stack.append(name)
+        path = SEP.join(self._stack)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - started
+            self._stack.pop()
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = self._stats[path] = SpanStats()
+            stats.add(duration)
+
+    def stats(self, path: str) -> SpanStats | None:
+        """Aggregate stats for one span path (``None`` if never opened)."""
+        return self._stats.get(path)
+
+    def snapshot(self) -> dict[str, dict[str, float | int]]:
+        return {path: s.snapshot() for path, s in sorted(self._stats.items())}

@@ -21,6 +21,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.observer import NULL_HUB, ObserverHub
 from repro.rngs import spawn
 from repro.overlay.base import Overlay
 from repro.simulation.network import NetworkAccounting
@@ -72,6 +73,7 @@ class Engine:
         observers: Iterable[Callable[["Engine"], None]] = (),
         loss_rate: float = 0.0,
         sanitize: bool | None = None,
+        obs: ObserverHub | None = None,
     ):
         names = [p.name for p in protocols]
         if len(set(names)) != len(names):
@@ -90,6 +92,9 @@ class Engine:
         self.churn = churn
         self.network = network or NetworkAccounting()
         self.observers = list(observers)
+        #: observability hub (:mod:`repro.obs`); default hub is disabled,
+        #: so instrumentation costs one no-op context per round.
+        self.obs = obs if obs is not None else NULL_HUB
         #: probability that a whole push–pull exchange is lost (models a
         #: dropped UDP request or response; gossip protocols tolerate
         #: loss by design — a lost exchange merely delays convergence).
@@ -163,6 +168,10 @@ class Engine:
 
     def run_round(self) -> None:
         """Execute one full gossip round."""
+        with self.obs.span("round"):
+            self._run_round()
+
+    def _run_round(self) -> None:
         if self.churn is not None:
             self.churn.apply(self)
         self.overlay.step(self.rng)

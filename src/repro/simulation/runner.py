@@ -29,6 +29,7 @@ def build_engine(
     observers: Iterable = (),
     loss_rate: float = 0.0,
     sanitize: bool | None = None,
+    obs=None,
 ) -> Engine:
     """Build an engine with an initial population drawn from a workload.
 
@@ -47,6 +48,7 @@ def build_engine(
         observers: per-round observer callables.
         sanitize: enable the invariant sanitizer (default: follow the
             ``ADAM2_SANITIZE`` env var).
+        obs: observability hub (:class:`repro.obs.ObserverHub`).
     """
     if n_nodes < 2:
         raise SimulationError("need at least 2 nodes")
@@ -71,6 +73,7 @@ def build_engine(
         observers=observers,
         loss_rate=loss_rate,
         sanitize=sanitize,
+        obs=obs,
     )
     values = workload.sample(n_nodes, spawn(rng))
     engine.populate(values)

@@ -105,6 +105,14 @@ class TestCli:
     def test_run_one(self, capsys):
         from repro.experiments.cli import main
 
-        assert main(["fig04", "--nodes", "500"]) == 0
+        assert main(["fig04"]) == 0
         out = capsys.readouterr().out
         assert "fig04_distributions" in out
+
+    def test_inapplicable_override_fails(self, capsys):
+        # fig04 has no system-size knob: --nodes must error, not be
+        # silently dropped (it used to be).
+        from repro.experiments.cli import main
+
+        assert main(["fig04", "--nodes", "500"]) == 2
+        assert "--nodes does not apply" in capsys.readouterr().err
