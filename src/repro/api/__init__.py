@@ -78,6 +78,11 @@ register_backend(FastBackend())
 register_backend(RoundBackend())
 register_backend(AsyncBackend())
 
+# The real-network backend registers itself on import (a plain module
+# import, so the bootstrap works whichever of repro.api / repro.net is
+# imported first) and makes ``backend="net"`` work out of the box.
+import repro.net.backend  # noqa: E402,F401  (registry bootstrap)
+
 
 def run(
     config: Adam2Config,
@@ -100,7 +105,7 @@ def run(
         config: protocol parameters shared by all peers.
         workload: attribute distribution of the population.
         backend: registered backend name (``"fast"``, ``"round"``,
-            ``"async"``).
+            ``"async"``, or ``"net"`` for the real-socket runtime).
         n_nodes: population size.
         instances: consecutive aggregation instances to run.
         rounds: instance-duration override; folded into the config's

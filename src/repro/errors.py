@@ -35,3 +35,15 @@ class WorkloadError(ReproError):
 
 class EstimationError(ReproError):
     """A CDF estimate is unusable (e.g. queried before any instance ran)."""
+
+
+class NetworkError(ReproError):
+    """A real-network operation failed (:mod:`repro.net` runtime)."""
+
+
+class CodecError(NetworkError):
+    """A wire datagram could not be encoded within budget or decoded."""
+
+
+class TransportTimeout(NetworkError):
+    """A request exhausted its retries without receiving a response."""

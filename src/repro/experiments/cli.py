@@ -41,10 +41,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="experiment seed")
     parser.add_argument(
         "--backend",
-        choices=("fast", "round", "async"),
+        choices=("fast", "round", "async", "net"),
         default=None,
         help="simulation backend for backend-agnostic experiments "
-        "(experiments that need fast-only features keep the fast backend)",
+        "(experiments that need fast-only features keep the fast backend; "
+        "'net' runs a real-socket localhost cluster — small sizes only)",
     )
     parser.add_argument(
         "--trace",
@@ -75,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N,N,...",
         default=None,
         help="comma-separated system sizes for --profile (default: 1000,10000)",
+    )
+    parser.add_argument(
+        "--profile-net-sizes",
+        metavar="N,N,...",
+        default=None,
+        help="comma-separated cluster sizes for the net backend under "
+        "--profile (default: 32,64; the net backend binds one real UDP "
+        "socket per node and is skipped where the sandbox forbids that)",
     )
     return parser
 
@@ -122,25 +131,37 @@ def _run_profile(args: argparse.Namespace) -> int:
     from repro.obs import profile_backends, write_benchmark
     from repro.workloads import boinc_workload
 
-    if args.profile_sizes is not None:
-        try:
-            sizes = tuple(int(part) for part in args.profile_sizes.split(","))
-        except ValueError:
-            raise ConfigurationError(
-                f"--profile-sizes must be comma-separated integers, got {args.profile_sizes!r}"
-            ) from None
-        if not sizes or any(size < 2 for size in sizes):
-            raise ConfigurationError("--profile-sizes needs sizes >= 2")
-    else:
-        sizes = (1_000, 10_000)
+    sizes = _parse_sizes(args.profile_sizes, "--profile-sizes", (1_000, 10_000))
+    net_sizes = _parse_sizes(args.profile_net_sizes, "--profile-net-sizes", (32, 64))
     points = args.points if args.points is not None else 20
     seed = args.seed if args.seed is not None else 0
     workload = boinc_workload("ram")
     config = Adam2Config(points=points, rounds_per_instance=30)
-    document = profile_backends(workload, config, sizes=sizes, seed=seed)
+    document = profile_backends(
+        workload, config, sizes=sizes, net_sizes=net_sizes, seed=seed
+    )
     write_benchmark(document, args.profile_out)
     print(f"wrote {args.profile_out} ({len(document['entries'])} entries)")
+    for skip in document["skipped"]:
+        print(
+            f"skipped {skip['backend']} at n={skip['n_nodes']}: {skip['reason']}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _parse_sizes(raw: str | None, flag: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    if raw is None:
+        return default
+    try:
+        sizes = tuple(int(part) for part in raw.split(","))
+    except ValueError:
+        raise ConfigurationError(
+            f"{flag} must be comma-separated integers, got {raw!r}"
+        ) from None
+    if not sizes or any(size < 2 for size in sizes):
+        raise ConfigurationError(f"{flag} needs sizes >= 2")
+    return sizes
 
 
 def _run_experiments(args: argparse.Namespace) -> int:

@@ -4,7 +4,7 @@ Two layers of machine-checked enforcement of the invariants Adam2's
 correctness rests on (see DESIGN.md, "Static analysis & sanitizer"):
 
 * :mod:`repro.lint.engine` — the ``adam2-lint`` AST linter with the
-  protocol-specific rules ``ADM001``–``ADM007``;
+  protocol-specific rules ``ADM001``–``ADM008``;
 * :mod:`repro.lint.sanitizer` — opt-in runtime instrumentation
   (``ADAM2_SANITIZE=1``) asserting mass conservation, weight sanity,
   fraction ranges and CDF monotonicity after every exchange/round in

@@ -133,7 +133,7 @@ def _list_rules() -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="adam2-lint",
-        description="Protocol-invariant linter for the Adam2 reproduction (rules ADM001-ADM007).",
+        description="Protocol-invariant linter for the Adam2 reproduction (rules ADM001-ADM008).",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"), default="text", dest="fmt")

@@ -7,6 +7,7 @@ from repro.lint.rules.defaults import NoMutableDefaults
 from repro.lint.rules.exceptions import NoSwallowedErrors
 from repro.lint.rules.exchange import ExchangeConservation
 from repro.lint.rules.floats import FloatEqualityOnEstimates
+from repro.lint.rules.network import NetOutsideRuntime
 from repro.lint.rules.rng import NoGlobalRng, RngParameter
 from repro.lint.rules.wallclock import NoWallClock
 
@@ -21,6 +22,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoSwallowedErrors,    # ADM005
     NoMutableDefaults,    # ADM006
     NoWallClock,          # ADM007
+    NetOutsideRuntime,    # ADM008
 )
 
 

@@ -1,0 +1,104 @@
+"""ADM008: real networking and real time belong to ``repro.net`` only.
+
+Paper invariant: every simulation substrate is deterministic given its
+seed — the same run replays bit-for-bit.  A raw socket, an asyncio
+endpoint, or a wall-clock read anywhere else couples protocol behaviour
+to the host machine, silently breaking replayability and making the
+simulator/network parity test meaningless (the simulators would no
+longer be the network's deterministic twin).
+
+The rule flags, outside the ``repro.net`` package:
+
+* importing the ``socket`` or ``selectors`` modules;
+* calls that open asyncio transports (``asyncio.open_connection``,
+  ``loop.create_datagram_endpoint``, ``asyncio.start_server``, …);
+* wall-clock reads (``time.time()``, ``datetime.now()``, …) — the same
+  calls ADM007 polices, restated here so the networking rule is
+  self-contained about *all* host-environment reads.
+
+The driver/tooling packages exempt from ADM007 keep their wall-clock
+exemption, but even they may not open sockets: all real networking goes
+through :mod:`repro.net`, the one place with retry, dedup, and fault
+machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import ModuleContext, Rule, attribute_chain
+from repro.lint.rules.wallclock import _CLOCK_CALLS, _EXEMPT_PACKAGES
+from repro.lint.violation import Violation
+
+__all__ = ["NetOutsideRuntime"]
+
+#: modules whose import means raw networking
+_SOCKET_MODULES = {"socket", "selectors"}
+
+#: (chain-suffix) calls that open network endpoints
+_ENDPOINT_CALLS = {
+    ("asyncio", "open_connection"),
+    ("asyncio", "open_unix_connection"),
+    ("asyncio", "start_server"),
+    ("asyncio", "start_unix_server"),
+    ("loop", "create_connection"),
+    ("loop", "create_datagram_endpoint"),
+    ("loop", "create_server"),
+    ("loop", "create_unix_connection"),
+    ("loop", "create_unix_server"),
+}
+
+
+def _in_net_package(module: ModuleContext) -> bool:
+    parts = module.module_name.split(".")
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] == "net"
+
+
+def _clock_exempt(module: ModuleContext) -> bool:
+    parts = module.module_name.split(".")
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] in _EXEMPT_PACKAGES
+
+
+class NetOutsideRuntime(Rule):
+    """ADM008: sockets/endpoints/wall clocks outside ``repro.net``."""
+
+    code = "ADM008"
+    name = "net-outside-runtime"
+    hint = "route real networking and real time through repro.net (the only non-deterministic substrate)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if _in_net_package(module):
+            return
+        clock_exempt = _clock_exempt(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _SOCKET_MODULES:
+                        yield self.violation(
+                            module, node,
+                            f"raw networking import {alias.name!r} outside repro.net",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in _SOCKET_MODULES:
+                    yield self.violation(
+                        module, node,
+                        f"raw networking import {node.module!r} outside repro.net",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain is None or len(chain) < 2:
+                    continue
+                suffix = (chain[-2], chain[-1])
+                if suffix in _ENDPOINT_CALLS:
+                    yield self.violation(
+                        module, node,
+                        f"network endpoint call {'.'.join(chain)}() outside repro.net",
+                    )
+                elif suffix in _CLOCK_CALLS and not clock_exempt:
+                    yield self.violation(
+                        module, node,
+                        f"wall-clock read {'.'.join(chain)}() outside repro.net",
+                    )

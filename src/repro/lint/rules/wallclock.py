@@ -34,8 +34,9 @@ _CLOCK_CALLS = {
 
 #: top-level ``repro`` subpackages exempt from the rule (drivers and
 #: offline tooling, not simulated time; ``obs`` measures host wall time
-#: by design — its spans profile the simulator, never steer it)
-_EXEMPT_PACKAGES = {"experiments", "analysis", "lint", "obs"}
+#: by design — its spans profile the simulator, never steer it; ``net``
+#: is the real-network runtime, where wall time IS the protocol clock)
+_EXEMPT_PACKAGES = {"experiments", "analysis", "lint", "obs", "net"}
 
 
 def _is_exempt(module: ModuleContext) -> bool:

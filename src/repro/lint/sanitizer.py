@@ -41,6 +41,9 @@ __all__ = [
     "FastsimSanitizer",
     "SanitizedProtocol",
     "SanitizedAsyncProtocol",
+    "capture_instance_masses",
+    "check_delivery_merge",
+    "check_node_invariants",
 ]
 
 #: env var switching the sanitizer on globally
@@ -471,23 +474,11 @@ class SanitizedAsyncProtocol:
 
         if not checkable:
             return result
-        now = getattr(engine, "now", None)
-        post = _instance_masses(adam2)
-        for iid, remote in payload.items():
-            if not isinstance(remote, InstanceState) or iid not in post:
-                continue
-            if iid in pre:
-                local_before = pre[iid]
-            else:
-                local_before = _initial_contribution(adam2.values, post[iid])
-            expected = 0.5 * (_pair_mass([local_before]) + _pair_mass([_masses_of(remote)]))
-            _check_mass(
-                _pair_mass([post[iid]]),
-                expected,
-                backend=self.backend,
-                round_index=now,
-                instance=iid,
-            )
+        check_delivery_merge(
+            adam2, pre, payload,
+            backend=self.backend,
+            round_index=getattr(engine, "now", None),
+        )
         self._check_node(node, engine)
         return result
 
@@ -511,3 +502,64 @@ def _masses_of(state: InstanceState) -> dict[str, Any]:
         "thresholds": state.h.thresholds,
         "v_thresholds": state.v_thresholds,
     }
+
+
+# ---------------------------------------------------------------------
+# Delivery-merge checks shared with the real-network runtime
+# ---------------------------------------------------------------------
+
+
+def capture_instance_masses(adam2: Adam2Node) -> dict[Any, dict[str, Any]]:
+    """Snapshot a node's per-instance averaged masses before a merge."""
+    return _instance_masses(adam2)
+
+
+def check_delivery_merge(
+    adam2: Adam2Node,
+    pre: dict[Any, dict[str, Any]],
+    payload: dict[Any, InstanceState],
+    *,
+    backend: str,
+    round_index: int | float | None = None,
+) -> None:
+    """Assert one delivered payload merged as an exact pairwise mean.
+
+    ``pre`` is the :func:`capture_instance_masses` snapshot taken before
+    the merge.  For every instance carried by the payload, the node's
+    post-merge state must equal the mean of (local-or-initial, remote) —
+    the locally-executed half of a push–pull exchange.  This invariant
+    holds per delivery even when the network loses the other half, which
+    is what makes it checkable in a real-network runtime.
+    """
+    post = _instance_masses(adam2)
+    for iid, remote in payload.items():
+        if not isinstance(remote, InstanceState) or iid not in post:
+            continue
+        if iid in pre:
+            local_before = pre[iid]
+        else:
+            local_before = _initial_contribution(adam2.values, post[iid])
+        expected = 0.5 * (_pair_mass([local_before]) + _pair_mass([_masses_of(remote)]))
+        _check_mass(
+            _pair_mass([post[iid]]),
+            expected,
+            backend=backend,
+            round_index=round_index,
+            instance=iid,
+        )
+
+
+def check_node_invariants(
+    adam2: Adam2Node,
+    *,
+    backend: str,
+    round_index: int | float | None = None,
+    node: Any = None,
+) -> None:
+    """Per-node range/monotonicity/weight checks over all live instances."""
+    _check_node_states(
+        adam2,
+        backend=backend,
+        round_index=round_index,
+        node=node if node is not None else adam2.node_id,
+    )

@@ -11,7 +11,7 @@ class Violation:
     """One rule violation at one source location.
 
     Attributes:
-        code: the rule code (``ADM001`` … ``ADM007``).
+        code: the rule code (``ADM001`` … ``ADM008``).
         message: what is wrong at this site.
         path: file the violation was found in.
         line: 1-based source line.

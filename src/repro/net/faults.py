@@ -1,0 +1,109 @@
+"""Pluggable network fault injection for the UDP transport.
+
+Real networks drop, delay, and reorder datagrams; the deterministic
+simulators sample those faults from seeded models, and the real-network
+runtime must be testable under the same regimes.  A
+:class:`FaultInjector` sits between the transport and its socket and
+applies seeded faults to every *outgoing* datagram:
+
+* **drop** — the datagram is silently discarded (counted);
+* **delay** — delivery to the socket is deferred by a uniform sample;
+* **reorder** — the datagram is held back and flushed after the next
+  one, swapping their wire order.
+
+Fault *decisions* come from a :class:`numpy.random.Generator`, so which
+messages are dropped is reproducible for a fixed seed even though the
+surrounding event timing is real.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultInjector"]
+
+#: a raw send callable: (datagram, address) -> None
+SendFn = Callable[[bytes, tuple[str, int]], None]
+
+
+class FaultInjector:
+    """Applies seeded drop/delay/reorder faults to outgoing datagrams.
+
+    Args:
+        rng: seeded generator driving every fault decision.
+        drop_rate: probability a datagram is discarded.
+        delay_range: ``(lo, hi)`` seconds of added one-way delay, sampled
+            uniformly per datagram; ``None`` sends immediately.
+        reorder_rate: probability a datagram is held back and sent after
+            the next one (swapping their order).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        drop_rate: float = 0.0,
+        delay_range: tuple[float, float] | None = None,
+        reorder_rate: float = 0.0,
+    ):
+        if not 0.0 <= drop_rate < 1.0:
+            raise ConfigurationError(f"drop rate {drop_rate} must be in [0, 1)")
+        if not 0.0 <= reorder_rate < 1.0:
+            raise ConfigurationError(f"reorder rate {reorder_rate} must be in [0, 1)")
+        if delay_range is not None:
+            lo, hi = float(delay_range[0]), float(delay_range[1])
+            if lo < 0.0 or hi < lo:
+                raise ConfigurationError(f"invalid delay range [{lo}, {hi}]")
+            delay_range = (lo, hi)
+        self.rng = rng
+        self.drop_rate = drop_rate
+        self.delay_range = delay_range
+        self.reorder_rate = reorder_rate
+        #: datagrams discarded by the drop fault
+        self.dropped = 0
+        #: datagrams whose order was swapped
+        self.reordered = 0
+        self._held: tuple[bytes, tuple[str, int]] | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault is configured (fast path skips inactive injectors)."""
+        return (
+            self.drop_rate > 0.0
+            or self.reorder_rate > 0.0
+            or self.delay_range is not None
+        )
+
+    def send(self, send: SendFn, datagram: bytes, address: tuple[str, int]) -> None:
+        """Pass one outgoing datagram through the fault model."""
+        if self.drop_rate > 0.0 and self.rng.random() < self.drop_rate:
+            self.dropped += 1
+            self._flush(send)
+            return
+        if self.reorder_rate > 0.0 and self._held is None and self.rng.random() < self.reorder_rate:
+            self._held = (datagram, address)
+            return
+        self._dispatch(send, datagram, address)
+        self._flush(send)
+
+    def _flush(self, send: SendFn) -> None:
+        if self._held is not None:
+            held, self._held = self._held, None
+            self.reordered += 1
+            self._dispatch(send, held[0], held[1])
+
+    def _dispatch(self, send: SendFn, datagram: bytes, address: tuple[str, int]) -> None:
+        if self.delay_range is None:
+            send(datagram, address)
+            return
+        lo, hi = self.delay_range
+        delay = lo if hi == lo else float(self.rng.uniform(lo, hi))
+        if delay <= 0.0:
+            send(datagram, address)
+        else:
+            asyncio.get_running_loop().call_later(delay, send, datagram, address)

@@ -1,0 +1,440 @@
+"""The Adam2 node daemon: one real peer on one real UDP socket.
+
+A :class:`NodeDaemon` wires the engine-independent protocol core
+(:class:`~repro.core.node.Adam2Node`) to the real-network runtime:
+
+* it owns one :class:`~repro.net.transport.UdpTransport` endpoint and a
+  :class:`~repro.net.peers.PeerDirectory` of gossip partners;
+* a **gossip timer** fires every ``gossip_period`` seconds (jittered so
+  peers desynchronise); each fire is one local round — TTLs count these
+  fires, exactly like the asynchronous simulator's per-node clocks;
+* each fire launches one bounded-background **push** at a selected peer:
+  a budget-fitted snapshot of every live instance; the pull reply
+  carries the responder's *pre-merge* snapshots and is merged on
+  arrival, completing the mass-conserving symmetric exchange;
+* incoming pushes are handled synchronously on the event loop (join /
+  snapshot / merge / piggyback, mirroring
+  :meth:`repro.asyncsim.adam2.AsyncAdam2.on_request`), so protocol state
+  never sees concurrent mutation;
+* the **neighbour bootstrap** collects attribute values from sampled
+  peers over real sample round-trips before starting an instance;
+* with ``sanitize=True`` every merge is bracketed by the shared
+  mass-conservation checks from :mod:`repro.lint.sanitizer`.
+
+The daemon can also run as its own OS process:
+``python -m repro.net.node --spec spec.json`` executes one node from a
+JSON spec and writes a JSON summary of its completed instances — the
+process mode of :class:`repro.net.cluster.LocalCluster`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.config import Adam2Config
+from repro.core.instance import InstanceState
+from repro.core.node import Adam2Node
+from repro.errors import NetworkError, TransportTimeout
+from repro.lint.sanitizer import (
+    capture_instance_masses,
+    check_delivery_merge,
+    check_node_invariants,
+    sanitize_enabled,
+)
+from repro.net.codec import MSG_PULL, MSG_PUSH, MSG_SAMPLE_REQUEST, Message, WireCodec
+from repro.net.faults import FaultInjector
+from repro.net.peers import PeerDirectory
+from repro.net.transport import UdpTransport
+from repro.rngs import make_rng, spawn
+
+__all__ = ["NodeDaemon", "main"]
+
+
+class NodeDaemon:
+    """One Adam2 peer running over a real UDP socket.
+
+    Args:
+        node_id: integer peer id (also the wire sender id; must fit u32).
+        values: the peer's attribute value(s).
+        config: protocol parameters shared by the cluster.
+        rng: the peer's private seeded generator (protocol decisions,
+            peer selection, timer jitter all derive from it).
+        codec: shared wire codec (one version, one budget per cluster).
+        gossip_period: seconds between local gossip-timer fires.
+        period_jitter: uniform fraction by which each period varies,
+            desynchronising peers (like the async engine's clock drift).
+        scheduler: ``"manual"`` (instances via :meth:`trigger_instance`)
+            or ``"probabilistic"`` (the paper's self-selection).
+        neighbour_sample: peers sampled for the value bootstrap.
+        sanitize: bracket every merge with the mass-conservation
+            sanitizer (tri-state like the simulators: ``None`` follows
+            the ``ADAM2_SANITIZE`` environment variable).
+        max_inflight: bound on concurrent background pushes; timer fires
+            beyond it skip their push (TTLs still tick) so a wall of
+            dead peers cannot pile up unbounded tasks.
+        fault: optional outgoing fault injector.
+        transport_options: extra keyword arguments for
+            :class:`~repro.net.transport.UdpTransport` (timeouts, retry
+            policy, dedup size).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        values: float | np.ndarray,
+        config: Adam2Config,
+        rng: np.random.Generator,
+        *,
+        codec: WireCodec | None = None,
+        gossip_period: float = 0.05,
+        period_jitter: float = 0.1,
+        scheduler: str = "manual",
+        neighbour_sample: int | None = None,
+        sanitize: bool | None = None,
+        max_inflight: int = 8,
+        fault: FaultInjector | None = None,
+        transport_options: dict[str, Any] | None = None,
+    ):
+        if not isinstance(node_id, int) or not 0 <= node_id <= 2**32 - 1:
+            raise NetworkError(f"node id {node_id!r} must be a u32 integer")
+        if gossip_period <= 0.0:
+            raise NetworkError(f"gossip period {gossip_period} must be positive")
+        if not 0.0 <= period_jitter < 1.0:
+            raise NetworkError(f"period jitter {period_jitter} must be in [0, 1)")
+        if scheduler not in ("manual", "probabilistic"):
+            raise NetworkError(f"unknown scheduler {scheduler!r}")
+        if max_inflight < 1:
+            raise NetworkError("max_inflight must be >= 1")
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.adam2 = Adam2Node(node_id, values, config, spawn(rng))
+        self.codec = codec if codec is not None else WireCodec()
+        self.gossip_period = gossip_period
+        self.period_jitter = period_jitter
+        self.scheduler = scheduler
+        self.neighbour_sample = neighbour_sample or max(config.points, 20)
+        self.sanitize = sanitize_enabled(sanitize)
+        self.max_inflight = max_inflight
+        self.directory = PeerDirectory()
+        self.transport = UdpTransport(
+            self.codec, spawn(rng), handler=self, fault=fault,
+            **(transport_options or {}),
+        )
+        #: local gossip rounds completed (timer fires)
+        self.rounds = 0
+        #: pushes abandoned after the retry budget (peer suspected)
+        self.push_failures = 0
+        #: timer fires that skipped their push at the in-flight bound
+        self.pushes_skipped = 0
+        self._inflight: set[asyncio.Task[None]] = set()
+        self._running = False
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def open(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind the UDP endpoint; returns the bound address."""
+        return await self.transport.open(host, port)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.transport.address
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node was fail-stopped with :meth:`crash`."""
+        return self._crashed
+
+    def add_peer(self, peer_id: int, address: tuple[str, int]) -> None:
+        """Register a gossip partner."""
+        if peer_id == self.node_id:
+            raise NetworkError("a node cannot be its own peer")
+        self.directory.add(peer_id, address)
+
+    async def run(self, rounds: int) -> None:
+        """Run the gossip timer for ``rounds`` local fires.
+
+        Each fire is one local round: TTLs tick, expired instances
+        finalise, and (bounded) one push launches at a selected peer.
+        Pushes settle in the background; await :meth:`drain` to wait for
+        the stragglers (e.g. at the end of an instance).
+        """
+        if self._running:
+            raise NetworkError("daemon is already running")
+        self._running = True
+        try:
+            for _ in range(rounds):
+                if self._crashed:
+                    return
+                jitter = 1.0 + self.period_jitter * (2.0 * float(self.rng.random()) - 1.0)
+                await asyncio.sleep(self.gossip_period * jitter)
+                self._tick()
+        finally:
+            self._running = False
+
+    async def drain(self) -> None:
+        """Wait for in-flight pushes to complete (or fail their retries)."""
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+
+    def close(self) -> None:
+        """Close the socket and cancel in-flight pushes."""
+        for task in tuple(self._inflight):
+            task.cancel()
+        self._inflight.clear()
+        self.transport.close()
+
+    def crash(self) -> None:
+        """Fail-stop the node: no more sends, receives, or timer fires.
+
+        Peers observe the crash only as timeouts — exactly the failure
+        model the suspicion machinery is built for.
+        """
+        self._crashed = True
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The gossip timer
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.rounds += 1
+        self.adam2.end_of_round(self.rounds)
+        if self.scheduler == "probabilistic" and self.adam2.should_start_instance():
+            self._spawn(self.trigger_instance())
+        if not self.adam2.instances or len(self.directory) == 0:
+            return
+        if len(self._inflight) >= self.max_inflight:
+            self.pushes_skipped += 1
+            return
+        peer = self.directory.select(self.rng)
+        if peer is not None:
+            self._spawn(self._push(peer.peer_id, peer.address))
+
+    def _spawn(self, coro: Any) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _push(self, peer_id: int, address: tuple[str, int]) -> None:
+        # Snapshot highest-TTL first: fit_states keeps a prefix, and the
+        # youngest instances have the most averaging left to do.
+        ordered = sorted(self.adam2.instances.items(), key=lambda kv: -kv[1].ttl)
+        snapshots = {iid: state.snapshot() for iid, state in ordered}
+        payload = self.codec.fit_states(snapshots)
+        if not payload:
+            return
+        msg_id = self.transport.next_msg_id()
+        datagram = self.codec.encode_states(MSG_PUSH, self.node_id, msg_id, payload)
+        try:
+            reply = await self.transport.request(datagram, address, msg_id)
+        except TransportTimeout:
+            self.push_failures += 1
+            self.directory.mark_failure(peer_id)
+            return
+        self.directory.mark_alive(peer_id)
+        self._merge_payload(reply.states)
+
+    # ------------------------------------------------------------------
+    # Request handling (transport RequestHandler)
+    # ------------------------------------------------------------------
+
+    def handle_request(self, message: Message, codec: WireCodec) -> bytes | None:
+        """Turn a decoded request into reply bytes (runs on the loop)."""
+        if self._crashed:
+            return None
+        self.directory.mark_alive(message.sender)
+        if message.kind == MSG_SAMPLE_REQUEST:
+            return codec.encode_sample_response(self.node_id, message.msg_id, self.adam2.values)
+        if message.kind != MSG_PUSH:
+            return None
+        adam2 = self.adam2
+        pre = capture_instance_masses(adam2) if self.sanitize else None
+        response: dict[Hashable, InstanceState] = {}
+        for iid, remote in message.states.items():
+            local = adam2.instances.get(iid)
+            if local is None:
+                if remote.ttl <= 1 or iid in adam2.finished_ids:
+                    continue  # nearly expired or already terminated here
+                local = adam2.join_instance(remote, round_=self.rounds)
+            # Snapshot after joining but before merging: the initiator
+            # merging this pull completes the mass-conserving symmetric
+            # exchange (same semantics as the async simulator).
+            response[iid] = local.snapshot()
+            local.merge_from(remote)
+        if pre is not None:
+            check_delivery_merge(
+                adam2, pre, message.states, backend="net", round_index=self.rounds
+            )
+            check_node_invariants(
+                adam2, backend="net", round_index=self.rounds, node=self.node_id
+            )
+        # Piggyback instances the sender has not seen yet, so instances
+        # spread on pulls as well as pushes.
+        for iid, state in adam2.instances.items():
+            if iid not in response and iid not in message.states:
+                response[iid] = state.snapshot()
+        # Always reply, even with zero states: the pull doubles as the
+        # acknowledgement, and a silent decline would read as a crash.
+        payload = codec.fit_states(response)
+        return codec.encode_states(MSG_PULL, self.node_id, message.msg_id, payload)
+
+    def _merge_payload(self, states: dict[Hashable, InstanceState]) -> None:
+        if not states:
+            return
+        adam2 = self.adam2
+        pre = capture_instance_masses(adam2) if self.sanitize else None
+        for iid, remote in states.items():
+            local = adam2.instances.get(iid)
+            if local is None:
+                if remote.ttl <= 1 or iid in adam2.finished_ids:
+                    continue
+                local = adam2.join_instance(remote, round_=self.rounds)
+            local.merge_from(remote)
+        if pre is not None:
+            check_delivery_merge(adam2, pre, states, backend="net", round_index=self.rounds)
+            check_node_invariants(adam2, backend="net", round_index=self.rounds, node=self.node_id)
+
+    # ------------------------------------------------------------------
+    # Instance management
+    # ------------------------------------------------------------------
+
+    async def trigger_instance(self) -> Hashable:
+        """Start a new aggregation instance at this node as initiator.
+
+        Bootstraps thresholds from attribute values collected over real
+        sample round-trips at up to ``neighbour_sample`` peers; peers
+        that time out simply contribute nothing (gossip redundancy).
+        """
+        peers = self.directory.sample(self.neighbour_sample, self.rng)
+        pools: list[np.ndarray] = []
+        if peers:
+            replies = await asyncio.gather(
+                *(self._sample_peer(record.address) for record in peers),
+                return_exceptions=True,
+            )
+            for record, outcome in zip(peers, replies):
+                if isinstance(outcome, BaseException):
+                    self.directory.mark_failure(record.peer_id)
+                    continue
+                self.directory.mark_alive(record.peer_id)
+                pools.append(outcome)
+        if pools:
+            neighbour_values = np.concatenate(pools)
+        else:
+            neighbour_values = self.adam2.values
+        return self.adam2.start_instance(
+            neighbour_values=neighbour_values, round_=self.rounds
+        )
+
+    async def _sample_peer(self, address: tuple[str, int]) -> np.ndarray:
+        msg_id = self.transport.next_msg_id()
+        datagram = self.codec.encode_sample_request(self.node_id, msg_id)
+        reply = await self.transport.request(datagram, address, msg_id)
+        return reply.values
+
+
+# ----------------------------------------------------------------------
+# Process mode: one daemon per OS process
+# ----------------------------------------------------------------------
+
+
+def _summary_payload(daemon: NodeDaemon) -> dict[str, Any]:
+    """JSON-serialisable summary of one node's run (process mode)."""
+    completed = [
+        {
+            "instance_id": list(record.instance_id),
+            "thresholds": [float(t) for t in record.estimate.thresholds],
+            "fractions": [float(f) for f in record.estimate.fractions],
+            "minimum": float(record.estimate.minimum),
+            "maximum": float(record.estimate.maximum),
+            "system_size": record.system_size,
+            "round": record.round,
+        }
+        for record in daemon.adam2.completed
+    ]
+    return {
+        "node_id": daemon.node_id,
+        "rounds": daemon.rounds,
+        "completed": completed,
+        "values": [float(v) for v in daemon.adam2.values],
+        "messages_sent": daemon.transport.messages_sent,
+        "bytes_sent": daemon.transport.bytes_sent,
+        "messages_received": daemon.transport.messages_received,
+        "retries": daemon.transport.retries,
+        "timeouts": daemon.transport.timeouts,
+        "duplicates_suppressed": daemon.transport.duplicates_suppressed,
+        "push_failures": daemon.push_failures,
+    }
+
+
+async def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """Execute one node process from its JSON spec; returns the summary."""
+    config = Adam2Config(**spec.get("config", {}))
+    rng = make_rng(int(spec["seed"]))
+    fault = None
+    drop_rate = float(spec.get("drop_rate", 0.0))
+    if drop_rate > 0.0:
+        fault = FaultInjector(spawn(rng), drop_rate=drop_rate)
+    daemon = NodeDaemon(
+        int(spec["node_id"]),
+        np.asarray(spec["values"], dtype=float),
+        config,
+        rng,
+        codec=WireCodec(int(spec.get("max_datagram", 8192))),
+        gossip_period=float(spec.get("gossip_period", 0.05)),
+        period_jitter=float(spec.get("period_jitter", 0.1)),
+        neighbour_sample=spec.get("neighbour_sample"),
+        sanitize=spec.get("sanitize"),
+        fault=fault,
+        transport_options=spec.get("transport_options"),
+    )
+    await daemon.open(str(spec.get("host", "127.0.0.1")), int(spec["port"]))
+    for peer_id, host, port in spec.get("peers", []):
+        daemon.add_peer(int(peer_id), (str(host), int(port)))
+    try:
+        # Let the rest of the cluster bind before the first datagram.
+        await asyncio.sleep(float(spec.get("start_delay", 0.2)))
+        trigger_at = spec.get("trigger_at")
+        rounds = int(spec["rounds"])
+        if trigger_at is None:
+            await daemon.run(rounds)
+        else:
+            head = max(0, min(int(trigger_at), rounds))
+            await daemon.run(head)
+            await daemon.trigger_instance()
+            await daemon.run(rounds - head)
+        await daemon.drain()
+        return _summary_payload(daemon)
+    finally:
+        daemon.close()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.net.node --spec spec.json [--out result.json]``"""
+    parser = argparse.ArgumentParser(description="Run one Adam2 node daemon")
+    parser.add_argument("--spec", required=True, help="path to the node's JSON spec")
+    parser.add_argument("--out", default=None, help="summary path (default: stdout)")
+    ns = parser.parse_args(argv)
+    with open(ns.spec, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    summary = asyncio.run(_run_spec(spec))
+    payload = json.dumps(summary)
+    if ns.out is None:
+        print(payload)
+    else:
+        with open(ns.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

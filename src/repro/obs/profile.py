@@ -12,6 +12,8 @@ wall-time values naturally vary with the host.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -21,14 +23,39 @@ from repro.obs.observer import ObserverHub
 from repro.obs.spans import SEP
 from repro.workloads.base import AttributeWorkload
 
-__all__ = ["profile_backends", "write_benchmark"]
+__all__ = ["config_fingerprint", "profile_backends", "write_benchmark"]
 
 #: the paper-benchmark population sizes
 DEFAULT_SIZES = (1_000, 10_000)
 
+#: real-socket populations: one OS socket per node, so the net backend
+#: is profiled at cluster scale rather than simulation scale
+DEFAULT_NET_SIZES = (32, 64)
+
 #: span path engines time each gossip round under
 _ROUND_PATH = SEP.join(("run", "instance", "round"))
 _RUN_PATH = "run"
+
+
+def config_fingerprint(
+    config: Adam2Config, *, instances: int, seed: int, workload: AttributeWorkload
+) -> str:
+    """Stable hash of everything that shapes a benchmark's workload.
+
+    Two benchmark documents are comparable iff their fingerprints match:
+    same protocol parameters, instance count, seed, and workload.  Wall
+    times from different fingerprints measure different work.
+    """
+    identity = {
+        "config": dataclasses.asdict(config),
+        "instances": int(instances),
+        "seed": int(seed),
+        "workload": repr(workload),
+    }
+    digest = hashlib.sha256(
+        json.dumps(identity, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
 
 
 def profile_backends(
@@ -36,7 +63,8 @@ def profile_backends(
     config: Adam2Config,
     *,
     sizes: Sequence[int] = DEFAULT_SIZES,
-    backends: Iterable[str] = ("fast", "round", "async"),
+    backends: Iterable[str] = ("fast", "round", "async", "net"),
+    net_sizes: Sequence[int] = DEFAULT_NET_SIZES,
     instances: int = 1,
     seed: int = 0,
 ) -> dict[str, object]:
@@ -45,22 +73,44 @@ def profile_backends(
     Each entry reports total run wall time, per-round wall time (mean
     over all timed rounds) and the raw span aggregates, so regressions
     can be localised to the round kernel vs. setup/measurement overhead.
+
+    The ``net`` backend binds one real UDP socket per node, so it is
+    profiled at the (smaller) ``net_sizes``; in sandboxes that forbid
+    socket binding it is skipped gracefully and recorded under the
+    document's ``skipped`` list instead of failing the whole benchmark.
     """
     from repro.api import run  # late import: repro.api depends on repro.obs
 
     entries: list[dict[str, object]] = []
+    skipped: list[dict[str, object]] = []
     for backend in backends:
-        for n_nodes in sizes:
+        backend_sizes = net_sizes if backend == "net" else sizes
+        for n_nodes in backend_sizes:
             hub = ObserverHub(instrument=True)
-            result = run(
-                config,
-                workload,
-                backend=backend,
-                n_nodes=int(n_nodes),
-                instances=instances,
-                seed=seed,
-                hub=hub,
-            )
+            options: dict[str, object] = {}
+            if backend == "net":
+                options["gossip_period"] = 0.02
+            try:
+                result = run(
+                    config,
+                    workload,
+                    backend=backend,
+                    n_nodes=int(n_nodes),
+                    instances=instances,
+                    seed=seed,
+                    hub=hub,
+                    **options,
+                )
+            except (OSError, PermissionError) as exc:
+                # A sandbox that forbids socket binding fails the net
+                # backend at bind time; record the skip and keep the
+                # simulator baselines comparable.
+                skipped.append({
+                    "backend": backend,
+                    "n_nodes": int(n_nodes),
+                    "reason": f"{type(exc).__name__}: {exc}",
+                })
+                continue
             run_stats = hub.spans.stats(_RUN_PATH)
             round_stats = hub.spans.stats(_ROUND_PATH)
             entries.append({
@@ -81,8 +131,14 @@ def profile_backends(
     entries.sort(key=lambda e: (str(e["backend"]), int(e["n_nodes"])))  # type: ignore[arg-type]
     return {
         "benchmark": "adam2-backends",
+        "config": dataclasses.asdict(config),
+        "config_fingerprint": config_fingerprint(
+            config, instances=instances, seed=seed, workload=workload
+        ),
         "sizes": [int(n) for n in sizes],
+        "net_sizes": [int(n) for n in net_sizes],
         "entries": entries,
+        "skipped": skipped,
     }
 
 

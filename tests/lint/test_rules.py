@@ -271,6 +271,73 @@ class TestADM007NoWallClock:
         assert codes(src, path="src/repro/experiments/cli.py") == []
 
 
+class TestADM008NetOutsideRuntime:
+    def test_flags_socket_import_outside_net(self):
+        src = """
+            import socket
+
+            def probe(host):
+                return socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        """
+        assert "ADM008" in codes(src, path="src/repro/simulation/engine.py")
+
+    def test_flags_socket_from_import(self):
+        src = """
+            from socket import socket
+
+            def probe():
+                return socket()
+        """
+        assert "ADM008" in codes(src, path="src/repro/core/node.py")
+
+    def test_flags_asyncio_endpoint_call(self):
+        src = """
+            import asyncio
+
+            async def connect(host, port):
+                return await asyncio.open_connection(host, port)
+        """
+        assert "ADM008" in codes(src, path="src/repro/api/backends.py")
+
+    def test_flags_datagram_endpoint_call(self):
+        src = """
+            async def bind(loop, proto):
+                return await loop.create_datagram_endpoint(proto, local_addr=("::", 0))
+        """
+        assert "ADM008" in codes(src, path="src/repro/obs/profile.py")
+
+    def test_flags_wall_clock_outside_net(self):
+        src = """
+            import time
+
+            def run_round(engine):
+                engine.started = time.monotonic()
+        """
+        assert "ADM008" in codes(src, path="src/repro/asyncsim/engine.py")
+
+    def test_net_package_exempt(self):
+        src = """
+            import socket
+            import time
+
+            async def bind(loop, proto):
+                started = time.monotonic()
+                return await loop.create_datagram_endpoint(proto), started
+        """
+        assert codes(src, path="src/repro/net/transport.py") == []
+
+    def test_drivers_keep_clock_exemption_but_not_sockets(self):
+        src = """
+            import socket
+            import time
+
+            def run_experiment():
+                return time.time()
+        """
+        found = codes(src, path="src/repro/experiments/cli.py")
+        assert found == ["ADM008"]  # the socket import, not the clock
+
+
 class TestSelection:
     def test_select_restricts_rules(self):
         src = """

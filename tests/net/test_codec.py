@@ -1,0 +1,176 @@
+"""Wire codec: round-trip fidelity, length budget, corruption handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import InstanceState
+from repro.errors import CodecError
+from repro.net.codec import (
+    MSG_PULL,
+    MSG_PUSH,
+    MSG_SAMPLE_REQUEST,
+    MSG_SAMPLE_RESPONSE,
+    WIRE_VERSION,
+    WireCodec,
+)
+from repro.rngs import make_rng
+
+
+def random_state(rng: np.random.Generator, iid: tuple[int, int]) -> InstanceState:
+    """A random, realistically-evolved instance state."""
+    k = int(rng.integers(2, 12))
+    kv = int(rng.integers(0, 5))
+    values = rng.uniform(-50.0, 50.0, size=int(rng.integers(1, 4)))
+    state = InstanceState.initial(
+        instance_id=iid,
+        values=values,
+        thresholds=rng.uniform(-60.0, 60.0, size=k),
+        v_thresholds=rng.uniform(-60.0, 60.0, size=kv),
+        ttl=int(rng.integers(1, 60)),
+        initiator=bool(rng.random() < 0.5),
+        started_round=int(rng.integers(0, 1000)),
+    )
+    # A few merges produce non-trivial fractional masses.
+    for _ in range(int(rng.integers(0, 4))):
+        other = state.snapshot()
+        other.h.fractions = rng.uniform(0.0, 2.0, size=k)
+        other.weight = float(rng.random())
+        other.count_average = float(rng.uniform(0.5, 3.0))
+        state.merge_from(other)
+    return state
+
+
+def assert_states_equal(a: InstanceState, b: InstanceState) -> None:
+    assert a.instance_id == b.instance_id
+    assert a.ttl == b.ttl
+    assert a.initiator == b.initiator
+    assert a.started_round == b.started_round
+    assert a.weight == b.weight
+    assert a.count_average == b.count_average
+    assert a.h.minimum == b.h.minimum
+    assert a.h.maximum == b.h.maximum
+    np.testing.assert_array_equal(a.h.thresholds, b.h.thresholds)
+    np.testing.assert_array_equal(a.h.fractions, b.h.fractions)
+    np.testing.assert_array_equal(a.v_thresholds, b.v_thresholds)
+    np.testing.assert_array_equal(a.v_fractions, b.v_fractions)
+
+
+class TestRoundTrip:
+    def test_fuzz_push_pull_round_trip(self):
+        """Float64 payloads survive encode/decode bit-for-bit."""
+        rng = make_rng(101)
+        codec = WireCodec()
+        for trial in range(200):
+            kind = MSG_PUSH if trial % 2 == 0 else MSG_PULL
+            states = {}
+            for index in range(int(rng.integers(0, 5))):
+                iid = (int(rng.integers(0, 2**32)), index)
+                states[iid] = random_state(rng, iid)
+            sender = int(rng.integers(0, 2**32))
+            msg_id = int(rng.integers(0, 2**63))
+            datagram = codec.encode_states(kind, sender, msg_id, codec.fit_states(states))
+            message = codec.decode(datagram)
+            assert message.kind == kind
+            assert message.sender == sender
+            assert message.msg_id == msg_id
+            assert set(message.states) == set(codec.fit_states(states))
+            for iid, state in message.states.items():
+                assert_states_equal(state, states[iid])
+
+    def test_sample_round_trip(self):
+        codec = WireCodec()
+        request = codec.decode(codec.encode_sample_request(7, 99))
+        assert request.kind == MSG_SAMPLE_REQUEST
+        assert request.wants_reply
+        values = make_rng(5).normal(size=17)
+        response = codec.decode(codec.encode_sample_response(7, 99, values))
+        assert response.kind == MSG_SAMPLE_RESPONSE
+        assert not response.wants_reply
+        np.testing.assert_array_equal(response.values, values)
+
+    def test_decoded_state_merges_like_the_original(self):
+        """A decoded snapshot is a drop-in InstanceState for merging."""
+        rng = make_rng(6)
+        codec = WireCodec()
+        state = random_state(rng, (3, 0))
+        wire = codec.decode(
+            codec.encode_states(MSG_PUSH, 3, 1, {(3, 0): state})
+        ).states[(3, 0)]
+        local = state.snapshot()
+        local.merge_from(wire)
+        np.testing.assert_allclose(local.h.fractions, state.h.fractions)
+        assert local.weight == state.weight
+
+
+class TestBudget:
+    def test_fit_states_keeps_largest_prefix(self):
+        rng = make_rng(8)
+        codec = WireCodec(max_datagram=512)
+        states = {(0, i): random_state(rng, (0, i)) for i in range(40)}
+        kept = codec.fit_states(states)
+        assert 0 < len(kept) < len(states)
+        assert list(kept) == list(states)[: len(kept)]  # prefix, order kept
+        datagram = codec.encode_states(MSG_PUSH, 0, 1, kept)
+        assert len(datagram) <= codec.max_datagram
+
+    def test_encode_over_budget_raises(self):
+        rng = make_rng(9)
+        codec = WireCodec(max_datagram=256)
+        states = {(0, i): random_state(rng, (0, i)) for i in range(30)}
+        with pytest.raises(CodecError, match="budget"):
+            codec.encode_states(MSG_PUSH, 0, 1, states)
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(CodecError):
+            WireCodec(max_datagram=16)
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self):
+        codec = WireCodec()
+        datagram = bytearray(codec.encode_sample_request(1, 1))
+        datagram[0] = ord("X")
+        with pytest.raises(CodecError, match="magic"):
+            codec.decode(bytes(datagram))
+
+    def test_unknown_version_rejected(self):
+        codec = WireCodec()
+        datagram = bytearray(codec.encode_sample_request(1, 1))
+        datagram[2] = WIRE_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            codec.decode(bytes(datagram))
+
+    def test_truncation_fuzz_never_half_parses(self):
+        """Every prefix of a valid datagram raises, never half-parses."""
+        rng = make_rng(33)
+        codec = WireCodec()
+        states = {(1, i): random_state(rng, (1, i)) for i in range(3)}
+        datagram = codec.encode_states(MSG_PUSH, 1, 4, codec.fit_states(states))
+        for cut in range(len(datagram) - 1):
+            with pytest.raises(CodecError):
+                codec.decode(datagram[:cut])
+
+    def test_corruption_fuzz_is_total(self):
+        """Random byte flips either decode cleanly or raise CodecError —
+        nothing else (no crashes, no other exception types)."""
+        rng = make_rng(34)
+        codec = WireCodec()
+        states = {(1, i): random_state(rng, (1, i)) for i in range(2)}
+        datagram = bytearray(codec.encode_states(MSG_PUSH, 1, 4, states))
+        for _ in range(300):
+            corrupted = bytearray(datagram)
+            for _ in range(int(rng.integers(1, 4))):
+                corrupted[int(rng.integers(0, len(corrupted)))] = int(rng.integers(0, 256))
+            try:
+                codec.decode(bytes(corrupted))
+            except CodecError:
+                pass
+
+    def test_non_tuple_instance_id_rejected(self):
+        rng = make_rng(35)
+        codec = WireCodec()
+        state = random_state(rng, (0, 0))
+        with pytest.raises(CodecError, match="instance id"):
+            codec.encode_states(MSG_PUSH, 0, 1, {"named-instance": state})

@@ -1,0 +1,196 @@
+"""Node daemon and localhost cluster harness (in-process and subprocess)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import Adam2Config
+from repro.errors import NetworkError
+from repro.net.cluster import (
+    LocalCluster,
+    completed_from_summaries,
+    run_process_cluster,
+)
+from repro.net.node import NodeDaemon
+from repro.net.peers import PeerDirectory
+from repro.rngs import make_rng, spawn
+
+FAST = {"request_timeout": 0.05, "max_retries": 2}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPeerDirectory:
+    def test_suspicion_and_recovery(self):
+        directory = PeerDirectory(suspicion_threshold=2)
+        directory.add(1, ("127.0.0.1", 1000))
+        directory.add(2, ("127.0.0.1", 1001))
+        assert directory.mark_failure(1) is False
+        assert directory.mark_failure(1) is True
+        assert directory.healthy_ids() == [2]
+        assert directory.suspected_ids() == [1]
+        directory.mark_alive(1)
+        assert directory.healthy_ids() == [1, 2]
+
+    def test_select_prefers_healthy(self):
+        rng = make_rng(0)
+        directory = PeerDirectory(suspicion_threshold=1, probe_rate=0.0)
+        directory.add(1, ("127.0.0.1", 1000))
+        directory.add(2, ("127.0.0.1", 1001))
+        directory.mark_failure(2)
+        assert all(directory.select(rng).peer_id == 1 for _ in range(20))
+
+    def test_select_probes_suspected(self):
+        rng = make_rng(0)
+        directory = PeerDirectory(suspicion_threshold=1, probe_rate=0.5)
+        directory.add(1, ("127.0.0.1", 1000))
+        directory.add(2, ("127.0.0.1", 1001))
+        directory.mark_failure(2)
+        picked = {directory.select(rng).peer_id for _ in range(50)}
+        assert picked == {1, 2}
+
+    def test_all_suspected_still_selectable(self):
+        rng = make_rng(0)
+        directory = PeerDirectory(suspicion_threshold=1)
+        directory.add(1, ("127.0.0.1", 1000))
+        directory.mark_failure(1)
+        assert directory.select(rng).peer_id == 1
+
+
+class TestNodeDaemon:
+    def test_two_daemons_converge_on_one_instance(self):
+        async def scenario():
+            rng = make_rng(11)
+            config = Adam2Config(points=6, rounds_per_instance=10)
+            daemons = [
+                NodeDaemon(i, float(v), config, spawn(rng),
+                           gossip_period=0.01, transport_options=FAST,
+                           sanitize=True)
+                for i, v in enumerate([100.0, 900.0])
+            ]
+            for daemon in daemons:
+                await daemon.open()
+            daemons[0].add_peer(1, daemons[1].address)
+            daemons[1].add_peer(0, daemons[0].address)
+            try:
+                await daemons[0].trigger_instance()
+                await asyncio.gather(*(d.run(14) for d in daemons))
+                await asyncio.gather(*(d.drain() for d in daemons))
+            finally:
+                for daemon in daemons:
+                    daemon.close()
+            for daemon in daemons:
+                assert len(daemon.adam2.completed) == 1
+                estimate = daemon.adam2.completed[0].estimate
+                assert estimate.minimum == 100.0
+                assert estimate.maximum == 900.0
+
+        run(scenario())
+
+    def test_rejects_bad_parameters(self):
+        config = Adam2Config(points=6)
+        rng = make_rng(0)
+        with pytest.raises(NetworkError):
+            NodeDaemon(-1, 1.0, config, rng)
+        with pytest.raises(NetworkError):
+            NodeDaemon(0, 1.0, config, rng, gossip_period=0.0)
+        daemon = NodeDaemon(0, 1.0, config, rng)
+        with pytest.raises(NetworkError):
+            daemon.add_peer(0, ("127.0.0.1", 1))
+
+    def test_crashed_daemon_stops_responding(self):
+        async def scenario():
+            rng = make_rng(12)
+            config = Adam2Config(points=6, rounds_per_instance=8)
+            a = NodeDaemon(0, 1.0, config, spawn(rng),
+                           gossip_period=0.01, transport_options=FAST)
+            b = NodeDaemon(1, 2.0, config, spawn(rng),
+                           gossip_period=0.01, transport_options=FAST)
+            await a.open()
+            await b.open()
+            a.add_peer(1, b.address)
+            b.add_peer(0, a.address)
+            try:
+                b.crash()
+                assert b.crashed
+                await a.trigger_instance()
+                await a.run(10)
+                await a.drain()
+                assert a.push_failures > 0
+                assert a.directory.get(1).suspected
+                # The instance still terminates locally.
+                assert len(a.adam2.completed) == 1
+            finally:
+                a.close()
+                b.close()
+
+        run(scenario())
+
+
+class TestLocalCluster:
+    def test_cluster_runs_instance_to_completion(self):
+        async def scenario():
+            rng = make_rng(13)
+            values = make_rng(14).uniform(0.0, 100.0, size=8)
+            config = Adam2Config(points=8, rounds_per_instance=12)
+            cluster = LocalCluster(
+                values, config, rng,
+                gossip_period=0.01, sanitize=True, transport_options=FAST,
+            )
+            async with cluster:
+                instance_id = await cluster.trigger_instance()
+                assert isinstance(instance_id, tuple)
+                await cluster.run_rounds(16)
+                await cluster.drain()
+                completed = [d.adam2.completed for d in cluster.daemons]
+            assert all(len(records) == 1 for records in completed)
+            counters = cluster.counters()
+            assert counters["messages_sent"] > 0
+            assert counters["decode_errors"] == 0
+
+        run(scenario())
+
+    def test_crash_excludes_node_from_liveness(self):
+        async def scenario():
+            rng = make_rng(15)
+            cluster = LocalCluster(
+                np.arange(4, dtype=float), Adam2Config(points=4), rng,
+                gossip_period=0.01, transport_options=FAST,
+            )
+            async with cluster:
+                cluster.crash(3)
+                assert len(cluster.live_daemons()) == 3
+                assert cluster.attribute_values().size == 3
+                with pytest.raises(NetworkError, match="crashed"):
+                    await cluster.trigger_instance(3)
+
+        run(scenario())
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(NetworkError):
+            LocalCluster([1.0], Adam2Config(points=4), make_rng(0))
+
+
+class TestProcessCluster:
+    def test_subprocess_nodes_run_an_instance(self):
+        values = make_rng(16).uniform(0.0, 100.0, size=4)
+        config = Adam2Config(points=6, rounds_per_instance=10)
+        summaries = run_process_cluster(
+            values, config, rounds=14, seed=77, trigger_at={0: 1},
+            gossip_period=0.02, transport_options=FAST, timeout=60.0,
+        )
+        assert len(summaries) == 4
+        assert {s["node_id"] for s in summaries} == {0, 1, 2, 3}
+        completed = completed_from_summaries(summaries)
+        reached = [records for records in completed.values() if records]
+        assert len(reached) >= 3  # gossip redundancy: most nodes terminate
+        record = reached[0][0]
+        assert record.estimate.fractions.size == 6
+        assert 0.0 <= record.estimate.fractions.min()
+        total_sent = sum(s["messages_sent"] for s in summaries)
+        assert total_sent > 0

@@ -1,0 +1,64 @@
+"""Simulator/network parity: the net backend estimates what the async
+simulator estimates.
+
+Both backends spawn their population from the same seed in the same
+order, so they aggregate the *same* 32 attribute values; on a loss-free
+localhost cluster the real-network run must land within 2x of the
+discrete-event simulator's final CDF max-error.  This is the test that
+keeps the simulators honest as the network runtime's deterministic twin.
+"""
+
+from __future__ import annotations
+
+from repro.api import run
+from repro.core.config import Adam2Config
+from repro.workloads.synthetic import uniform_workload
+
+N_NODES = 32
+CONFIG = Adam2Config(points=10, rounds_per_instance=30)
+WORKLOAD = uniform_workload(0, 1000)
+SEED = 17
+
+
+def test_net_matches_async_within_2x():
+    async_result = run(
+        CONFIG, WORKLOAD, backend="async",
+        n_nodes=N_NODES, instances=1, seed=SEED,
+    )
+    net_result = run(
+        CONFIG, WORKLOAD, backend="net",
+        n_nodes=N_NODES, instances=1, seed=SEED,
+        gossip_period=0.02,
+        transport_options={"request_timeout": 0.1, "max_retries": 3},
+    )
+
+    async_summary = async_result.instances[0]
+    net_summary = net_result.instances[0]
+
+    # Same seed, same spawn order: both substrates sampled the same
+    # population, so their ground truths are identical.
+    assert net_summary.reached == N_NODES
+    assert net_result.extras["net_counters"]["decode_errors"] == 0
+
+    async_err = async_summary.errors_entire.maximum
+    net_err = net_summary.errors_entire.maximum
+    assert 0.0 < async_err < 1.0
+    assert net_err <= 2.0 * async_err, (
+        f"net backend err_max {net_err:.4f} exceeds twice the async "
+        f"simulator's {async_err:.4f} on a loss-free cluster"
+    )
+
+
+def test_net_estimate_brackets_the_population():
+    result = run(
+        CONFIG, WORKLOAD, backend="net",
+        n_nodes=N_NODES, instances=1, seed=SEED + 1,
+        gossip_period=0.02,
+        transport_options={"request_timeout": 0.1, "max_retries": 3},
+    )
+    estimate = result.estimate
+    assert estimate is not None
+    # Gossiped extrema are exact min/max over the population.
+    assert 0.0 <= estimate.minimum <= estimate.maximum <= 1000.0
+    assert estimate.system_size is not None
+    assert 16 <= estimate.system_size <= 64  # weight-based size near N=32
