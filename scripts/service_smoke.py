@@ -1,0 +1,192 @@
+"""CI smoke test for the continuous estimation service's TCP frontend.
+
+Warms a fast-backend service, serves it over the JSON-lines endpoint,
+and drives a mixed query workload (cdf / quantile / fraction / size,
+plus a sprinkle of deliberately malformed requests) from several
+concurrent clients.  Fails hard if:
+
+* any request draws a ``server_error`` (the 5xx class — a healthy
+  service never produces one; malformed requests must map to
+  ``bad_request`` instead),
+* client-observed p99 latency exceeds the budget,
+* the JSONL trace does not account for every request line served.
+
+Usage::
+
+    python scripts/service_smoke.py --queries 1000 --clients 4 \
+        --trace service_smoke_trace.jsonl --p99-budget 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+
+
+async def _drive(
+    handle: object,
+    requests: list[dict[str, object]],
+    clients: int,
+    host: str,
+) -> tuple[list[float], dict[str, int]]:
+    """Serve ``handle`` ephemerally; return latencies and error counts."""
+    from repro.net.service_endpoint import ServiceClient, ServiceEndpoint
+    from repro.obs import wall_clock
+
+    latencies: list[float] = []
+    errors: dict[str, int] = {}
+
+    async def _client(port: int, share: list[dict[str, object]]) -> None:
+        async with ServiceClient(host, port) as client:
+            for payload in share:
+                started = wall_clock()
+                response = await client.request(payload)
+                latencies.append(wall_clock() - started)
+                if not response.get("ok"):
+                    code = str(response.get("error", "missing_error_code"))
+                    errors[code] = errors.get(code, 0) + 1
+
+    async with ServiceEndpoint(handle, host=host, port=0) as endpoint:  # type: ignore[arg-type]
+        assert endpoint.port is not None
+        shares = [requests[i::clients] for i in range(clients)]
+        await asyncio.gather(*(
+            _client(endpoint.port, share) for share in shares if share
+        ))
+    return latencies, errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=1000)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--nodes", type=int, default=800)
+    parser.add_argument("--points", type=int, default=24)
+    parser.add_argument("--rounds", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--invalid-every", type=int, default=50,
+        help="replace every Nth request with a malformed one (0 disables); "
+        "these must come back as bad_request, never server_error",
+    )
+    parser.add_argument(
+        "--p99-budget", type=float, default=0.05,
+        help="client-observed p99 latency budget in seconds",
+    )
+    parser.add_argument("--trace", default="service_smoke_trace.jsonl")
+    parser.add_argument(
+        "--timeout", type=int, default=120,
+        help="hard wall-clock budget in seconds (SIGALRM; 0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.timeout > 0:
+        # A wedged endpoint must fail the job, not hang it until the
+        # runner's own timeout reaps it without artifacts.
+        def _expired(signum: int, frame: object) -> None:
+            raise TimeoutError(f"service smoke exceeded {args.timeout}s budget")
+
+        signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(args.timeout)
+
+    import numpy as np
+
+    from repro.core.config import Adam2Config
+    from repro.obs import JsonlSink, ObserverHub
+    from repro.service import build_service
+    from repro.service.bench import _mixed_queries
+    from repro.workloads.synthetic import uniform_workload
+
+    config = Adam2Config(points=args.points, rounds_per_instance=args.rounds)
+    hub = ObserverHub([JsonlSink(args.trace)])
+    try:
+        handle = build_service(
+            config,
+            uniform_workload(0, 1000),
+            backend="fast",
+            n_nodes=args.nodes,
+            seed=args.seed,
+            hub=hub,
+            warm_cycles=1,
+        )
+        requests: list[dict[str, object]] = []
+        bad_probes = 0
+        mixed = _mixed_queries(handle, args.queries, args.seed + 1, 128)
+        for index, (op, params) in enumerate(mixed):
+            if args.invalid_every and index % args.invalid_every == 5:
+                requests.append({"op": "cdf", "x": "not-a-number"})
+                bad_probes += 1
+            elif op == "cdf":
+                requests.append({"op": "cdf", "x": params[0]})
+            elif op == "quantile":
+                requests.append({"op": "quantile", "q": params[0]})
+            elif op == "fraction":
+                requests.append({"op": "fraction", "a": params[0], "b": params[1]})
+            else:
+                requests.append({"op": "size"})
+
+        latencies, errors = asyncio.run(
+            _drive(handle, requests, args.clients, args.host)
+        )
+        metrics = hub.metrics.snapshot()
+    finally:
+        hub.close()
+        signal.alarm(0)
+
+    p50 = float(np.percentile(latencies, 50)) if latencies else 0.0
+    p99 = float(np.percentile(latencies, 99)) if latencies else 0.0
+    traced_queries = 0
+    with open(args.trace) as stream:
+        for line in stream:
+            if json.loads(line).get("type") == "query":
+                traced_queries += 1
+
+    report = {
+        "queries": len(requests),
+        "answered": len(latencies),
+        "clients": args.clients,
+        "p50_latency_s": p50,
+        "p99_latency_s": p99,
+        "errors": errors,
+        "bad_probes_sent": bad_probes,
+        "traced_query_events": traced_queries,
+        "cache": dict(handle.engine.cache_info()),
+        "counters": metrics["counters"],
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    failures = []
+    if len(latencies) != len(requests):
+        failures.append(
+            f"only {len(latencies)}/{len(requests)} requests were answered"
+        )
+    if errors.get("server_error", 0) != 0:
+        failures.append(f"{errors['server_error']} server_error (5xx) responses")
+    if errors.get("bad_request", 0) != bad_probes:
+        failures.append(
+            f"expected exactly {bad_probes} bad_request responses "
+            f"(the deliberate probes), saw {errors.get('bad_request', 0)}"
+        )
+    unexpected = set(errors) - {"bad_request"}
+    if unexpected:
+        failures.append(f"unexpected error classes: {sorted(unexpected)}")
+    if p99 > args.p99_budget:
+        failures.append(
+            f"p99 latency {p99 * 1e3:.2f} ms exceeds the "
+            f"{args.p99_budget * 1e3:.1f} ms budget"
+        )
+    if traced_queries < len(requests):
+        failures.append(
+            f"trace has {traced_queries} query events for "
+            f"{len(requests)} requests — per-query metrics are incomplete"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

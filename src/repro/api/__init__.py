@@ -26,7 +26,7 @@ to the same :class:`~repro.api.result.RunResult` shape.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.obs.events import RunCompleted, RunStarted
 from repro.obs.observer import ObserverHub, RunObserver
 from repro.workloads.base import AttributeWorkload
 
+if TYPE_CHECKING:  # runtime import would be circular (repro.service uses run)
+    from repro.service.handle import ServiceHandle
+
 __all__ = [
     "Backend",
     "InstanceSummary",
@@ -47,6 +50,7 @@ __all__ = [
     "list_backends",
     "register_backend",
     "run",
+    "serve",
 ]
 
 _REGISTRY: dict[str, Backend] = {}
@@ -60,12 +64,17 @@ def register_backend(backend: Backend) -> None:
 
 
 def get_backend(name: str) -> Backend:
-    """Look up a registered backend; unknown names fail loudly."""
+    """Look up a registered backend; unknown names fail loudly.
+
+    The error names every registered backend so the caller never has to
+    guess what ``backend=`` accepts.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
+        registered = ", ".join(repr(known) for known in list_backends()) or "(none)"
         raise ConfigurationError(
-            f"unknown backend {name!r}; registered: {list_backends()}"
+            f"unknown backend {name!r}; registered backends: {registered}"
         ) from None
 
 
@@ -165,3 +174,33 @@ def run(
     if hub.enabled:
         result.metrics = hub.snapshot()
     return result
+
+
+def serve(
+    config: Adam2Config,
+    workload: AttributeWorkload,
+    *,
+    backend: str = "fast",
+    n_nodes: int = 1000,
+    seed: int = 0,
+    **options: object,
+) -> "ServiceHandle":
+    """Build a continuous estimation service over :func:`run`.
+
+    The counterpart of :func:`run` for standing workloads: instead of one
+    result, you get a :class:`repro.service.ServiceHandle` whose
+    scheduler keeps publishing fresh estimates (``handle.refresh()``)
+    and whose query engine answers ``cdf``/``quantile``/
+    ``fraction_between``/``network_size`` from the latest versioned
+    snapshot.  Remaining keyword arguments are forwarded to
+    :func:`repro.service.build_service` (``policy``, ``drift``,
+    ``cache_size``, ``warm_cycles``, ``hub``, ``options``, ...).
+    """
+    # Late import: repro.service drives this module's run(), so importing
+    # it at module level would be circular.
+    from repro.service import build_service
+
+    return build_service(
+        config, workload, backend=backend, n_nodes=n_nodes, seed=seed,
+        **options,  # type: ignore[arg-type]
+    )

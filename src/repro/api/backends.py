@@ -13,21 +13,25 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable
 
 import numpy as np
 
-from repro.api.result import InstanceSummary, RunResult
+from repro.api.result import (
+    InstanceSummary,
+    RunResult,
+    completed_for,
+    instance_state_of,
+    summarise_completed,
+)
 from repro.core.cdf import EmpiricalCDF, EstimatedCDF
 from repro.core.config import Adam2Config
-from repro.core.node import Adam2Node, CompletedInstance
+from repro.core.node import Adam2Node
 from repro.errors import ConfigurationError
-from repro.metrics.error import matrix_errors
 from repro.obs.bridges import RateTracker, instance_round_sample
 from repro.obs.events import InstanceCompleted, InstanceStarted
 from repro.obs.observer import ObserverHub
 from repro.rngs import make_rng, spawn
-from repro.types import ErrorPair
 from repro.workloads.base import AttributeWorkload
 
 __all__ = ["AsyncBackend", "Backend", "FastBackend", "RoundBackend", "RunSpec"]
@@ -76,100 +80,16 @@ class Backend(ABC):
 # ----------------------------------------------------------------------
 # Shared helpers for the object-per-node backends
 # ----------------------------------------------------------------------
-
-
-def _completed_for(nodes: Iterable[Adam2Node], instance_id: Hashable) -> list[CompletedInstance]:
-    """Each node's terminated record for one instance (reached nodes only)."""
-    out: list[CompletedInstance] = []
-    for adam2 in nodes:
-        for record in adam2.completed:
-            if record.instance_id == instance_id:
-                out.append(record)
-                break
-    return out
-
-
-def _instance_state_of(nodes: Iterable[Adam2Node], instance_id: Hashable):
-    for adam2 in nodes:
-        state = adam2.instances.get(instance_id)
-        if state is not None:
-            return state
-    return None
-
-
-def _summarise_completed(
-    completed: Sequence[CompletedInstance],
-    n_live: int,
-    truth: EmpiricalCDF,
-    thresholds: np.ndarray,
-    index: int,
-    messages: int,
-    bytes_: int,
-    node_sample: int,
-    rng: np.random.Generator,
-) -> tuple[InstanceSummary, EstimatedCDF | None]:
-    """Reduce per-node terminated estimates to one :class:`InstanceSummary`.
-
-    Mirrors the fastsim aggregation: errors over reached nodes, with every
-    live-but-unreached node folded in at error 1 (its approximation is
-    undefined), ``Err_m`` aggregated with max and ``Err_a`` with avg.
-    """
-    reached = len(completed)
-    missing = max(n_live - reached, 0)
-    if reached == 0:
-        summary = InstanceSummary(
-            index=index,
-            thresholds=np.asarray(thresholds, dtype=float),
-            fractions=np.full(np.asarray(thresholds).shape, np.nan),
-            errors_entire=ErrorPair(1.0, 1.0),
-            errors_points=ErrorPair(1.0, 1.0),
-            reached=0,
-            messages=messages,
-            bytes=bytes_,
-        )
-        return summary, None
-
-    thresholds = completed[0].estimate.thresholds
-    fractions = np.stack([record.estimate.fractions for record in completed])
-    minimum = np.asarray([record.estimate.minimum for record in completed])
-    maximum = np.asarray([record.estimate.maximum for record in completed])
-    entire, points = matrix_errors(
-        truth, thresholds, np.clip(fractions, 0.0, 1.0), minimum, maximum,
-        node_sample=node_sample, rng=rng,
-    )
-    if missing:
-        total = reached + missing
-        entire = ErrorPair(1.0, (entire.average * reached + missing) / total)
-        points = ErrorPair(1.0, (points.average * reached + missing) / total)
-
-    consensus_fractions = fractions.mean(axis=0)
-    estimate = EstimatedCDF(
-        thresholds=thresholds,
-        fractions=np.clip(consensus_fractions, 0.0, 1.0),
-        minimum=float(minimum.min()),
-        maximum=float(maximum.max()),
-    )
-    sizes = [r.system_size for r in completed if r.system_size is not None]
-    if sizes:
-        estimate.system_size = float(np.median(np.asarray(sizes)))
-    summary = InstanceSummary(
-        index=index,
-        thresholds=thresholds,
-        fractions=consensus_fractions,
-        errors_entire=entire,
-        errors_points=points,
-        reached=reached,
-        messages=messages,
-        bytes=bytes_,
-    )
-    return summary, estimate
+# The reduction logic itself (completed_for / summarise_completed /
+# instance_state_of) lives in repro.api.result, shared with the net
+# backend and the process-cluster harness.
 
 
 def _emit_instance_started(
     hub: ObserverHub, nodes: Iterable[Adam2Node], instance_id: Hashable, index: int
 ) -> np.ndarray:
     """Emit the instance-start event; returns the instance thresholds."""
-    state = _instance_state_of(nodes, instance_id)
+    state = instance_state_of(nodes, instance_id)
     if state is None:  # pragma: no cover - trigger always leaves state behind
         raise ConfigurationError(f"instance {instance_id!r} has no live state")
     if hub.probes_enabled:
@@ -326,8 +246,8 @@ class RoundBackend(Backend):
                         ))
                         mark_messages, mark_bytes = messages_now, bytes_now
             messages_end, bytes_end = self._traffic(engine)
-            summary, consensus = _summarise_completed(
-                _completed_for(protocol.adam2_nodes(engine), instance_id),
+            summary, consensus = summarise_completed(
+                completed_for(protocol.adam2_nodes(engine), instance_id),
                 engine.node_count,
                 EmpiricalCDF(engine.attribute_values()),
                 thresholds,
@@ -442,12 +362,12 @@ class AsyncBackend(Backend):
                             tracker=tracker,
                         ))
                         mark_messages, mark_bytes = engine.messages_sent, engine.bytes_sent
-                    if round_index + 1 >= rounds and _instance_state_of(
+                    if round_index + 1 >= rounds and instance_state_of(
                         protocol.adam2_nodes(engine), instance_id
                     ) is None:
                         break
-            summary, consensus = _summarise_completed(
-                _completed_for(protocol.adam2_nodes(engine), instance_id),
+            summary, consensus = summarise_completed(
+                completed_for(protocol.adam2_nodes(engine), instance_id),
                 len(engine.nodes),
                 EmpiricalCDF(engine.attribute_values()),
                 thresholds,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.core.interpolation import InterpolationSet, assemble_polyline
+from repro.core.interpolation import InterpolationSet, assemble_polyline, invert_polyline
 
 __all__ = ["EmpiricalCDF", "EstimatedCDF"]
 
@@ -100,22 +100,14 @@ class EstimatedCDF:
     def quantile(self, q: np.ndarray | float) -> np.ndarray:
         """Approximate inverse: smallest ``x`` with ``F_p(x) >= q``.
 
-        Uses the interpolation polyline; exact on the polyline vertices.
+        Uses the interpolation polyline (binary search via
+        :func:`repro.core.interpolation.invert_polyline`); exact on the
+        polyline vertices.
         """
         q = np.atleast_1d(np.asarray(q, dtype=float))
         if np.any((q < 0) | (q > 1)):
             raise EstimationError("quantile levels must lie in [0, 1]")
-        ys = self._ys
-        xs = self._xs
-        idx = np.searchsorted(ys, q, side="left")
-        idx = np.clip(idx, 1, ys.size - 1)
-        y_lo, y_hi = ys[idx - 1], ys[idx]
-        x_lo, x_hi = xs[idx - 1], xs[idx]
-        rise = np.where(y_hi > y_lo, y_hi - y_lo, 1.0)
-        out = x_lo + (x_hi - x_lo) * np.clip((q - y_lo) / rise, 0.0, 1.0)
-        out = np.where(q <= ys[0], xs[0], out)
-        out = np.where(q >= ys[-1], xs[-1], out)
-        return out
+        return invert_polyline(self._xs, self._ys, q)
 
     def polyline(self) -> tuple[np.ndarray, np.ndarray]:
         """The anchored interpolation polyline ``(xs, ys)``."""

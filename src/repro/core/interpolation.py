@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ProtocolError
 
-__all__ = ["InterpolationSet", "interpolate_matrix", "assemble_polyline"]
+__all__ = ["InterpolationSet", "interpolate_matrix", "assemble_polyline", "invert_polyline"]
 
 
 def assemble_polyline(
@@ -80,6 +80,41 @@ def assemble_polyline(
     if monotone:
         ys = np.maximum.accumulate(np.clip(ys, 0.0, 1.0))
     return xs, ys
+
+
+def invert_polyline(xs: np.ndarray, ys: np.ndarray, q: np.ndarray | float) -> np.ndarray:
+    """Generalised inverse of a monotone CDF polyline.
+
+    For each level ``q`` returns the smallest ``x`` on the polyline with
+    ``y(x) >= q`` — the quantile of the piecewise-linear estimate.  The
+    lookup is a binary search (:func:`np.searchsorted`) over the sorted
+    ``ys`` followed by linear interpolation inside the located segment,
+    so a flat segment (``y_lo == y_hi``) resolves to its left endpoint.
+
+    Args:
+        xs: sorted polyline abscissae (thresholds plus anchors).
+        ys: non-decreasing polyline ordinates in ``[0, 1]``.
+        q: quantile level(s) in ``[0, 1]``.
+
+    Returns:
+        Array of quantile values, one per level in ``q``.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
+        raise ProtocolError("polyline needs matching 1-D xs/ys with >= 2 vertices")
+    q = np.atleast_1d(np.asarray(q, dtype=float))
+    if np.any((q < 0) | (q > 1)):
+        raise ProtocolError("quantile levels must lie in [0, 1]")
+    idx = np.searchsorted(ys, q, side="left")
+    idx = np.clip(idx, 1, ys.size - 1)
+    y_lo, y_hi = ys[idx - 1], ys[idx]
+    x_lo, x_hi = xs[idx - 1], xs[idx]
+    rise = np.where(y_hi > y_lo, y_hi - y_lo, 1.0)
+    out = x_lo + (x_hi - x_lo) * np.clip((q - y_lo) / rise, 0.0, 1.0)
+    out = np.where(q <= ys[0], xs[0], out)
+    out = np.where(q >= ys[-1], xs[-1], out)
+    return out
 
 
 def interpolate_matrix(

@@ -37,6 +37,21 @@ class EstimationError(ReproError):
     """A CDF estimate is unusable (e.g. queried before any instance ran)."""
 
 
+class ServiceError(ReproError):
+    """The estimation service cannot satisfy a request (:mod:`repro.service`).
+
+    ``code`` classifies the failure for frontends: ``"bad_request"``
+    (caller error — invalid arguments), ``"unavailable"`` (no estimate
+    published yet, or the requested version was evicted), or
+    ``"server_error"`` (anything else).  The TCP endpoint maps the code
+    straight onto its wire-level error field.
+    """
+
+    def __init__(self, message: str, *, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class NetworkError(ReproError):
     """A real-network operation failed (:mod:`repro.net` runtime)."""
 

@@ -9,6 +9,8 @@ Examples::
     adam2-experiments fig05 --metrics-out fig05_metrics.json
     adam2-experiments --profile --profile-sizes 1000,10000
     REPRO_SCALE=quick adam2-experiments all
+    adam2-experiments serve --nodes 2000 --port 9309 --refresh 5
+    adam2-experiments query-bench --queries 20000 --out BENCH_service.json
 """
 
 from __future__ import annotations
@@ -197,7 +199,135 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adam2-experiments serve",
+        description="Run the continuous estimation service with a TCP "
+        "query endpoint (JSON lines; see repro.net.service_endpoint).",
+    )
+    parser.add_argument("--backend", choices=("fast", "round", "async", "net"), default="fast")
+    parser.add_argument("--nodes", type=int, default=1000, help="population size")
+    parser.add_argument("--points", type=int, default=30, help="interpolation points")
+    parser.add_argument("--rounds", type=int, default=30, help="rounds per instance")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9309, help="0 picks an ephemeral port")
+    parser.add_argument("--refresh", type=float, default=5.0, metavar="SECONDS",
+                        help="pause between scheduler cycles")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="stop after this many refresh cycles (default: serve forever)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="append a JSONL query/run event trace to PATH")
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    from repro.api import serve
+    from repro.core.config import Adam2Config
+    from repro.net.service_endpoint import serve_blocking
+    from repro.obs import JsonlSink, ObserverHub, RunObserver
+    from repro.workloads import boinc_workload
+
+    args = _build_serve_parser().parse_args(argv)
+    observers: list[RunObserver] = [JsonlSink(args.trace)] if args.trace else []
+    hub = ObserverHub(observers)
+    handle = serve(
+        Adam2Config(points=args.points, rounds_per_instance=args.rounds),
+        boinc_workload("ram"),
+        backend=args.backend,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        hub=hub,
+    )
+    try:
+        serve_blocking(
+            handle,
+            host=args.host,
+            port=args.port,
+            refresh_every=args.refresh,
+            max_cycles=args.cycles,
+        )
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        hub.close()
+    return 0
+
+
+def _build_query_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adam2-experiments query-bench",
+        description="Benchmark the service query layer (in-process cache "
+        "on/off, plus the TCP endpoint at several client counts) and "
+        "write a machine-readable report.",
+    )
+    parser.add_argument("--backend", choices=("fast", "round", "async", "net"), default="fast")
+    parser.add_argument("--nodes", type=int, default=2000)
+    parser.add_argument("--points", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--queries", type=int, default=20_000,
+                        help="in-process mixed queries per mode")
+    parser.add_argument("--clients", metavar="N,N,...", default="1,4,16",
+                        help="TCP client concurrencies")
+    parser.add_argument("--no-tcp", action="store_true",
+                        help="skip the TCP endpoint measurements")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_service.json")
+    return parser
+
+
+def _run_query_bench(argv: list[str]) -> int:
+    from repro.core.config import Adam2Config
+    from repro.obs import write_benchmark
+    from repro.service import profile_service
+    from repro.workloads import boinc_workload
+
+    args = _build_query_bench_parser().parse_args(argv)
+    try:
+        clients = tuple(int(part) for part in args.clients.split(","))
+    except ValueError:
+        raise ConfigurationError(
+            f"--clients must be comma-separated integers, got {args.clients!r}"
+        ) from None
+    if not clients or any(count < 1 for count in clients):
+        raise ConfigurationError("--clients needs counts >= 1")
+    document = profile_service(
+        boinc_workload("ram"),
+        Adam2Config(points=args.points, rounds_per_instance=30),
+        backend=args.backend,
+        n_nodes=args.nodes,
+        n_queries=args.queries,
+        client_counts=clients,
+        tcp=not args.no_tcp,
+        seed=args.seed,
+    )
+    write_benchmark(document, args.out)
+    entries = document["entries"]
+    assert isinstance(entries, list)
+    print(f"wrote {args.out} ({len(entries)} entries)")
+    for entry in entries:
+        print(f"  {entry['mode']}/{entry['label']}: "
+              f"{entry['qps']:.0f} qps, p99 {entry['p99_latency_s'] * 1e6:.0f} us")
+    skipped = document["skipped"]
+    assert isinstance(skipped, list)
+    for skip in skipped:
+        print(f"skipped tcp at clients={skip['clients']}: {skip['reason']}",
+              file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    try:
+        # Service subcommands keep their own parsers; the flat
+        # experiment interface below is untouched.
+        if argv and argv[0] == "serve":
+            return _run_serve(argv[1:])
+        if argv and argv[0] == "query-bench":
+            return _run_query_bench(argv[1:])
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:

@@ -35,6 +35,8 @@ __all__ = [
     "NodeDaemon",
     "PeerDirectory",
     "PeerRecord",
+    "ServiceClient",
+    "ServiceEndpoint",
     "UdpTransport",
     "WIRE_VERSION",
     "WireCodec",
@@ -49,6 +51,8 @@ _EXPORTS = {
     "NodeDaemon": "repro.net.node",
     "PeerDirectory": "repro.net.peers",
     "PeerRecord": "repro.net.peers",
+    "ServiceClient": "repro.net.service_endpoint",
+    "ServiceEndpoint": "repro.net.service_endpoint",
     "UdpTransport": "repro.net.transport",
     "WIRE_VERSION": "repro.net.codec",
     "WireCodec": "repro.net.codec",

@@ -16,15 +16,14 @@ from typing import Any
 
 import numpy as np
 
-from repro.api.backends import (
-    Backend,
-    RunSpec,
-    _completed_for,
-    _emit_instance_started,
-    _instance_state_of,
-    _summarise_completed,
+from repro.api.backends import Backend, RunSpec, _emit_instance_started
+from repro.api.result import (
+    InstanceSummary,
+    RunResult,
+    completed_for,
+    instance_state_of,
+    summarise_completed,
 )
-from repro.api.result import InstanceSummary, RunResult
 from repro.core.cdf import EmpiricalCDF, EstimatedCDF
 from repro.errors import ConfigurationError
 from repro.net.cluster import LocalCluster
@@ -138,14 +137,14 @@ class NetBackend(Backend):
                                 tracker=tracker,
                             ))
                             mark_messages, mark_bytes = messages_now, bytes_now
-                        if round_index + 1 >= rounds and _instance_state_of(
+                        if round_index + 1 >= rounds and instance_state_of(
                             cluster.adam2_nodes(), instance_id
                         ) is None:
                             break
                     await cluster.drain()
                 messages_end, bytes_end = cluster.traffic()
-                summary, consensus = _summarise_completed(
-                    _completed_for(cluster.adam2_nodes(), instance_id),
+                summary, consensus = summarise_completed(
+                    completed_for(cluster.adam2_nodes(), instance_id),
                     len(cluster.live_daemons()),
                     EmpiricalCDF(cluster.attribute_values()),
                     thresholds,

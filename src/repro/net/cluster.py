@@ -27,7 +27,6 @@ from typing import Any, Hashable, Sequence
 
 import numpy as np
 
-from repro.core.cdf import EstimatedCDF
 from repro.core.config import Adam2Config
 from repro.core.node import Adam2Node, CompletedInstance
 from repro.errors import NetworkError
@@ -326,24 +325,14 @@ def completed_from_summaries(
     summaries: Sequence[dict[str, Any]],
 ) -> dict[int, list[CompletedInstance]]:
     """Rebuild per-node completed-instance records from process summaries."""
-    out: dict[int, list[CompletedInstance]] = {}
-    for summary in summaries:
-        records = []
-        for entry in summary["completed"]:
-            estimate = EstimatedCDF(
-                thresholds=np.asarray(entry["thresholds"], dtype=float),
-                fractions=np.asarray(entry["fractions"], dtype=float),
-                minimum=float(entry["minimum"]),
-                maximum=float(entry["maximum"]),
-            )
-            size = entry.get("system_size")
-            estimate.system_size = size
-            records.append(CompletedInstance(
-                tuple(entry["instance_id"]),
-                estimate,
-                size,
-                None,
-                int(entry["round"]),
-            ))
-        out[int(summary["node_id"])] = records
-    return out
+    # Late import: repro.api's package bootstrap imports repro.net.backend
+    # (which imports this module), so a module-level import here would
+    # re-enter this module before LocalCluster exists.
+    from repro.api.result import record_from_payload
+
+    return {
+        int(summary["node_id"]): [
+            record_from_payload(entry) for entry in summary["completed"]
+        ]
+        for summary in summaries
+    }

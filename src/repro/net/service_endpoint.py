@@ -1,0 +1,433 @@
+"""JSON-over-TCP frontend for the continuous estimation service.
+
+The endpoint exposes a :class:`~repro.service.handle.ServiceHandle` over
+a newline-delimited JSON protocol — one request object per line, one
+response object per line, requests answered in order per connection:
+
+Request::
+
+    {"id": 7, "op": "cdf", "x": 1.5}
+    {"id": 8, "op": "quantile", "q": 0.9, "version": 3}
+    {"id": 9, "op": "fraction", "a": 2048, "b": 1e12}
+    {"op": "size"} / {"op": "status"} / {"op": "pin", "version": 3}
+
+Response::
+
+    {"id": 7, "ok": true, "value": 0.42, "version": 5}
+    {"id": 8, "ok": false, "error": "unavailable", "message": "..."}
+
+``error`` is one of ``bad_request`` (caller mistake — bad JSON, unknown
+op, invalid arguments), ``unavailable`` (nothing published / version
+evicted), or ``server_error`` (the 5xx class; a healthy service never
+produces one).  Query latency histograms and cache hit/miss counters
+flow through the handle's :mod:`repro.obs` hub exactly as for in-process
+callers; protocol-level failures the engine never saw are emitted here
+so the trace accounts for every request line received.
+
+This module lives in :mod:`repro.net` because it opens real sockets —
+the ADM008 fence keeps :mod:`repro.service` itself host-independent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.errors import NetworkError, ServiceError
+from repro.obs.events import QueryServed
+from repro.obs.spans import wall_clock
+
+if TYPE_CHECKING:  # runtime import stays lazy (repro.service imports repro.api)
+    from repro.service.handle import ServiceHandle
+
+__all__ = [
+    "ServiceClient",
+    "ServiceEndpoint",
+    "measure_endpoint_qps",
+    "serve_blocking",
+]
+
+#: request ops answered by the query engine (these emit their own events)
+_ENGINE_OPS = frozenset({"cdf", "quantile", "fraction", "size"})
+#: control-plane ops handled by the endpoint itself
+_CONTROL_OPS = frozenset({"status", "pin", "unpin", "history"})
+
+_MAX_LINE = 64 * 1024
+
+
+def _number(request: Mapping[str, Any], key: str) -> float:
+    value = request.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ServiceError(
+            f"op {request.get('op')!r} needs numeric field {key!r}",
+            code="bad_request",
+        )
+    return float(value)
+
+
+def _version_of(request: Mapping[str, Any], *, required: bool = False) -> int | None:
+    value = request.get("version")
+    if value is None:
+        if required:
+            raise ServiceError(
+                f"op {request.get('op')!r} needs integer field 'version'",
+                code="bad_request",
+            )
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ServiceError("'version' must be an integer", code="bad_request")
+    return value
+
+
+class ServiceEndpoint:
+    """Serves one :class:`ServiceHandle` to TCP clients (JSON lines)."""
+
+    def __init__(
+        self,
+        handle: "ServiceHandle",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.handle = handle
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.Server | None = None
+        self.port: int | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        if self._server is not None:
+            raise NetworkError("endpoint already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self._requested_port
+        )
+        sockets = self._server.sockets or ()
+        if not sockets:  # pragma: no cover - start_server always binds or raises
+            raise NetworkError("endpoint bound no socket")
+        self.port = int(sockets[0].getsockname()[1])
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            self.port = None
+
+    async def __aenter__(self) -> "ServiceEndpoint":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- connection handling --------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > _MAX_LINE:
+                    response = self._error_response(
+                        None, "bad_request", "request line too long"
+                    )
+                else:
+                    response = self._handle_line(line)
+                writer.write(json.dumps(response, separators=(",", ":")).encode() + b"\n")
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # The handler is finished either way; server shutdown may
+                # cancel this last await, and re-raising would only make
+                # asyncio log a spurious "task exception" at teardown.
+                pass
+
+    def _handle_line(self, line: bytes) -> dict[str, Any]:
+        started = wall_clock()
+        request_id: Any = None
+        op = "invalid"
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object", code="bad_request")
+            request_id = request.get("id")
+            raw_op = request.get("op")
+            op = raw_op if isinstance(raw_op, str) else "invalid"
+            return self._dispatch(op, request, request_id)
+        except json.JSONDecodeError as exc:
+            self._emit_failure(op, "bad_request", started)
+            return self._error_response(request_id, "bad_request", f"invalid JSON: {exc}")
+        except ServiceError as exc:
+            if op not in _ENGINE_OPS:
+                # engine ops already emitted their own failure event
+                self._emit_failure(op, exc.code, started)
+            return self._error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # the wire-level 5xx class
+            if op not in _ENGINE_OPS:
+                self._emit_failure(op, "server_error", started)
+            return self._error_response(
+                request_id, "server_error", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _dispatch(
+        self, op: str, request: Mapping[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        handle = self.handle
+        if op in _ENGINE_OPS:
+            started = wall_clock()
+            try:
+                # Argument failures here never reach the engine, so the
+                # endpoint must trace them itself; once parsing succeeds,
+                # the engine accounts for the query (success or failure).
+                version = _version_of(request)
+                if op == "cdf":
+                    args = (_number(request, "x"),)
+                elif op == "quantile":
+                    args = (_number(request, "q"),)
+                elif op == "fraction":
+                    args = (_number(request, "a"), _number(request, "b"))
+                else:
+                    args = ()
+            except ServiceError as exc:
+                self._emit_failure(op, exc.code, started)
+                raise
+            if op == "cdf":
+                value = handle.cdf(*args, version=version)
+            elif op == "quantile":
+                value = handle.quantile(*args, version=version)
+            elif op == "fraction":
+                value = handle.fraction_between(*args, version=version)
+            else:
+                value = handle.network_size(version=version)
+            return self._value_response(request_id, value, version)
+
+        started = wall_clock()
+        if op == "status":
+            payload: dict[str, Any] = {"ok": True, "status": handle.status()}
+        elif op == "history":
+            payload = {"ok": True, "history": handle.history()}
+        elif op == "pin":
+            snapshot = handle.pin(_version_of(request, required=True) or 0)
+            payload = {"ok": True, "pinned": snapshot.version}
+        elif op == "unpin":
+            handle.unpin(_version_of(request, required=True) or 0)
+            payload = {"ok": True}
+        else:
+            raise ServiceError(
+                f"unknown op {op!r}; supported: "
+                f"{', '.join(sorted(_ENGINE_OPS | _CONTROL_OPS))}",
+                code="bad_request",
+            )
+        if request_id is not None:
+            payload["id"] = request_id
+        self.handle.hub.query_served(QueryServed(
+            op=op, version=None, cache_hit=False, ok=True,
+            latency_s=wall_clock() - started,
+        ))
+        return payload
+
+    def _value_response(
+        self, request_id: Any, value: float, version: int | None
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"ok": True, "value": value}
+        if version is not None:
+            payload["version"] = version
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
+
+    def _error_response(
+        self, request_id: Any, code: str, message: str
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"ok": False, "error": code, "message": message}
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
+
+    def _emit_failure(self, op: str, code: str, started: float) -> None:
+        self.handle.hub.query_served(QueryServed(
+            op=op, version=None, cache_hit=False, ok=False, error=code,
+            latency_s=wall_clock() - started,
+        ))
+
+
+class ServiceClient:
+    """Async JSON-lines client for a :class:`ServiceEndpoint`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 1
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request object; returns the decoded response."""
+        if self._reader is None or self._writer is None:
+            raise NetworkError("client is not connected")
+        message = dict(payload)
+        message.setdefault("id", self._next_id)
+        self._next_id += 1
+        self._writer.write(
+            json.dumps(message, separators=(",", ":")).encode() + b"\n"
+        )
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise NetworkError("endpoint closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise NetworkError(f"malformed response: {response!r}")
+        return response
+
+    async def value(self, payload: Mapping[str, Any]) -> float:
+        """Request + unwrap; raises :class:`ServiceError` on error replies."""
+        response = await self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(
+                str(response.get("message", "request failed")),
+                code=str(response.get("error", "server_error")),
+            )
+        return float(response["value"])
+
+    async def cdf(self, x: float, *, version: int | None = None) -> float:
+        return await self.value({"op": "cdf", "x": x, "version": version})
+
+    async def quantile(self, q: float, *, version: int | None = None) -> float:
+        return await self.value({"op": "quantile", "q": q, "version": version})
+
+    async def fraction_between(
+        self, a: float, b: float, *, version: int | None = None
+    ) -> float:
+        return await self.value(
+            {"op": "fraction", "a": a, "b": b, "version": version}
+        )
+
+    async def network_size(self, *, version: int | None = None) -> float:
+        return await self.value({"op": "size", "version": version})
+
+    async def status(self) -> dict[str, Any]:
+        response = await self.request({"op": "status"})
+        status = response.get("status")
+        return status if isinstance(status, dict) else {}
+
+
+def _query_payload(op: str, args: Sequence[float]) -> dict[str, Any]:
+    if op == "cdf":
+        return {"op": "cdf", "x": args[0]}
+    if op == "quantile":
+        return {"op": "quantile", "q": args[0]}
+    if op == "fraction":
+        return {"op": "fraction", "a": args[0], "b": args[1]}
+    return {"op": "size"}
+
+
+def measure_endpoint_qps(
+    handle: "ServiceHandle",
+    queries: Sequence[tuple[str, tuple[float, ...]]],
+    *,
+    clients: int = 1,
+    host: str = "127.0.0.1",
+) -> dict[str, object]:
+    """Drive a mixed query workload through a fresh endpoint.
+
+    Starts an ephemeral endpoint for ``handle``, splits ``queries``
+    round-robin over ``clients`` concurrent connections (each pipelining
+    its share sequentially), and measures client-observed per-query
+    latency.  Returns ``{"latencies": [...], "errors": n}``.
+    """
+    if clients < 1:
+        raise NetworkError("need at least one client")
+
+    async def _client(port: int, share: Sequence[tuple[str, tuple[float, ...]]],
+                      latencies: list[float]) -> int:
+        errors = 0
+        async with ServiceClient(host, port) as client:
+            for op, args in share:
+                started = wall_clock()
+                response = await client.request(_query_payload(op, args))
+                latencies.append(wall_clock() - started)
+                if not response.get("ok"):
+                    errors += 1
+        return errors
+
+    async def _measure() -> dict[str, object]:
+        latencies: list[float] = []
+        async with ServiceEndpoint(handle, host=host, port=0) as endpoint:
+            assert endpoint.port is not None
+            shares = [list(queries[i::clients]) for i in range(clients)]
+            errors = await asyncio.gather(*(
+                _client(endpoint.port, share, latencies)
+                for share in shares if share
+            ))
+        return {"latencies": latencies, "errors": int(sum(errors))}
+
+    return asyncio.run(_measure())
+
+
+def serve_blocking(
+    handle: "ServiceHandle",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 9309,
+    refresh_every: float = 5.0,
+    max_cycles: int | None = None,
+    announce: Any = print,
+) -> None:
+    """Serve a handle over TCP, refreshing the estimate in the background.
+
+    The scheduler cycle runs in a worker thread between refresh pauses —
+    it must not share the endpoint's event loop, because the ``net``
+    backend owns its own ``asyncio.run`` per cycle.  With ``max_cycles``
+    the loop exits after that many refreshes (smoke tests); otherwise it
+    serves until interrupted.
+    """
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        async with ServiceEndpoint(handle, host=host, port=port) as endpoint:
+            if announce is not None:
+                announce(f"serving on {endpoint.host}:{endpoint.port}")
+            cycles = 0
+            while max_cycles is None or cycles < max_cycles:
+                await asyncio.sleep(refresh_every)
+                await loop.run_in_executor(None, handle.scheduler.run_cycle)
+                cycles += 1
+
+    asyncio.run(_serve())

@@ -21,6 +21,7 @@ from repro.obs.events import (
     Event,
     InstanceCompleted,
     InstanceStarted,
+    QueryServed,
     RoundSample,
     RunCompleted,
     RunStarted,
@@ -29,7 +30,7 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observer import NULL_HUB, ObserverHub, RunObserver
 from repro.obs.profile import profile_backends, write_benchmark
 from repro.obs.sinks import JsonlSink, MemorySink, StdoutSummarySink
-from repro.obs.spans import SpanRegistry, SpanStats
+from repro.obs.spans import QUERY_SPAN, SpanRegistry, SpanStats, wall_clock
 
 __all__ = [
     "Counter",
@@ -43,6 +44,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_HUB",
     "ObserverHub",
+    "QUERY_SPAN",
+    "QueryServed",
     "RoundSample",
     "RunCompleted",
     "RunObserver",
@@ -51,5 +54,6 @@ __all__ = [
     "SpanStats",
     "StdoutSummarySink",
     "profile_backends",
+    "wall_clock",
     "write_benchmark",
 ]

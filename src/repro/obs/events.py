@@ -16,6 +16,7 @@ __all__ = [
     "Event",
     "InstanceCompleted",
     "InstanceStarted",
+    "QueryServed",
     "RoundSample",
     "RunCompleted",
     "RunStarted",
@@ -144,6 +145,47 @@ class InstanceCompleted:
 
 
 @dataclass(frozen=True, slots=True)
+class QueryServed:
+    """The estimation service answered one query.
+
+    Unlike the run-lifecycle events, a query event may carry a wall-clock
+    *duration* (``latency_s``): the service is a real serving surface, so
+    its traces are latency-bearing by design and — like the net backend's
+    — not byte-identical across re-runs.  Deterministic simulation traces
+    are unaffected (simulators never emit queries).
+
+    Attributes:
+        op: query operation (``cdf``, ``quantile``, ``fraction``, ``size``).
+        version: estimate-store version the answer was served from.
+        cache_hit: whether the point-query cache supplied the answer.
+        ok: False when the query failed (bad argument, empty store).
+        error: error class tag when ``ok`` is False.
+        latency_s: service-side wall-clock latency, ``None`` when the
+            query engine runs without a clock (deterministic tests).
+    """
+
+    type = "query"
+
+    op: str
+    version: int | None
+    cache_hit: bool
+    ok: bool = True
+    error: str | None = None
+    latency_s: float | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": self.type,
+            "op": self.op,
+            "version": self.version,
+            "cache_hit": self.cache_hit,
+            "ok": self.ok,
+            "error": self.error,
+            "latency_s": self.latency_s,
+        }
+
+
+@dataclass(frozen=True, slots=True)
 class RunCompleted:
     """The run finished; totals over all instances."""
 
@@ -162,4 +204,4 @@ class RunCompleted:
         }
 
 
-Event = Union[RunStarted, InstanceStarted, RoundSample, InstanceCompleted, RunCompleted]
+Event = Union[RunStarted, InstanceStarted, RoundSample, InstanceCompleted, RunCompleted, QueryServed]

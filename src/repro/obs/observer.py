@@ -23,6 +23,7 @@ from typing import Iterable
 from repro.obs.events import (
     InstanceCompleted,
     InstanceStarted,
+    QueryServed,
     RoundSample,
     RunCompleted,
     RunStarted,
@@ -50,6 +51,9 @@ class RunObserver:
 
     def on_run_end(self, event: RunCompleted) -> None:
         """The run finished."""
+
+    def on_query(self, event: QueryServed) -> None:
+        """The estimation service answered one query."""
 
     def close(self) -> None:
         """Release any resources (files, handles)."""
@@ -120,6 +124,29 @@ class ObserverHub:
     def run_completed(self, event: RunCompleted) -> None:
         for observer in self.observers:
             observer.on_run_end(event)
+
+    def query_served(self, event: QueryServed) -> None:
+        """Record one served query (service query layer).
+
+        Unlike the run-lifecycle hooks this updates metrics even with no
+        observers attached: the serving path wants hit/miss and latency
+        aggregates available from any hub, and a query is orders of
+        magnitude cheaper than a simulation round, so there is no
+        disabled-path budget to protect.
+        """
+        metrics = self.metrics
+        metrics.counter("queries_total").inc()
+        metrics.counter(f"queries_{event.op}_total").inc()
+        if event.cache_hit:
+            metrics.counter("query_cache_hits_total").inc()
+        else:
+            metrics.counter("query_cache_misses_total").inc()
+        if not event.ok:
+            metrics.counter("query_errors_total").inc()
+        if event.latency_s is not None:
+            metrics.histogram("query_latency_s").observe(event.latency_s)
+        for observer in self.observers:
+            observer.on_query(event)
 
     # ------------------------------------------------------------------
     # Profiling spans

@@ -10,6 +10,7 @@ from repro.obs.events import (
     Event,
     InstanceCompleted,
     InstanceStarted,
+    QueryServed,
     RoundSample,
     RunCompleted,
     RunStarted,
@@ -29,6 +30,7 @@ class MemorySink(RunObserver):
         self.rounds: list[RoundSample] = []
         self.completed: list[InstanceCompleted] = []
         self.finished_runs: list[RunCompleted] = []
+        self.queries: list[QueryServed] = []
 
     def on_run_start(self, event: RunStarted) -> None:
         self.events.append(event)
@@ -50,6 +52,10 @@ class MemorySink(RunObserver):
         self.events.append(event)
         self.finished_runs.append(event)
 
+    def on_query(self, event: QueryServed) -> None:
+        self.events.append(event)
+        self.queries.append(event)
+
     def clear(self) -> None:
         self.events.clear()
         self.runs.clear()
@@ -57,6 +63,7 @@ class MemorySink(RunObserver):
         self.rounds.clear()
         self.completed.clear()
         self.finished_runs.clear()
+        self.queries.clear()
 
 
 class JsonlSink(RunObserver):
@@ -97,6 +104,11 @@ class JsonlSink(RunObserver):
         self._write(event.to_dict())
         if self._fh is not None:
             self._fh.flush()
+
+    def on_query(self, event: QueryServed) -> None:
+        # Queries are served outside any run; their lines carry the last
+        # run's sequence number (-1 before the first run starts).
+        self._write(event.to_dict())
 
     def close(self) -> None:
         if self._fh is not None:

@@ -17,10 +17,27 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["SpanRegistry", "SpanStats"]
+__all__ = ["QUERY_SPAN", "SpanRegistry", "SpanStats", "wall_clock"]
 
 #: separator between levels of the span hierarchy in snapshot keys
 SEP = "/"
+
+#: span kind the service query layer times request handling under —
+#: a serving-side sibling of the ``run / instance / round`` hierarchy
+QUERY_SPAN = "query"
+
+
+def wall_clock() -> float:
+    """The host's monotonic clock (seconds; ``time.perf_counter``).
+
+    The one sanctioned wall-clock accessor for serving-side latency
+    measurement outside :mod:`repro.net`: the read itself lives here in
+    :mod:`repro.obs` (clock-exempt by design — observability measures the
+    host, it never steers simulated behaviour), so callers such as the
+    service query layer stay free of direct host-clock calls and ADM007/
+    ADM008 keep their teeth against clock reads in simulation logic.
+    """
+    return time.perf_counter()
 
 
 @dataclass

@@ -1,0 +1,220 @@
+"""Service benchmark: query throughput and latency percentiles.
+
+:func:`profile_service` measures the query layer the way the CI
+``bench-smoke`` job measures the backends: a deterministic mixed query
+workload, wall-clock timing through :func:`repro.obs.wall_clock`, and a
+machine-readable document written as ``BENCH_service.json`` by
+:func:`repro.obs.write_benchmark`.
+
+Two measurement modes:
+
+* **in-process** — the :class:`~repro.service.query.QueryEngine` called
+  directly, cache on vs. off (the headline qps number);
+* **tcp** — the same mixed workload over the JSON-lines endpoint in
+  :mod:`repro.net.service_endpoint`, at 1/4/16 concurrent clients.
+  Sandboxes that forbid socket binding record the mode as skipped
+  instead of failing the benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import Adam2Config
+from repro.obs import ObserverHub, wall_clock
+from repro.obs.profile import config_fingerprint
+from repro.rngs import make_rng
+from repro.service.handle import ServiceHandle, build_service
+from repro.service.query import QueryEngine
+from repro.workloads.base import AttributeWorkload
+
+__all__ = ["profile_service"]
+
+#: concurrent TCP clients the endpoint is measured at
+DEFAULT_CLIENT_COUNTS = (1, 4, 16)
+
+#: mixed-workload operation cycle (weights chosen to exercise the cache,
+#: both polyline directions, and the interval path)
+_OPS = ("cdf", "quantile", "fraction", "size")
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def _mixed_queries(
+    handle: ServiceHandle, n_queries: int, seed: int, pool_size: int
+) -> list[tuple[str, tuple[float, ...]]]:
+    """A deterministic mixed query workload.
+
+    Arguments are drawn from a small pool (``pool_size`` distinct values
+    per op), so a realistic fraction of queries repeat — that is what an
+    LRU in front of a polyline search is for.
+    """
+    rng = make_rng(seed)
+    snapshot = handle.store.latest()
+    lo, hi = snapshot.estimate.minimum, snapshot.estimate.maximum
+    span = max(hi - lo, 1.0)
+    xs = lo + span * rng.random(pool_size)
+    qs = rng.random(pool_size)
+    queries: list[tuple[str, tuple[float, ...]]] = []
+    ops = rng.integers(0, len(_OPS), size=n_queries)
+    picks = rng.integers(0, pool_size, size=(n_queries, 2))
+    for op_index, (i, j) in zip(ops, picks):
+        op = _OPS[int(op_index)]
+        if op == "cdf":
+            queries.append(("cdf", (float(xs[i]),)))
+        elif op == "quantile":
+            queries.append(("quantile", (float(qs[i]),)))
+        elif op == "fraction":
+            a, b = sorted((float(xs[i]), float(xs[j])))
+            queries.append(("fraction", (a, b)))
+        else:
+            queries.append(("size", ()))
+    return queries
+
+
+def _execute(
+    engine: QueryEngine, queries: Sequence[tuple[str, tuple[float, ...]]]
+) -> list[float]:
+    """Run the workload against an engine; per-query latencies (seconds)."""
+    latencies: list[float] = []
+    for op, args in queries:
+        started = wall_clock()
+        if op == "cdf":
+            engine.cdf(*args)
+        elif op == "quantile":
+            engine.quantile(*args)
+        elif op == "fraction":
+            engine.fraction_between(*args)
+        else:
+            engine.network_size()
+        latencies.append(wall_clock() - started)
+    return latencies
+
+
+def _entry(
+    mode: str, label: str, latencies: Sequence[float], extra: dict[str, object]
+) -> dict[str, object]:
+    total = float(sum(latencies))
+    entry: dict[str, object] = {
+        "mode": mode,
+        "label": label,
+        "queries": len(latencies),
+        "wall_time_s": total,
+        "qps": len(latencies) / total if total > 0 else 0.0,
+        "p50_latency_s": _percentile(latencies, 50),
+        "p99_latency_s": _percentile(latencies, 99),
+    }
+    entry.update(extra)
+    return entry
+
+
+def profile_service(
+    workload: AttributeWorkload,
+    config: Adam2Config,
+    *,
+    backend: str = "fast",
+    n_nodes: int = 2000,
+    n_queries: int = 20_000,
+    pool_size: int = 256,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    tcp: bool = True,
+    tcp_queries: int = 2000,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Benchmark the query layer; returns the benchmark document.
+
+    The service is warmed with one full cycle on ``backend``; the same
+    deterministic mixed workload then runs (a) in-process with the LRU
+    cache enabled, (b) in-process with caching disabled, and (c) — when
+    ``tcp`` — through the TCP endpoint at each of ``client_counts``
+    concurrent clients.
+    """
+    hub = ObserverHub()
+    handle = build_service(
+        config,
+        workload,
+        backend=backend,
+        n_nodes=n_nodes,
+        seed=seed,
+        hub=hub,
+        warm_cycles=1,
+    )
+    queries = _mixed_queries(handle, n_queries, seed + 1, pool_size)
+
+    entries: list[dict[str, object]] = []
+    skipped: list[dict[str, object]] = []
+
+    # (a) in-process, cache on — the engine the handle serves from
+    warm = _execute(handle.engine, queries)  # populate the LRU
+    hot = _execute(handle.engine, queries)
+    entries.append(_entry("inproc", "cache_on", hot, {
+        "cache": dict(handle.engine.cache_info()),
+        "cold_qps": len(warm) / sum(warm) if sum(warm) > 0 else 0.0,
+    }))
+
+    # (b) in-process, cache off — every query searches the polyline
+    uncached = QueryEngine(handle.store, cache_size=0, hub=hub)
+    cold = _execute(uncached, queries)
+    entries.append(_entry("inproc", "cache_off", cold, {
+        "cache": dict(uncached.cache_info()),
+    }))
+
+    # (c) TCP endpoint at increasing client concurrency
+    if tcp:
+        tcp_entries, tcp_skips = _profile_tcp(
+            handle, queries[:tcp_queries], client_counts
+        )
+        entries.extend(tcp_entries)
+        skipped.extend(tcp_skips)
+
+    return {
+        "benchmark": "adam2-service",
+        "backend": backend,
+        "n_nodes": n_nodes,
+        "n_queries": n_queries,
+        "pool_size": pool_size,
+        "config": dataclasses.asdict(config),
+        "config_fingerprint": config_fingerprint(
+            config, instances=1, seed=seed, workload=workload
+        ),
+        "entries": entries,
+        "skipped": skipped,
+    }
+
+
+def _profile_tcp(
+    handle: ServiceHandle,
+    queries: Sequence[tuple[str, tuple[float, ...]]],
+    client_counts: Sequence[int],
+) -> tuple[list[dict[str, object]], list[dict[str, object]]]:
+    """Measure the endpoint at each concurrency; skip if sockets are barred."""
+    # Late import keeps repro.service importable without the net runtime
+    # (and keeps every real socket under the repro.net fence).
+    from repro.net.service_endpoint import measure_endpoint_qps
+
+    entries: list[dict[str, object]] = []
+    skipped: list[dict[str, object]] = []
+    for clients in client_counts:
+        try:
+            stats = measure_endpoint_qps(handle, queries, clients=int(clients))
+        except (OSError, PermissionError) as exc:
+            skipped.append({
+                "mode": "tcp",
+                "clients": int(clients),
+                "reason": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        latencies = stats["latencies"]
+        assert isinstance(latencies, list)
+        entries.append(_entry("tcp", f"clients_{int(clients)}", latencies, {
+            "clients": int(clients),
+            "errors": stats["errors"],
+        }))
+    return entries, skipped

@@ -1,0 +1,242 @@
+"""The high-throughput query layer over the estimate store.
+
+A :class:`QueryEngine` answers the four application queries the paper
+motivates the protocol with — ``cdf(x)``, ``quantile(q)``,
+``fraction_between(a, b)`` and ``network_size()`` — from the latest (or
+an explicitly pinned) :class:`~repro.service.store.EstimateSnapshot`.
+Point evaluations binary-search the interpolation polyline
+(``np.searchsorted`` under :meth:`EstimatedCDF.evaluate` /
+:func:`~repro.core.interpolation.invert_polyline`), and repeated point
+queries hit a per-engine LRU cache keyed by ``(version, op, args)`` —
+snapshots are immutable, so a cached answer can never go stale for its
+version.
+
+Every query emits a :class:`~repro.obs.events.QueryServed` event through
+the engine's :class:`~repro.obs.observer.ObserverHub`, feeding the
+``query_latency_s`` histogram and hit/miss counters.  Latency is read
+through :func:`repro.obs.wall_clock` so this module never touches the
+host clock directly (the ADM007/ADM008 clock fences stay meaningful).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ServiceError
+from repro.obs import NULL_HUB, ObserverHub, QueryServed, wall_clock
+from repro.service.store import EstimateSnapshot, EstimateStore
+
+__all__ = ["QueryEngine"]
+
+#: cache key: (version, op, args...)
+_CacheKey = tuple[object, ...]
+
+
+def _finite(value: float, name: str) -> float:
+    value = float(value)
+    if math.isnan(value):
+        raise ServiceError(f"{name} must not be NaN", code="bad_request")
+    return value
+
+
+class QueryEngine:
+    """Answers distribution queries from versioned snapshots.
+
+    Args:
+        store: the versioned estimate store queries are served from.
+        cache_size: LRU entries for repeated point queries; ``0``
+            disables caching entirely.
+        hub: observability hub receiving per-query events and metrics.
+        clock: latency clock (seconds); injectable for deterministic
+            tests, defaults to :func:`repro.obs.wall_clock`.
+    """
+
+    def __init__(
+        self,
+        store: EstimateStore,
+        *,
+        cache_size: int = 1024,
+        hub: ObserverHub = NULL_HUB,
+        clock: Callable[[], float] = wall_clock,
+    ) -> None:
+        if cache_size < 0:
+            raise ServiceError("cache_size must be >= 0")
+        self.store = store
+        self.cache_size = cache_size
+        self.hub = hub
+        self._clock = clock
+        self._cache: OrderedDict[_CacheKey, float] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def cdf(self, x: float, *, version: int | None = None) -> float:
+        """``F(x)``: estimated fraction of nodes with attribute <= x."""
+        with self._validating("cdf"):
+            x = _finite(x, "x")
+        return self._serve(
+            "cdf", (x,), version,
+            lambda snap: float(snap.estimate.evaluate(x)),
+        )
+
+    def quantile(self, q: float, *, version: int | None = None) -> float:
+        """Smallest attribute value ``v`` with estimated ``F(v) >= q``."""
+        with self._validating("quantile"):
+            q = _finite(q, "q")
+            if not 0.0 <= q <= 1.0:
+                raise ServiceError(
+                    f"quantile level must lie in [0, 1], got {q}",
+                    code="bad_request",
+                )
+        return self._serve(
+            "quantile", (q,), version,
+            lambda snap: float(snap.estimate.quantile(q)[0]),
+        )
+
+    def fraction_between(
+        self, a: float, b: float, *, version: int | None = None
+    ) -> float:
+        """Estimated fraction of nodes with attribute in ``(a, b]``.
+
+        Infinite bounds are allowed (``fraction_between(2048, inf)`` is
+        the paper's ">= 2 GB RAM" query).
+        """
+        with self._validating("fraction"):
+            a = _finite(a, "a")
+            b = _finite(b, "b")
+            if a > b:
+                raise ServiceError(
+                    f"interval is empty: a={a} > b={b}", code="bad_request"
+                )
+        return self._serve(
+            "fraction", (a, b), version,
+            lambda snap: max(
+                float(snap.estimate.evaluate(b)) - float(snap.estimate.evaluate(a)),
+                0.0,
+            ),
+        )
+
+    def network_size(self, *, version: int | None = None) -> float:
+        """The protocol's network-size estimate for the served snapshot."""
+        def compute(snap: EstimateSnapshot) -> float:
+            if snap.size_estimate is None:
+                raise ServiceError(
+                    f"snapshot v{snap.version} carries no size estimate",
+                    code="unavailable",
+                )
+            return float(snap.size_estimate)
+
+        return self._serve("size", (), version, compute)
+
+    # ------------------------------------------------------------------
+    # Serving core
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _validating(self, op: str) -> Iterator[None]:
+        """Emit a failure event when argument validation rejects a query.
+
+        Validation runs before :meth:`_serve`, so a rejected query would
+        otherwise leave no trace in the metrics — and a frontend reading
+        ``queries_total`` would undercount what it actually received.
+        """
+        started = self._clock()
+        try:
+            yield
+        except ServiceError as exc:
+            self._emit(op, None, False, False, exc.code, started)
+            raise
+
+    def _snapshot(self, version: int | None) -> EstimateSnapshot:
+        if version is None:
+            return self.store.latest()
+        return self.store.get(version)
+
+    def _serve(
+        self,
+        op: str,
+        args: tuple[float, ...],
+        version: int | None,
+        compute: Callable[[EstimateSnapshot], float],
+    ) -> float:
+        started = self._clock()
+        served_version: int | None = version
+        try:
+            snapshot = self._snapshot(version)
+            served_version = snapshot.version
+            key: _CacheKey = (snapshot.version, op, *args)
+            cached = self._cache_get(key)
+            if cached is not None:
+                self._emit(op, served_version, True, True, None, started)
+                return cached
+            value = compute(snapshot)
+            self._cache_put(key, value)
+            self._emit(op, served_version, False, True, None, started)
+            return value
+        except ServiceError as exc:
+            self._emit(op, served_version, False, False, exc.code, started)
+            raise
+        except Exception:
+            self._emit(op, served_version, False, False, "server_error", started)
+            raise
+
+    def _emit(
+        self,
+        op: str,
+        version: int | None,
+        cache_hit: bool,
+        ok: bool,
+        error: str | None,
+        started: float,
+    ) -> None:
+        self.hub.query_served(QueryServed(
+            op=op,
+            version=version,
+            cache_hit=cache_hit,
+            ok=ok,
+            error=error,
+            latency_s=self._clock() - started,
+        ))
+
+    # ------------------------------------------------------------------
+    # LRU cache
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: _CacheKey) -> float | None:
+        if self.cache_size == 0:
+            self._misses += 1
+            return None
+        value = self._cache.get(key)
+        if value is None:
+            self._misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def _cache_put(self, key: _CacheKey, value: float) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and current cache occupancy."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "max_size": self.cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer (counters are preserved)."""
+        self._cache.clear()

@@ -1,0 +1,327 @@
+"""The continuous scheduler: back-to-back aggregation cycles with restarts.
+
+The paper frames Adam2 as a *standing* protocol — instances run
+back-to-back so applications always have a recent estimate.  The
+:class:`ContinuousScheduler` reproduces that loop on top of the
+:func:`repro.api.run` facade:
+
+* Each **cycle** is one facade run over the scheduler-owned population.
+  A *restart* cycle chains :attr:`SchedulerPolicy.chain_instances`
+  aggregation instances, so the configured bootstrap (uniform/neighbour)
+  is refined by the paper's threshold-selection heuristic
+  (HCut/MinMax/LCut, per ``config.selection``) before publishing; a
+  *steady* cycle runs :attr:`SchedulerPolicy.steady_instances` cheap
+  refresh instance(s).
+* The **restart policy** watches consecutive published estimates for
+  drift: when the max CDF distance between them exceeds
+  :attr:`SchedulerPolicy.restart_divergence`, or either tracked extreme
+  moves by more than :attr:`SchedulerPolicy.extreme_change`
+  (relative), the next cycle re-runs the full refinement chain so the
+  thresholds re-adapt to the moved distribution.
+* The scheduler owns an evolving **population** array: an optional
+  :class:`~repro.workloads.dynamic.DriftModel` is applied between
+  cycles, and each run sees the current generation through a
+  :class:`~repro.workloads.base.FixedPopulation` — so
+  :meth:`current_truth` is the *exact* ground truth of what the latest
+  cycle estimated.
+
+Every published estimate lands in the :class:`~repro.service.store`
+as an immutable versioned snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.api import get_backend, run
+from repro.api.result import RunResult
+from repro.core.cdf import EmpiricalCDF, EstimatedCDF
+from repro.core.config import Adam2Config
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs import NULL_HUB, ObserverHub
+from repro.rngs import make_rng
+from repro.service.store import EstimateSnapshot, EstimateStore
+from repro.workloads.base import AttributeWorkload, FixedPopulation
+from repro.workloads.dynamic import DriftModel
+
+__all__ = ["ContinuousScheduler", "SchedulerPolicy", "estimate_divergence"]
+
+
+def estimate_divergence(
+    a: EstimatedCDF, b: EstimatedCDF, grid_points: int = 129
+) -> float:
+    """Max vertical distance between two estimates on a shared grid.
+
+    The grid spans the union of both supports, so mass that moved past
+    either old extreme is seen (a pure shift changes little *inside* a
+    stale support).  This is the scheduler's drift signal — an
+    estimate-vs-estimate distance, never a comparison against ground
+    truth, so it is computable by a real deployment.
+    """
+    if grid_points < 2:
+        raise ConfigurationError("divergence grid needs at least 2 points")
+    lo = min(a.minimum, b.minimum)
+    hi = max(a.maximum, b.maximum)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = np.linspace(lo, hi, grid_points)
+    return float(np.max(np.abs(a.evaluate(grid) - b.evaluate(grid))))
+
+
+def _relative_change(new: float, old: float) -> float:
+    scale = max(abs(old), abs(new), 1e-12)
+    return abs(new - old) / scale
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Knobs of the continuous loop.
+
+    Attributes:
+        chain_instances: aggregation instances per *restart* cycle — the
+            bootstrap instance plus refinement steps under the config's
+            selection heuristic.
+        steady_instances: instances per *steady* refresh cycle.
+        restart_divergence: max CDF distance between consecutive
+            published estimates above which the next cycle restarts.
+        extreme_change: relative change of either tracked extreme above
+            which the next cycle restarts (catches mass moving past the
+            old support faster than interior divergence does).
+        divergence_grid: evaluation points for the drift signal.
+        drift_steps_per_cycle: how many :class:`DriftModel` steps the
+            population advances between cycles (the model is per-round;
+            one cycle spans ``rounds_per_instance`` rounds of simulated
+            time per instance, so deployments may want more than 1).
+    """
+
+    chain_instances: int = 3
+    steady_instances: int = 1
+    restart_divergence: float = 0.02
+    extreme_change: float = 0.2
+    divergence_grid: int = 129
+    drift_steps_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chain_instances < 1 or self.steady_instances < 1:
+            raise ConfigurationError("cycles need at least one instance")
+        if self.restart_divergence < 0 or self.extreme_change < 0:
+            raise ConfigurationError("restart thresholds must be >= 0")
+        if self.divergence_grid < 2:
+            raise ConfigurationError("divergence_grid must be >= 2")
+        if self.drift_steps_per_cycle < 0:
+            raise ConfigurationError("drift_steps_per_cycle must be >= 0")
+
+
+class ContinuousScheduler:
+    """Drives estimation cycles and publishes snapshots to a store.
+
+    Args:
+        config: protocol parameters for every cycle.
+        workload: source of the *initial* population values; after that
+            the scheduler owns the array and only drift mutates it.
+        store: destination for published snapshots.
+        backend: facade backend each cycle runs on.
+        n_nodes: population size.
+        seed: master seed; per-cycle run seeds and drift randomness
+            derive from it, so a scheduler run is fully deterministic.
+        policy: loop knobs (defaults: 3-instance chain, restart at
+            divergence > 0.02).
+        drift: optional between-cycle population drift.
+        hub: observability hub (``service_cycles_total`` /
+            ``service_restarts_total`` counters land in its metrics).
+        clock: optional wall clock stamped onto snapshots as
+            ``published_at`` (e.g. :func:`repro.obs.wall_clock`); left
+            ``None`` for deterministic runs.
+        options: extra backend options passed through to every
+            :func:`repro.api.run` call.
+    """
+
+    def __init__(
+        self,
+        config: Adam2Config,
+        workload: AttributeWorkload,
+        store: EstimateStore,
+        *,
+        backend: str = "fast",
+        n_nodes: int = 1000,
+        seed: int = 0,
+        policy: SchedulerPolicy | None = None,
+        drift: DriftModel | None = None,
+        hub: ObserverHub = NULL_HUB,
+        clock: Callable[[], float] | None = None,
+        options: Mapping[str, object] | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ConfigurationError("need at least 2 nodes")
+        get_backend(backend)  # fail at construction, not at the first cycle
+        self.config = config
+        self.store = store
+        self.backend = backend
+        self.n_nodes = n_nodes
+        self.policy = policy if policy is not None else SchedulerPolicy()
+        self.drift = drift
+        self.hub = hub
+        self._clock = clock
+        self._options = dict(options) if options else {}
+        self._rng = make_rng(seed)
+        self._drift_rng = make_rng(seed ^ 0x5EED)
+        self._values = np.asarray(
+            workload.sample(n_nodes, self._rng), dtype=float
+        ).copy()
+        self._workload_meta = (workload.name, workload.unit, workload.integral)
+        self._tick = 0
+        self._restart_pending = True  # the first cycle always bootstraps
+        self._last_result: RunResult | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tick(self) -> int:
+        """Completed cycles (the store's staleness clock)."""
+        return self._tick
+
+    @property
+    def restart_pending(self) -> bool:
+        """Whether the next cycle will run the full refinement chain."""
+        return self._restart_pending
+
+    @property
+    def last_result(self) -> RunResult | None:
+        """The raw facade result of the most recent cycle."""
+        return self._last_result
+
+    def population(self) -> np.ndarray:
+        """The current population values (a defensive copy)."""
+        return self._values.copy()
+
+    def current_truth(self) -> EmpiricalCDF:
+        """Exact ground-truth CDF of the population the next cycle sees."""
+        return EmpiricalCDF(self._values)
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> EstimateSnapshot:
+        """Run one cycle, publish its snapshot, then advance drift."""
+        restarted = self._restart_pending
+        self._tick += 1  # a snapshot published this cycle has staleness 0
+        instances = (
+            self.policy.chain_instances if restarted
+            else self.policy.steady_instances
+        )
+        name, unit, integral = self._workload_meta
+        generation = FixedPopulation(
+            self._values, name=name, unit=unit, integral=integral
+        )
+        result = run(
+            self.config,
+            generation,
+            backend=self.backend,
+            n_nodes=self.n_nodes,
+            instances=instances,
+            seed=int(self._rng.integers(0, 2**31 - 1)),
+            hub=self.hub,
+            **self._options,
+        )
+        self._last_result = result
+        estimate = result.estimate
+        if estimate is None:
+            raise ServiceError(
+                f"cycle {self._tick} produced no estimate "
+                f"(no node completed an instance on backend {self.backend!r})",
+                code="server_error",
+            )
+
+        previous = self._previous_estimate()
+        divergence = (
+            estimate_divergence(estimate, previous, self.policy.divergence_grid)
+            if previous is not None else None
+        )
+        self._restart_pending = self._drift_detected(estimate, previous, divergence)
+
+        snapshot = self.store.publish(
+            estimate,
+            backend=self.backend,
+            n_nodes=self.n_nodes,
+            instances=instances,
+            rounds=self.config.rounds_per_instance,
+            size_estimate=estimate.system_size,
+            confidence=self._confidence(result),
+            published_tick=self._tick,
+            published_at=self._clock() if self._clock is not None else None,
+            restarted=restarted,
+            divergence=divergence,
+        )
+        metrics = self.hub.metrics
+        metrics.counter("service_cycles_total").inc()
+        if restarted:
+            metrics.counter("service_restarts_total").inc()
+        metrics.gauge("service_tick").set(float(self._tick))
+
+        self._advance_drift()
+        return snapshot
+
+    def run_cycles(self, n: int) -> list[EstimateSnapshot]:
+        """Run ``n`` consecutive cycles, returning their snapshots."""
+        if n < 0:
+            raise ConfigurationError(f"cannot run {n} cycles")
+        return [self.run_cycle() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _previous_estimate(self) -> EstimatedCDF | None:
+        try:
+            return self.store.latest().estimate
+        except ServiceError:
+            return None
+
+    def _drift_detected(
+        self,
+        estimate: EstimatedCDF,
+        previous: EstimatedCDF | None,
+        divergence: float | None,
+    ) -> bool:
+        if previous is None or divergence is None:
+            return False
+        if divergence > self.policy.restart_divergence:
+            return True
+        return (
+            _relative_change(estimate.minimum, previous.minimum)
+            > self.policy.extreme_change
+            or _relative_change(estimate.maximum, previous.maximum)
+            > self.policy.extreme_change
+        )
+
+    def _confidence(self, result: RunResult) -> tuple[float, float] | None:
+        """Self-assessed ``(EstErr_a, EstErr_m)`` from the final instance.
+
+        Present only when the configuration enabled verification points
+        and the backend computed them (the fast backend's
+        ``confidence_sample`` option); never derived from ground truth.
+        """
+        if not result.instances:
+            return None
+        raw = result.instances[-1].raw
+        est_a = getattr(raw, "est_erra", None)
+        est_m = getattr(raw, "est_errm", None)
+        if est_a is None or est_m is None:
+            return None
+        est_a = np.asarray(est_a, dtype=float)
+        est_m = np.asarray(est_m, dtype=float)
+        if est_a.size == 0 or est_m.size == 0:
+            return None
+        return float(np.mean(est_a)), float(np.mean(est_m))
+
+    def _advance_drift(self) -> None:
+        if self.drift is None or self.drift.is_static:
+            return
+        for _ in range(self.policy.drift_steps_per_cycle):
+            self._values = self.drift.apply(self._values, self._drift_rng)

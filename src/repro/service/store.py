@@ -1,0 +1,243 @@
+"""The versioned estimate store: immutable CDF snapshots with metadata.
+
+Every scheduler cycle publishes one :class:`EstimateSnapshot` — a frozen
+record wrapping the cycle's consensus :class:`~repro.core.cdf.EstimatedCDF`
+plus the serving metadata applications need to judge an answer (version,
+staleness tick, size estimate, self-assessed confidence, whether the
+cycle was a drift-triggered restart).  The :class:`EstimateStore` keeps a
+bounded history of recent versions so queries can be pinned to a known
+snapshot while the scheduler keeps publishing behind them.
+
+The store is thread-safe: the TCP frontend serves from the event-loop
+thread while scheduler cycles may run in a worker thread (the net
+backend owns its own ``asyncio.run`` and must not share the endpoint's
+loop).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.cdf import EstimatedCDF
+from repro.errors import ServiceError
+
+__all__ = ["EstimateSnapshot", "EstimateStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateSnapshot:
+    """One immutable published estimate.
+
+    Attributes:
+        version: monotonically increasing store version (1-based).
+        estimate: the consensus CDF estimate of the producing cycle.
+        backend: backend name the cycle ran on.
+        n_nodes: population size of the producing run.
+        instances: aggregation instances the cycle chained (1 for a
+            steady refresh, the full refinement chain on a restart).
+        rounds: gossip rounds per instance (the instance TTL).
+        size_estimate: the protocol's network-size estimate ``1/w``
+            (``None`` when the producing run did not aggregate one).
+        confidence: self-assessed ``(EstErr_a, EstErr_m)`` from the
+            paper's verification points, when the configuration enabled
+            them; ``None`` otherwise.  Never derived from ground truth.
+        published_tick: scheduler logical clock at publish time; the
+            staleness of a served answer is the scheduler's current tick
+            minus this value.
+        published_at: host wall-clock seconds at publish time when the
+            scheduler was given a clock (serving deployments); ``None``
+            in deterministic runs.
+        restarted: True when the producing cycle ran the full refinement
+            chain because the restart policy fired (or it was the first).
+        divergence: max CDF distance to the previously published
+            estimate (the drift detector's signal); ``None`` for the
+            first snapshot.
+    """
+
+    version: int
+    estimate: EstimatedCDF
+    backend: str
+    n_nodes: int
+    instances: int
+    rounds: int
+    size_estimate: float | None
+    confidence: tuple[float, float] | None
+    published_tick: int
+    published_at: float | None
+    restarted: bool
+    divergence: float | None
+
+    def staleness(self, tick: int) -> int:
+        """Scheduler ticks elapsed since this snapshot was published."""
+        return max(int(tick) - self.published_tick, 0)
+
+    def meta(self) -> dict[str, object]:
+        """JSON-serialisable metadata (everything but the polyline)."""
+        return {
+            "version": self.version,
+            "backend": self.backend,
+            "n_nodes": self.n_nodes,
+            "instances": self.instances,
+            "rounds": self.rounds,
+            "size_estimate": self.size_estimate,
+            "confidence": list(self.confidence) if self.confidence else None,
+            "published_tick": self.published_tick,
+            "published_at": self.published_at,
+            "restarted": self.restarted,
+            "divergence": self.divergence,
+            "minimum": self.estimate.minimum,
+            "maximum": self.estimate.maximum,
+            "points": int(self.estimate.thresholds.size),
+        }
+
+
+class EstimateStore:
+    """Bounded, versioned history of published snapshots.
+
+    Args:
+        max_history: recent versions retained.  Older versions are
+            evicted on publish unless pinned; the latest snapshot is
+            never evicted.
+    """
+
+    def __init__(self, max_history: int = 8) -> None:
+        if max_history < 1:
+            raise ServiceError("max_history must be >= 1")
+        self.max_history = max_history
+        self._lock = threading.Lock()
+        self._snapshots: OrderedDict[int, EstimateSnapshot] = OrderedDict()
+        self._pinned: set[int] = set()
+        self._next_version = 1
+        self._published_total = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        estimate: EstimatedCDF,
+        *,
+        backend: str,
+        n_nodes: int,
+        instances: int,
+        rounds: int,
+        size_estimate: float | None = None,
+        confidence: tuple[float, float] | None = None,
+        published_tick: int = 0,
+        published_at: float | None = None,
+        restarted: bool = False,
+        divergence: float | None = None,
+    ) -> EstimateSnapshot:
+        """Assign the next version and append an immutable snapshot."""
+        with self._lock:
+            snapshot = EstimateSnapshot(
+                version=self._next_version,
+                estimate=estimate,
+                backend=backend,
+                n_nodes=n_nodes,
+                instances=instances,
+                rounds=rounds,
+                size_estimate=size_estimate,
+                confidence=confidence,
+                published_tick=published_tick,
+                published_at=published_at,
+                restarted=restarted,
+                divergence=divergence,
+            )
+            self._next_version += 1
+            self._published_total += 1
+            self._snapshots[snapshot.version] = snapshot
+            self._evict_locked()
+            return snapshot
+
+    def _evict_locked(self) -> None:
+        excess = len(self._snapshots) - self.max_history
+        if excess <= 0:
+            return
+        latest = next(reversed(self._snapshots))
+        for version in list(self._snapshots):
+            if excess <= 0:
+                break
+            if version == latest or version in self._pinned:
+                continue
+            del self._snapshots[version]
+            excess -= 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def latest(self) -> EstimateSnapshot:
+        """The most recently published snapshot; fails loudly when empty."""
+        with self._lock:
+            if not self._snapshots:
+                raise ServiceError(
+                    "no estimate published yet", code="unavailable"
+                )
+            return next(reversed(self._snapshots.values()))
+
+    def get(self, version: int) -> EstimateSnapshot:
+        """A specific retained version; names the live range on a miss."""
+        with self._lock:
+            snapshot = self._snapshots.get(version)
+            if snapshot is None:
+                retained = sorted(self._snapshots)
+                raise ServiceError(
+                    f"version {version} is not retained; "
+                    f"available versions: {retained or '(none)'}",
+                    code="unavailable",
+                )
+            return snapshot
+
+    def versions(self) -> list[int]:
+        """All retained versions, oldest first."""
+        with self._lock:
+            return sorted(self._snapshots)
+
+    def history(self) -> list[dict[str, object]]:
+        """Metadata of every retained snapshot, oldest first."""
+        with self._lock:
+            return [
+                self._snapshots[version].meta()
+                for version in sorted(self._snapshots)
+            ]
+
+    @property
+    def published_total(self) -> int:
+        """Snapshots ever published (including evicted ones)."""
+        with self._lock:
+            return self._published_total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+
+    def pin(self, version: int) -> EstimateSnapshot:
+        """Protect a retained version from eviction (idempotent)."""
+        with self._lock:
+            snapshot = self._snapshots.get(version)
+            if snapshot is None:
+                raise ServiceError(
+                    f"cannot pin version {version}: not retained",
+                    code="unavailable",
+                )
+            self._pinned.add(version)
+            return snapshot
+
+    def unpin(self, version: int) -> None:
+        """Drop a pin; the version becomes evictable again."""
+        with self._lock:
+            self._pinned.discard(version)
+            self._evict_locked()
+
+    def pinned(self) -> list[int]:
+        """Currently pinned versions, sorted."""
+        with self._lock:
+            return sorted(self._pinned)

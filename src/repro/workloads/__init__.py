@@ -9,7 +9,7 @@ heavily *stepped* RAM distribution, plus bandwidth/disk analogues, faulty
 reading injection, and the paper's filtering step.
 """
 
-from repro.workloads.base import AttributeWorkload, SampledWorkload
+from repro.workloads.base import AttributeWorkload, FixedPopulation, SampledWorkload
 from repro.workloads.boinc import (
     BoincAttribute,
     boinc_bandwidth_kbps,
@@ -30,6 +30,7 @@ from repro.workloads.traces import load_trace, save_trace
 
 __all__ = [
     "AttributeWorkload",
+    "FixedPopulation",
     "SampledWorkload",
     "BoincAttribute",
     "boinc_cpu_mflops",

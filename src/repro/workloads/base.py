@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 
-__all__ = ["AttributeWorkload", "SampledWorkload"]
+__all__ = ["AttributeWorkload", "FixedPopulation", "SampledWorkload"]
 
 
 class AttributeWorkload(ABC):
@@ -43,6 +43,53 @@ class AttributeWorkload(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class FixedPopulation(AttributeWorkload):
+    """A workload that assigns an *exact* population, value for value.
+
+    Unlike :class:`SampledWorkload` (which draws with replacement), a
+    fixed population hands out precisely its array when asked for the
+    full population size — so the ground-truth CDF of a run equals the
+    CDF of these values exactly.  The continuous-estimation service uses
+    this to re-estimate one evolving population across scheduler cycles:
+    the service owns the value array, applies drift between cycles, and
+    wraps each generation in a ``FixedPopulation`` for the next run.
+
+    ``sample_one`` (churned-in nodes) still draws uniformly from the
+    population, which preserves the paper's "same distribution" churn
+    semantics.
+    """
+
+    def __init__(self, values: np.ndarray, name: str = "population", unit: str = "", integral: bool = False):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise WorkloadError("population must be a non-empty 1-D array")
+        if not np.all(np.isfinite(values)):
+            raise WorkloadError("population contains non-finite values")
+        self._values = values.copy()
+        self.name = name
+        self.unit = unit
+        self.integral = integral
+
+    @property
+    def values(self) -> np.ndarray:
+        """The population values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n == self._values.size:
+            return self._values.copy()
+        if n < 0:
+            raise WorkloadError(f"cannot sample {n} values")
+        # Off-size requests (e.g. churn replenishment batches) fall back
+        # to draws with replacement, like SampledWorkload.
+        return self._values[rng.integers(0, self._values.size, size=n)].astype(float)
+
+    def __len__(self) -> int:
+        return int(self._values.size)
 
 
 class SampledWorkload(AttributeWorkload):

@@ -90,8 +90,14 @@ class TestGetBackend:
             get_backend("nope")
 
     def test_error_lists_registered_backends(self):
-        with pytest.raises(ConfigurationError, match="net"):
+        with pytest.raises(ConfigurationError) as excinfo:
             get_backend("nope")
+        message = str(excinfo.value)
+        # Every registered backend must be named, quoted, in the message —
+        # the caller should never have to guess what `backend=` accepts.
+        for name in list_backends():
+            assert repr(name) in message
+        assert "registered backends:" in message
 
     def test_net_backend_options(self):
         net = get_backend("net")

@@ -337,6 +337,44 @@ class TestADM008NetOutsideRuntime:
         found = codes(src, path="src/repro/experiments/cli.py")
         assert found == ["ADM008"]  # the socket import, not the clock
 
+    def test_service_package_is_fenced_from_sockets_and_clocks(self):
+        """The serving layer is NOT exempt: its TCP frontend must live in
+        repro.net (service_endpoint), and latency reads must go through
+        repro.obs.wall_clock rather than the host clock directly."""
+        src = """
+            import asyncio
+            import time
+
+            async def serve(handle, host, port):
+                started = time.perf_counter()
+                return await asyncio.start_server(handle, host, port), started
+        """
+        found = codes(src, path="src/repro/service/query.py")
+        assert found.count("ADM008") == 2  # the endpoint call and the clock
+
+    def test_service_endpoint_module_is_under_the_net_exemption(self):
+        src = """
+            import asyncio
+
+            async def serve(handler, host, port):
+                return await asyncio.start_server(handler, host, port)
+        """
+        assert codes(src, path="src/repro/net/service_endpoint.py") == []
+
+    def test_real_service_sources_lint_clean(self):
+        from pathlib import Path
+
+        from repro.lint.engine import lint_paths
+
+        service_dir = (
+            Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
+        )
+        report = lint_paths([str(service_dir)])
+        assert report.files_checked >= 6
+        assert report.violations == [], "\n".join(
+            v.format_text() for v in report.violations
+        )
+
 
 class TestSelection:
     def test_select_restricts_rules(self):

@@ -1,0 +1,216 @@
+"""The TCP query frontend: protocol, error classes, concurrency."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import Adam2Config
+from repro.obs import JsonlSink, MemorySink, ObserverHub
+from repro.service import build_service
+from repro.net.service_endpoint import (
+    ServiceClient,
+    ServiceEndpoint,
+    measure_endpoint_qps,
+)
+from repro.workloads.synthetic import uniform_workload
+
+CONFIG = Adam2Config(points=24, rounds_per_instance=25)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_handle(hub=None, **overrides):
+    kwargs = dict(backend="fast", n_nodes=400, seed=5)
+    kwargs.update(overrides)
+    if hub is not None:
+        kwargs["hub"] = hub
+    return build_service(CONFIG, uniform_workload(0, 1000), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def handle():
+    return make_handle()
+
+
+class TestQueries:
+    def test_round_trip_matches_in_process(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return (
+                        await client.cdf(500.0),
+                        await client.quantile(0.5),
+                        await client.fraction_between(100.0, 900.0),
+                        await client.network_size(),
+                    )
+
+        cdf, quantile, fraction, size = run(scenario())
+        assert cdf == pytest.approx(handle.cdf(500.0))
+        assert quantile == pytest.approx(handle.quantile(0.5))
+        assert fraction == pytest.approx(handle.fraction_between(100.0, 900.0))
+        assert size == pytest.approx(handle.network_size())
+
+    def test_status_pin_and_history(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    status = await client.status()
+                    pinned = await client.request({"op": "pin", "version": 1})
+                    history = await client.request({"op": "history"})
+                    unpinned = await client.request({"op": "unpin", "version": 1})
+                    return status, pinned, history, unpinned
+
+        status, pinned, history, unpinned = run(scenario())
+        assert status["backend"] == "fast" and 1 in status["versions"]
+        assert pinned == {"ok": True, "pinned": 1, "id": pinned["id"]}
+        assert [e["version"] for e in history["history"]] == status["versions"]
+        assert unpinned["ok"]
+
+    def test_request_ids_echoed(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return await client.request({"op": "size", "id": 77})
+
+        assert run(scenario())["id"] == 77
+
+
+class TestErrors:
+    def assert_error(self, handle, payload, code):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return await client.request(payload)
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"] == code
+        assert response["message"]
+
+    def test_unknown_op(self, handle):
+        self.assert_error(handle, {"op": "nope"}, "bad_request")
+
+    def test_missing_field(self, handle):
+        self.assert_error(handle, {"op": "cdf"}, "bad_request")
+
+    def test_non_numeric_field(self, handle):
+        self.assert_error(handle, {"op": "cdf", "x": "wide"}, "bad_request")
+
+    def test_bad_quantile_level(self, handle):
+        self.assert_error(handle, {"op": "quantile", "q": 3.0}, "bad_request")
+
+    def test_evicted_version_is_unavailable(self, handle):
+        self.assert_error(
+            handle, {"op": "cdf", "x": 1.0, "version": 999}, "unavailable"
+        )
+
+    def test_cold_service_is_unavailable(self):
+        cold = make_handle(warm_cycles=0)
+        self.assert_error(cold, {"op": "cdf", "x": 1.0}, "unavailable")
+
+    def test_invalid_json_line(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", endpoint.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return json.loads(line)
+
+        response = run(scenario())
+        assert response["ok"] is False and response["error"] == "bad_request"
+
+    def test_non_object_request(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", endpoint.port
+                )
+                writer.write(b"[1, 2, 3]\n")
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                return json.loads(line)
+
+        response = run(scenario())
+        assert response["ok"] is False and response["error"] == "bad_request"
+
+
+class TestObservability:
+    def test_every_request_line_is_traced(self, tmp_path):
+        trace = tmp_path / "queries.jsonl"
+        sink = JsonlSink(trace)
+        hub = ObserverHub([sink])
+        handle = make_handle(hub=hub)
+
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    await client.cdf(500.0)
+                    await client.cdf(500.0)  # cache hit
+                    await client.request({"op": "status"})
+                    await client.request({"op": "nope"})
+                    # parse failure of an engine op: never reaches the
+                    # engine, so the endpoint must trace it itself
+                    await client.request({"op": "cdf", "x": "wide"})
+
+        run(scenario())
+        sink.close()
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        queries = [e for e in events if e["type"] == "query"]
+        assert [q["op"] for q in queries] == [
+            "cdf", "cdf", "status", "nope", "cdf"
+        ]
+        assert [q["cache_hit"] for q in queries] == [
+            False, True, False, False, False
+        ]
+        for failed in queries[-2:]:
+            assert failed["ok"] is False
+            assert failed["error"] == "bad_request"
+        assert all(q["latency_s"] >= 0.0 for q in queries)
+
+    def test_engine_errors_counted_once(self):
+        sink = MemorySink()
+        handle = make_handle(hub=ObserverHub([sink]))
+
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    await client.request({"op": "quantile", "q": 9.0})
+
+        run(scenario())
+        failures = [e for e in sink.queries if not e.ok]
+        assert len(failures) == 1  # the engine's event; no endpoint double
+
+
+class TestConcurrency:
+    def test_concurrent_clients_all_answered(self, handle):
+        queries = [("cdf", (float(x % 97),)) for x in range(120)]
+        stats = measure_endpoint_qps(handle, queries, clients=5)
+        latencies = stats["latencies"]
+        assert isinstance(latencies, list) and len(latencies) == 120
+        assert stats["errors"] == 0
+        assert all(latency > 0 for latency in latencies)
+
+    def test_sequential_requests_answered_in_order(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return [
+                        (await client.request({"op": "size", "id": i}))["id"]
+                        for i in range(10)
+                    ]
+
+        assert run(scenario()) == list(range(10))

@@ -1,0 +1,151 @@
+"""Property tests for the polyline generalised inverse (service quantiles).
+
+:func:`repro.core.interpolation.invert_polyline` is the binary-search
+kernel behind :meth:`EstimatedCDF.quantile` and the service query layer.
+Invariants:
+
+* Galois connection on monotone polylines: ``quantile(cdf(x)) == x``
+  wherever the CDF is strictly increasing, and in general ``quantile(q)``
+  is the smallest ``x`` with ``F(x) >= q``;
+* ``quantile`` is monotone non-decreasing in ``q``;
+* results stay inside ``[minimum, maximum]``;
+* flat CDF segments invert to their left edge (the *smallest* preimage).
+
+Deterministic: hypothesis ``derandomize`` plus fixed ``make_rng`` seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdf import EstimatedCDF
+from repro.core.interpolation import invert_polyline
+from repro.errors import ProtocolError
+from repro.rngs import make_rng
+
+import pytest
+
+DETERMINISTIC = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+def random_estimate(seed: int, points: int) -> EstimatedCDF:
+    """A valid random estimate: sorted thresholds, monotone fractions."""
+    rng = make_rng(seed)
+    span = 1.0 + 999.0 * rng.random()
+    lo = -500.0 + 1000.0 * rng.random()
+    thresholds = np.sort(lo + span * rng.random(points))
+    fractions = np.sort(rng.random(points))
+    return EstimatedCDF(
+        thresholds=thresholds,
+        fractions=fractions,
+        minimum=lo - 0.5 * span * rng.random(),
+        maximum=lo + span * (1.0 + 0.5 * rng.random()),
+    )
+
+
+class TestGaloisConnection:
+    @DETERMINISTIC
+    @given(st.integers(0, 10_000), st.integers(3, 40))
+    def test_quantile_cdf_round_trip_on_strict_polylines(self, seed, points):
+        """quantile(cdf(x)) == x wherever the polyline strictly rises."""
+        estimate = random_estimate(seed, points)
+        xs, ys = estimate.polyline()
+        rng = make_rng(seed + 1)
+        probe = np.sort(
+            rng.uniform(estimate.minimum, estimate.maximum, size=16)
+        )
+        levels = estimate.evaluate(probe)
+        inverted = estimate.quantile(levels)
+        # strictly-increasing neighbourhood <=> unique preimage
+        strict = np.interp(probe + 1e-9, xs, ys) > np.interp(probe - 1e-9, xs, ys)
+        scale = max(abs(estimate.minimum), abs(estimate.maximum), 1.0)
+        assert np.all(
+            np.abs(inverted[strict] - probe[strict]) <= 1e-6 * scale
+        )
+
+    @DETERMINISTIC
+    @given(st.integers(0, 10_000), st.integers(3, 40))
+    def test_quantile_is_smallest_preimage(self, seed, points):
+        """F(quantile(q)) >= q, and nothing smaller reaches q."""
+        estimate = random_estimate(seed, points)
+        levels = np.linspace(0.0, 1.0, 21)
+        values = estimate.quantile(levels)
+        reached = estimate.evaluate(values)
+        assert np.all(reached >= levels - 1e-9)
+        scale = max(abs(estimate.minimum), abs(estimate.maximum), 1.0)
+        below = values - 1e-6 * scale
+        inside = below >= estimate.minimum
+        assert np.all(
+            estimate.evaluate(below[inside]) <= reached[inside] + 1e-12
+        )
+
+
+class TestMonotonicityAndBounds:
+    @DETERMINISTIC
+    @given(st.integers(0, 10_000), st.integers(3, 40))
+    def test_quantile_monotone_in_q(self, seed, points):
+        estimate = random_estimate(seed, points)
+        rng = make_rng(seed + 2)
+        levels = np.sort(rng.random(32))
+        values = estimate.quantile(levels)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    @DETERMINISTIC
+    @given(st.integers(0, 10_000), st.integers(3, 40))
+    def test_quantile_stays_inside_support(self, seed, points):
+        estimate = random_estimate(seed, points)
+        values = estimate.quantile(np.linspace(0.0, 1.0, 33))
+        assert np.all(values >= estimate.minimum - 1e-12)
+        assert np.all(values <= estimate.maximum + 1e-12)
+
+    @DETERMINISTIC
+    @given(st.integers(0, 10_000), st.integers(3, 40))
+    def test_edge_levels_hit_the_extremes(self, seed, points):
+        estimate = random_estimate(seed, points)
+        assert estimate.quantile(0.0)[0] == pytest.approx(estimate.minimum)
+        assert estimate.quantile(1.0)[0] == pytest.approx(estimate.maximum)
+
+
+class TestFlatSegments:
+    def test_flat_segment_inverts_to_left_edge(self):
+        estimate = EstimatedCDF(
+            thresholds=np.asarray([10.0, 20.0, 30.0]),
+            fractions=np.asarray([0.5, 0.5, 0.5]),  # flat from 10 to 30
+            minimum=0.0,
+            maximum=40.0,
+        )
+        assert estimate.quantile(0.5)[0] == pytest.approx(10.0)
+
+    def test_step_population_round_trips_through_levels(self):
+        estimate = EstimatedCDF(
+            thresholds=np.asarray([100.0, 200.0, 400.0]),
+            fractions=np.asarray([0.3, 0.8, 0.95]),
+            minimum=100.0,
+            maximum=800.0,
+        )
+        for q, expected in ((0.3, 100.0), (0.8, 200.0), (0.95, 400.0), (1.0, 800.0)):
+            assert estimate.quantile(q)[0] == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_rejects_levels_outside_unit_interval(self):
+        xs = np.asarray([0.0, 1.0])
+        ys = np.asarray([0.0, 1.0])
+        with pytest.raises(ProtocolError):
+            invert_polyline(xs, ys, np.asarray([1.5]))
+        with pytest.raises(ProtocolError):
+            invert_polyline(xs, ys, np.asarray([-0.1]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ProtocolError):
+            invert_polyline(
+                np.asarray([0.0, 1.0]), np.asarray([0.0]), np.asarray([0.5])
+            )
+
+    def test_rejects_too_short_polylines(self):
+        with pytest.raises(ProtocolError):
+            invert_polyline(
+                np.asarray([0.0]), np.asarray([0.0]), np.asarray([0.5])
+            )

@@ -1,0 +1,94 @@
+"""ServiceHandle / build_service: the in-process frontend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import Adam2Config
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs import MemorySink, ObserverHub
+from repro.service import build_service
+from repro.workloads.synthetic import uniform_workload
+
+CONFIG = Adam2Config(points=24, rounds_per_instance=25)
+
+
+def make_handle(**overrides):
+    kwargs = dict(backend="fast", n_nodes=500, seed=9)
+    kwargs.update(overrides)
+    return build_service(CONFIG, uniform_workload(0, 1000), **kwargs)
+
+
+class TestBuildService:
+    def test_warm_service_answers_immediately(self):
+        handle = make_handle()
+        assert 0.0 <= handle.cdf(500.0) <= 1.0
+        assert 0.0 <= handle.quantile(0.5) <= 1000.0
+        assert handle.network_size() == pytest.approx(500.0, rel=0.05)
+
+    def test_cold_service_is_unavailable(self):
+        handle = make_handle(warm_cycles=0)
+        with pytest.raises(ServiceError) as excinfo:
+            handle.cdf(500.0)
+        assert excinfo.value.code == "unavailable"
+
+    def test_unknown_backend_fails_loudly(self):
+        with pytest.raises(ConfigurationError, match="registered backends"):
+            make_handle(backend="nope", warm_cycles=0)
+
+
+class TestLifecycle:
+    def test_refresh_publishes_new_versions(self):
+        handle = make_handle()
+        assert handle.store.latest().version == 1
+        snapshot = handle.refresh(2)
+        assert snapshot.version == 3
+        assert handle.scheduler.tick == 3
+
+    def test_pin_and_unpin_round_trip(self):
+        handle = make_handle(max_history=2)
+        handle.pin(1)
+        handle.refresh(4)
+        assert 1 in handle.store.versions()
+        assert handle.cdf(500.0, version=1) == pytest.approx(
+            handle.cdf(500.0, version=1)
+        )
+        handle.unpin(1)
+        handle.refresh()
+        assert 1 not in handle.store.versions()
+
+
+class TestStatus:
+    def test_status_shape(self):
+        handle = make_handle()
+        status = handle.status()
+        assert status["backend"] == "fast"
+        assert status["n_nodes"] == 500
+        assert status["tick"] == 1
+        assert status["staleness"] == 0
+        assert status["versions"] == [1]
+        latest = status["latest"]
+        assert latest is not None and latest["version"] == 1
+        assert status["cache"]["max_size"] == 1024
+
+    def test_cold_status_has_no_latest(self):
+        handle = make_handle(warm_cycles=0)
+        status = handle.status()
+        assert status["latest"] is None and status["staleness"] is None
+
+    def test_history_matches_store(self):
+        handle = make_handle()
+        handle.refresh()
+        history = handle.history()
+        assert [entry["version"] for entry in history] == [1, 2]
+
+    def test_metrics_include_queries_and_cycles(self):
+        hub = ObserverHub([MemorySink()])
+        handle = make_handle(hub=hub)
+        handle.cdf(500.0)
+        handle.cdf(500.0)
+        snapshot = handle.metrics()
+        counters = snapshot["counters"]
+        assert counters["queries_total"] == 2
+        assert counters["query_cache_hits_total"] == 1
+        assert counters["service_cycles_total"] == 1

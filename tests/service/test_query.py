@@ -1,0 +1,200 @@
+"""Query engine: correctness, LRU caching, validation, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs import MemorySink, ObserverHub
+from repro.service.query import QueryEngine
+from repro.service.store import EstimateStore
+
+from tests.service.test_store import make_estimate, publish
+
+
+class FakeClock:
+    """A deterministic clock advancing a fixed step per read."""
+
+    def __init__(self, step: float = 0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture()
+def store() -> EstimateStore:
+    s = EstimateStore()
+    publish(s)
+    return s
+
+
+class TestAnswers:
+    def test_cdf_matches_estimate(self, store):
+        engine = QueryEngine(store)
+        estimate = store.latest().estimate
+        for x in (-5.0, 0.0, 15.0, 25.0, 40.0, 100.0):
+            assert engine.cdf(x) == pytest.approx(float(estimate.evaluate(x)))
+
+    def test_quantile_matches_estimate(self, store):
+        engine = QueryEngine(store)
+        estimate = store.latest().estimate
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert engine.quantile(q) == pytest.approx(float(estimate.quantile(q)[0]))
+
+    def test_quantile_inverts_cdf_on_polyline(self, store):
+        engine = QueryEngine(store)
+        for x in (12.0, 20.0, 33.0):
+            assert engine.quantile(engine.cdf(x)) == pytest.approx(x, abs=1e-9)
+
+    def test_fraction_between(self, store):
+        engine = QueryEngine(store)
+        expected = engine.cdf(30.0) - engine.cdf(10.0)
+        assert engine.fraction_between(10.0, 30.0) == pytest.approx(expected)
+        # infinite upper bound: the ">= threshold" query from the paper
+        assert engine.fraction_between(20.0, float("inf")) == pytest.approx(
+            1.0 - engine.cdf(20.0)
+        )
+
+    def test_network_size(self, store):
+        engine = QueryEngine(store)
+        assert engine.network_size() == pytest.approx(100.0)
+
+    def test_network_size_unavailable_without_estimate(self):
+        store = EstimateStore()
+        publish(store, size_estimate=None)
+        engine = QueryEngine(store)
+        with pytest.raises(ServiceError) as excinfo:
+            engine.network_size()
+        assert excinfo.value.code == "unavailable"
+
+    def test_versioned_query_pins_old_snapshot(self, store):
+        engine = QueryEngine(store)
+        before = engine.cdf(15.0, version=1)
+        publish(store, offset=100.0)
+        assert engine.cdf(15.0, version=1) == pytest.approx(before)
+        assert engine.cdf(15.0) != pytest.approx(before)
+
+
+class TestValidation:
+    def test_quantile_level_out_of_range(self, store):
+        engine = QueryEngine(store)
+        for q in (-0.1, 1.5):
+            with pytest.raises(ServiceError) as excinfo:
+                engine.quantile(q)
+            assert excinfo.value.code == "bad_request"
+
+    def test_nan_arguments_rejected(self, store):
+        engine = QueryEngine(store)
+        with pytest.raises(ServiceError):
+            engine.cdf(float("nan"))
+        with pytest.raises(ServiceError):
+            engine.fraction_between(float("nan"), 1.0)
+
+    def test_empty_interval_rejected(self, store):
+        engine = QueryEngine(store)
+        with pytest.raises(ServiceError) as excinfo:
+            engine.fraction_between(5.0, 1.0)
+        assert excinfo.value.code == "bad_request"
+
+    def test_empty_store_is_unavailable(self):
+        engine = QueryEngine(EstimateStore())
+        with pytest.raises(ServiceError) as excinfo:
+            engine.cdf(1.0)
+        assert excinfo.value.code == "unavailable"
+
+    def test_negative_cache_size_rejected(self, store):
+        with pytest.raises(ServiceError):
+            QueryEngine(store, cache_size=-1)
+
+
+class TestCache:
+    def test_repeat_queries_hit(self, store):
+        engine = QueryEngine(store)
+        engine.cdf(15.0)
+        engine.cdf(15.0)
+        engine.cdf(15.0)
+        info = engine.cache_info()
+        assert info["hits"] == 2 and info["misses"] == 1
+
+    def test_cache_keyed_by_version(self, store):
+        engine = QueryEngine(store)
+        engine.cdf(15.0)
+        publish(store, offset=1.0)
+        engine.cdf(15.0)  # same args, new latest version: a miss
+        assert engine.cache_info()["misses"] == 2
+
+    def test_lru_evicts_oldest(self, store):
+        engine = QueryEngine(store, cache_size=2)
+        engine.cdf(1.0)
+        engine.cdf(2.0)
+        engine.cdf(3.0)  # evicts the x=1 entry
+        engine.cdf(1.0)
+        info = engine.cache_info()
+        assert info["hits"] == 0 and info["size"] == 2
+
+    def test_recently_used_survives(self, store):
+        engine = QueryEngine(store, cache_size=2)
+        engine.cdf(1.0)
+        engine.cdf(2.0)
+        engine.cdf(1.0)  # refresh x=1
+        engine.cdf(3.0)  # evicts x=2, not x=1
+        engine.cdf(1.0)
+        assert engine.cache_info()["hits"] == 2
+
+    def test_cache_disabled(self, store):
+        engine = QueryEngine(store, cache_size=0)
+        engine.cdf(15.0)
+        engine.cdf(15.0)
+        info = engine.cache_info()
+        assert info["hits"] == 0 and info["size"] == 0
+
+    def test_clear_cache(self, store):
+        engine = QueryEngine(store)
+        engine.cdf(15.0)
+        engine.clear_cache()
+        engine.cdf(15.0)
+        assert engine.cache_info()["misses"] == 2
+
+
+class TestObservability:
+    def test_events_carry_op_version_and_latency(self, store):
+        sink = MemorySink()
+        hub = ObserverHub([sink])
+        engine = QueryEngine(store, hub=hub, clock=FakeClock())
+        engine.cdf(15.0)
+        engine.cdf(15.0)
+        engine.quantile(0.5)
+        assert [e.op for e in sink.queries] == ["cdf", "cdf", "quantile"]
+        assert [e.cache_hit for e in sink.queries] == [False, True, False]
+        assert all(e.version == 1 for e in sink.queries)
+        assert all(e.ok for e in sink.queries)
+        assert all(e.latency_s and e.latency_s > 0 for e in sink.queries)
+
+    def test_metrics_counters_and_histogram(self, store):
+        hub = ObserverHub()
+        engine = QueryEngine(store, hub=hub, clock=FakeClock())
+        engine.cdf(15.0)
+        engine.cdf(15.0)
+        with pytest.raises(ServiceError):
+            engine.quantile(2.0)
+        snapshot = hub.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["queries_total"] == 3
+        assert counters["queries_cdf_total"] == 2
+        assert counters["query_cache_hits_total"] == 1
+        assert counters["query_cache_misses_total"] == 2
+        assert counters["query_errors_total"] == 1
+        assert snapshot["histograms"]["query_latency_s"]["count"] == 3
+
+    def test_failed_query_event_carries_error_code(self, store):
+        sink = MemorySink()
+        engine = QueryEngine(store, hub=ObserverHub([sink]))
+        with pytest.raises(ServiceError):
+            engine.fraction_between(9.0, 1.0)
+        event = sink.queries[-1]
+        assert not event.ok
+        assert event.error == "bad_request"

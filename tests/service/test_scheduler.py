@@ -1,0 +1,222 @@
+"""Continuous scheduler: cycles, restart policy, drift tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cdf import EstimatedCDF
+from repro.core.config import Adam2Config
+from repro.errors import ConfigurationError
+from repro.obs import MemorySink, ObserverHub
+from repro.service.scheduler import (
+    ContinuousScheduler,
+    SchedulerPolicy,
+    estimate_divergence,
+)
+from repro.service.store import EstimateStore
+from repro.workloads.dynamic import DriftModel
+from repro.workloads.synthetic import uniform_workload
+
+CONFIG = Adam2Config(points=24, rounds_per_instance=25)
+
+
+def make_scheduler(**overrides) -> ContinuousScheduler:
+    kwargs = dict(
+        backend="fast", n_nodes=600, seed=11,
+        policy=SchedulerPolicy(chain_instances=2, steady_instances=1),
+    )
+    kwargs.update(overrides)
+    store = kwargs.pop("store", EstimateStore())
+    return ContinuousScheduler(
+        CONFIG, uniform_workload(100, 1100), store, **kwargs
+    )
+
+
+class TestEstimateDivergence:
+    def estimate(self, shift: float = 0.0) -> EstimatedCDF:
+        thresholds = np.linspace(10.0, 90.0, 9) + shift
+        return EstimatedCDF(
+            thresholds=thresholds,
+            fractions=np.linspace(0.1, 0.9, 9),
+            minimum=0.0 + shift,
+            maximum=100.0 + shift,
+        )
+
+    def test_identical_estimates_diverge_zero(self):
+        a = self.estimate()
+        assert estimate_divergence(a, a) == 0.0
+
+    def test_shift_is_detected(self):
+        assert estimate_divergence(self.estimate(), self.estimate(20.0)) > 0.1
+
+    def test_symmetric(self):
+        a, b = self.estimate(), self.estimate(7.0)
+        assert estimate_divergence(a, b) == pytest.approx(
+            estimate_divergence(b, a)
+        )
+
+    def test_grid_validated(self):
+        a = self.estimate()
+        with pytest.raises(ConfigurationError):
+            estimate_divergence(a, a, grid_points=1)
+
+
+class TestCycles:
+    def test_first_cycle_is_a_restart_with_the_full_chain(self):
+        scheduler = make_scheduler()
+        snapshot = scheduler.run_cycle()
+        assert snapshot.restarted
+        assert snapshot.instances == 2
+        assert snapshot.divergence is None
+        assert snapshot.version == 1 and snapshot.published_tick == 1
+        assert snapshot.staleness(1) == 0  # fresh at publish time
+
+    def test_steady_cycles_run_single_instances(self):
+        scheduler = make_scheduler()
+        scheduler.run_cycle()
+        second = scheduler.run_cycle()
+        assert not second.restarted
+        assert second.instances == 1
+        assert second.divergence is not None and second.divergence < 0.05
+
+    def test_cycles_publish_consecutive_versions(self):
+        store = EstimateStore()
+        scheduler = make_scheduler(store=store)
+        snapshots = scheduler.run_cycles(3)
+        assert [s.version for s in snapshots] == [1, 2, 3]
+        assert scheduler.tick == 3
+        assert store.latest().version == 3
+
+    def test_deterministic_given_seed(self):
+        first = make_scheduler(seed=42).run_cycles(2)[-1]
+        second = make_scheduler(seed=42).run_cycles(2)[-1]
+        xs1, ys1 = first.estimate.polyline()
+        xs2, ys2 = second.estimate.polyline()
+        np.testing.assert_array_equal(xs1, xs2)
+        np.testing.assert_array_equal(ys1, ys2)
+        assert first.divergence == second.divergence
+
+    def test_counters_flow_through_hub(self):
+        hub = ObserverHub([MemorySink()])
+        scheduler = make_scheduler(hub=hub)
+        scheduler.run_cycles(3)
+        counters = hub.metrics.snapshot()["counters"]
+        assert counters["service_cycles_total"] == 3
+        assert counters["service_restarts_total"] == 1  # the bootstrap only
+        # run/instance events of every cycle flow through the same hub
+        assert counters["runs_total"] == 3
+        sink = hub.observers[0]
+        assert isinstance(sink, MemorySink)
+        assert len(sink.runs) == 3
+        assert len(sink.instances) == 2 + 1 + 1  # chain, steady, steady
+
+    def test_size_estimate_is_published(self):
+        snapshot = make_scheduler().run_cycle()
+        assert snapshot.size_estimate == pytest.approx(600.0, rel=0.05)
+
+    def test_confidence_published_with_verification_points(self):
+        config = Adam2Config(
+            points=20, rounds_per_instance=25, verification_points=4
+        )
+        store = EstimateStore()
+        scheduler = ContinuousScheduler(
+            config, uniform_workload(100, 1100), store,
+            backend="fast", n_nodes=500, seed=3,
+            options={"confidence_sample": 64},
+        )
+        snapshot = scheduler.run_cycle()
+        assert snapshot.confidence is not None
+        est_a, est_m = snapshot.confidence
+        assert 0.0 <= est_a <= 1.0 and 0.0 <= est_m <= 1.0
+
+    def test_population_is_stable_without_drift(self):
+        scheduler = make_scheduler()
+        before = scheduler.population()
+        scheduler.run_cycles(2)
+        np.testing.assert_array_equal(before, scheduler.population())
+
+
+class TestRestartPolicy:
+    def test_no_restart_on_static_population(self):
+        scheduler = make_scheduler()
+        snapshots = scheduler.run_cycles(4)
+        assert [s.restarted for s in snapshots[1:]] == [False, False, False]
+
+    def test_heavy_drift_triggers_restart(self):
+        drift = DriftModel(shift_per_round=120.0)  # ~12 % of the range
+        scheduler = make_scheduler(
+            drift=drift,
+            policy=SchedulerPolicy(
+                chain_instances=2, steady_instances=1,
+                restart_divergence=0.02,
+            ),
+        )
+        snapshots = scheduler.run_cycles(4)
+        assert any(s.restarted for s in snapshots[1:])
+        assert any(
+            s.divergence is not None and s.divergence > 0.02
+            for s in snapshots[1:]
+        )
+
+    def test_extreme_move_triggers_restart_even_with_loose_divergence(self):
+        drift = DriftModel(growth_per_round=0.5)
+        scheduler = make_scheduler(
+            drift=drift,
+            policy=SchedulerPolicy(
+                chain_instances=2, steady_instances=1,
+                restart_divergence=1.1,  # divergence alone can never fire
+                extreme_change=0.2,
+            ),
+        )
+        snapshots = scheduler.run_cycles(3)
+        assert any(s.restarted for s in snapshots[1:])
+
+
+class TestDriftTracking:
+    def test_served_estimate_tracks_drifting_population(self):
+        """Acceptance: max CDF error < 0.05 over >= 5 consecutive cycles.
+
+        The population shifts every cycle (repro.workloads.dynamic);
+        each cycle's published snapshot is checked against the *exact*
+        ground truth of the population it estimated.
+        """
+        drift = DriftModel(shift_per_round=40.0, growth_per_round=0.01)
+        store = EstimateStore()
+        scheduler = ContinuousScheduler(
+            CONFIG, uniform_workload(100, 1100), store,
+            backend="fast", n_nodes=800, seed=7,
+            policy=SchedulerPolicy(chain_instances=2, steady_instances=1),
+            drift=drift,
+        )
+        errors = []
+        for _ in range(6):
+            truth = scheduler.current_truth()  # the population this cycle sees
+            snapshot = scheduler.run_cycle()
+            grid = np.linspace(truth.minimum, truth.maximum, 257)
+            errors.append(float(np.max(np.abs(
+                snapshot.estimate.evaluate(grid) - truth.evaluate(grid)
+            ))))
+        assert len(errors) >= 5
+        assert max(errors) < 0.05, f"per-cycle max errors: {errors}"
+        # the population really moved while the service kept up
+        assert scheduler.population().min() > 200.0
+
+
+class TestValidation:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerPolicy(chain_instances=0)
+        with pytest.raises(ConfigurationError):
+            SchedulerPolicy(restart_divergence=-0.1)
+        with pytest.raises(ConfigurationError):
+            SchedulerPolicy(divergence_grid=1)
+
+    def test_negative_cycle_count_rejected(self):
+        scheduler = make_scheduler()
+        with pytest.raises(ConfigurationError):
+            scheduler.run_cycles(-1)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler(n_nodes=1)

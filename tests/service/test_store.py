@@ -1,0 +1,157 @@
+"""Versioned estimate store: versioning, bounded history, pinning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cdf import EstimatedCDF
+from repro.errors import ServiceError
+from repro.service.store import EstimateStore
+
+
+def make_estimate(offset: float = 0.0) -> EstimatedCDF:
+    thresholds = np.asarray([10.0, 20.0, 30.0]) + offset
+    return EstimatedCDF(
+        thresholds=thresholds,
+        fractions=np.asarray([0.25, 0.5, 0.75]),
+        minimum=0.0 + offset,
+        maximum=40.0 + offset,
+        system_size=100.0,
+    )
+
+
+def publish(store: EstimateStore, offset: float = 0.0, **overrides):
+    kwargs = dict(
+        backend="fast", n_nodes=100, instances=1, rounds=25,
+        size_estimate=100.0,
+    )
+    kwargs.update(overrides)
+    return store.publish(make_estimate(offset), **kwargs)
+
+
+class TestVersioning:
+    def test_versions_are_monotone_from_one(self):
+        store = EstimateStore()
+        assert [publish(store).version for _ in range(3)] == [1, 2, 3]
+        assert store.latest().version == 3
+        assert store.versions() == [1, 2, 3]
+
+    def test_get_returns_requested_version(self):
+        store = EstimateStore()
+        publish(store, offset=0.0)
+        publish(store, offset=5.0)
+        assert store.get(1).estimate.minimum == 0.0
+        assert store.get(2).estimate.minimum == 5.0
+
+    def test_empty_store_is_unavailable(self):
+        store = EstimateStore()
+        with pytest.raises(ServiceError) as excinfo:
+            store.latest()
+        assert excinfo.value.code == "unavailable"
+
+    def test_missing_version_error_names_live_range(self):
+        store = EstimateStore()
+        publish(store)
+        with pytest.raises(ServiceError, match=r"\[1\]"):
+            store.get(99)
+
+    def test_snapshots_are_immutable(self):
+        store = EstimateStore()
+        snapshot = publish(store)
+        with pytest.raises((AttributeError, TypeError)):
+            snapshot.version = 7  # type: ignore[misc]
+
+
+class TestBoundedHistory:
+    def test_history_is_bounded(self):
+        store = EstimateStore(max_history=3)
+        for _ in range(6):
+            publish(store)
+        assert len(store) == 3
+        assert store.versions() == [4, 5, 6]
+        assert store.published_total == 6
+
+    def test_latest_survives_eviction(self):
+        store = EstimateStore(max_history=1)
+        for _ in range(4):
+            publish(store)
+        assert store.versions() == [4]
+        assert store.latest().version == 4
+
+    def test_evicted_version_is_unavailable(self):
+        store = EstimateStore(max_history=2)
+        for _ in range(4):
+            publish(store)
+        with pytest.raises(ServiceError) as excinfo:
+            store.get(1)
+        assert excinfo.value.code == "unavailable"
+
+    def test_max_history_validated(self):
+        with pytest.raises(ServiceError):
+            EstimateStore(max_history=0)
+
+
+class TestPinning:
+    def test_pinned_version_survives_eviction(self):
+        store = EstimateStore(max_history=2)
+        publish(store)
+        store.pin(1)
+        for _ in range(5):
+            publish(store)
+        assert 1 in store.versions()
+        assert store.get(1).version == 1
+        assert store.pinned() == [1]
+
+    def test_pins_can_overflow_the_budget(self):
+        store = EstimateStore(max_history=2)
+        publish(store)
+        publish(store)
+        store.pin(1)
+        store.pin(2)
+        publish(store)  # nothing evictable: both older versions are pinned
+        assert store.versions() == [1, 2, 3]
+
+    def test_unpin_makes_version_evictable(self):
+        store = EstimateStore(max_history=2)
+        publish(store)
+        publish(store)
+        store.pin(1)
+        store.pin(2)
+        publish(store)
+        store.unpin(1)  # the overflow drains immediately
+        assert store.versions() == [2, 3]
+
+    def test_pinning_unknown_version_fails(self):
+        store = EstimateStore()
+        with pytest.raises(ServiceError):
+            store.pin(5)
+
+    def test_unpin_is_idempotent(self):
+        store = EstimateStore()
+        publish(store)
+        store.unpin(1)  # never pinned: a no-op
+        assert store.versions() == [1]
+
+
+class TestMetadata:
+    def test_staleness_counts_ticks_since_publish(self):
+        store = EstimateStore()
+        snapshot = publish(store, published_tick=3)
+        assert snapshot.staleness(3) == 0
+        assert snapshot.staleness(7) == 4
+        assert snapshot.staleness(1) == 0  # clamped, never negative
+
+    def test_meta_is_json_serialisable(self):
+        import json
+
+        store = EstimateStore()
+        snapshot = publish(
+            store, confidence=(0.01, 0.04), restarted=True, divergence=0.002
+        )
+        meta = snapshot.meta()
+        round_tripped = json.loads(json.dumps(meta))
+        assert round_tripped["version"] == 1
+        assert round_tripped["confidence"] == [0.01, 0.04]
+        assert round_tripped["restarted"] is True
+        assert round_tripped["points"] == 3
