@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Benchmark ``adam2-lint``: sequential vs parallel per-file analysis.
+
+The project-index pass is shared; only the per-file rule phase fans out.
+This script times both modes over the same tree, checks they report
+identical findings, and asserts the parallel mode is no slower than
+sequential (within a startup-cost tolerance).  On a single-CPU machine
+``--jobs auto`` resolves to 1 and the parallel run *is* the sequential
+path — the assertion then verifies exactly that fallback: asking for
+parallelism must never cost anything.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_bench.py [--paths src] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.lint.engine import LintEngine, _resolve_jobs, lint_paths
+
+#: parallel may be up to this factor slower before the bench fails —
+#: covers pool startup noise when the tree is barely above the fan-out
+#: threshold, while still catching a real "parallel is slower" regression
+TOLERANCE = 1.15
+
+
+def _time_run(paths: list[str], jobs: int, repeats: int) -> tuple[float, int]:
+    best = float("inf")
+    findings = -1
+    for _ in range(repeats):
+        started = time.perf_counter()  # adam2: noqa[ADM007,ADM008]
+        report = lint_paths(paths, jobs=jobs)
+        elapsed = time.perf_counter() - started  # adam2: noqa[ADM007,ADM008]
+        best = min(best, elapsed)
+        findings = len(report.violations)
+    return best, findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--paths", nargs="*", default=["src"])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", default="auto")
+    parser.add_argument("--json-out", default="", help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    n_files = len(LintEngine.discover(args.paths))
+    jobs = _resolve_jobs(args.jobs, n_files)
+
+    sequential_s, sequential_findings = _time_run(args.paths, 1, args.repeats)
+    parallel_s, parallel_findings = _time_run(args.paths, jobs, args.repeats)
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    result = {
+        "files": n_files,
+        "jobs": jobs,
+        "sequential_s": round(sequential_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "findings": sequential_findings,
+    }
+    print(
+        f"{n_files} files | sequential {sequential_s:.3f}s | "
+        f"parallel(jobs={jobs}) {parallel_s:.3f}s | speedup x{speedup:.2f}"
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as sink:
+            json.dump(result, sink, indent=2)
+
+    if sequential_findings != parallel_findings:
+        print(
+            f"FAIL: finding counts diverge (sequential {sequential_findings}, "
+            f"parallel {parallel_findings})",
+            file=sys.stderr,
+        )
+        return 1
+    if parallel_s > sequential_s * TOLERANCE:
+        print(
+            f"FAIL: parallel run is slower than sequential "
+            f"({parallel_s:.3f}s > {sequential_s:.3f}s x{TOLERANCE})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: parallel is no slower than sequential")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

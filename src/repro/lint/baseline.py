@@ -1,0 +1,134 @@
+"""The committed lint baseline: gradual adoption without losing the gate.
+
+A baseline file records findings that predate a rule (or are accepted
+with a written justification) so the CI gate can fail on *new* findings
+only.  Matching is by fingerprint — ``(code, path, message)`` — rather
+than line number, so unrelated edits that shift lines do not churn the
+baseline; each entry carries a ``count`` so N identical findings in one
+file stay N, and a new (N+1)-th occurrence still fails the gate.
+
+``adam2-lint --update-baseline`` rewrites the file from the current
+findings, preserving the ``justification`` text of entries that survive.
+Entries no longer matched by any finding are *stale*: they are dropped
+on update and reported by ``--verbose`` runs so the file shrinks as debt
+is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.lint.violation import LintReport, Violation
+
+__all__ = ["Baseline", "apply_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """In-memory view of a baseline file."""
+
+    def __init__(
+        self,
+        counts: dict[tuple[str, str, str], int] | None = None,
+        justifications: dict[tuple[str, str, str], str] | None = None,
+    ) -> None:
+        self.counts: dict[tuple[str, str, str], int] = dict(counts or {})
+        self.justifications: dict[tuple[str, str, str], str] = dict(justifications or {})
+
+    # -- I/O -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        document = json.loads(file_path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or document.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: not an adam2-lint baseline "
+                f"(expected version {_FORMAT_VERSION})"
+            )
+        counts: dict[tuple[str, str, str], int] = {}
+        justifications: dict[tuple[str, str, str], str] = {}
+        for entry in document.get("entries", []):
+            key = (
+                str(entry["code"]),
+                str(entry["path"]).replace("\\", "/"),
+                str(entry["message"]),
+            )
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+            if entry.get("justification"):
+                justifications[key] = str(entry["justification"])
+        return cls(counts, justifications)
+
+    def save(self, path: str | Path) -> None:
+        entries: list[dict[str, Any]] = []
+        for key in sorted(self.counts):
+            code, file_path, message = key
+            entry: dict[str, Any] = {
+                "code": code,
+                "path": file_path,
+                "message": message,
+                "count": self.counts[key],
+            }
+            if key in self.justifications:
+                entry["justification"] = self.justifications[key]
+            entries.append(entry)
+        document = {
+            "version": _FORMAT_VERSION,
+            "tool": "adam2-lint",
+            "entries": entries,
+        }
+        Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    # -- construction from findings ------------------------------------
+
+    @classmethod
+    def from_violations(
+        cls, violations: list[Violation], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline the given findings, carrying over justifications."""
+        counts = dict(Counter(v.fingerprint() for v in violations))
+        justifications: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            justifications = {
+                key: text
+                for key, text in previous.justifications.items()
+                if key in counts
+            }
+        return cls(counts, justifications)
+
+    def stale_entries(self, violations: list[Violation]) -> list[str]:
+        """Entries no longer matched by any current finding."""
+        current = Counter(v.fingerprint() for v in violations)
+        stale: list[str] = []
+        for key, count in sorted(self.counts.items()):
+            missing = count - current.get(key, 0)
+            if missing > 0:
+                code, path, message = key
+                stale.append(f"{path}: {code} {message} (x{missing})")
+        return stale
+
+
+def apply_baseline(report: LintReport, baseline: Baseline) -> None:
+    """Split ``report.violations`` into new vs baselined, in place."""
+    budget = Counter(baseline.counts)
+    kept: list[Violation] = []
+    matched: list[Violation] = []
+    for violation in report.violations:
+        key = violation.fingerprint()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched.append(violation)
+        else:
+            kept.append(violation)
+    report.violations = kept
+    report.baselined.extend(matched)
+    report.stale_baseline.extend(
+        baseline.stale_entries(matched)
+    )

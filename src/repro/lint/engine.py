@@ -1,26 +1,63 @@
 """The lint engine and the ``adam2-lint`` command-line entry point.
 
-Walks Python files, parses each into a :class:`ModuleContext`, runs
-every registered ADM rule, and reports violations as human-readable
-text or machine-readable JSON (for CI).  Exit status is 0 when clean,
-1 when violations were found, 2 on usage/parse errors.
+v2: project-wide analysis.  The engine parses every file up front,
+builds the cross-file :class:`~repro.lint.project.ProjectIndex` (import
+graph, function summaries, the obs name registry), then runs the rules —
+per-file rules against each module, :class:`ProjectRule` rules against
+the module *plus* the shared index.  Findings pass through the inline
+``# adam2: noqa[...]`` filter and, when ``--baseline`` is given, the
+committed baseline, so only *new* findings gate the exit code.
+
+Output formats: human text, JSON, and SARIF 2.1.0 (``--format sarif``)
+for CI code-scanning upload.  ``--jobs N`` (or ``auto``) fans the
+per-file phase out over a process pool; the index is plain picklable
+data precisely so it can ship to the workers.
+
+Exit status: 0 clean, 1 non-baselined error-severity findings,
+2 on usage or parse errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.lint.rules import ALL_RULES, ModuleContext, Rule, get_rules
+from repro.lint.baseline import Baseline, apply_baseline
+from repro.lint.project import ProjectIndex, build_project_index
+from repro.lint.rules import ALL_RULES, ModuleContext, ProjectRule, Rule, get_rules
+from repro.lint.sarif import format_sarif
+from repro.lint.suppress import split_suppressed
 from repro.lint.violation import LintReport, Violation
 
-__all__ = ["LintEngine", "lint_paths", "lint_source", "main"]
+__all__ = ["LintEngine", "lint_paths", "lint_source", "main", "resolve_rules"]
 
 #: directories never descended into
 _SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+#: below this many files, process-pool startup costs more than it saves
+_MIN_FILES_PER_JOB = 8
+
+def _sort_key(violation: Violation) -> tuple[str, int, int, str]:
+    return (violation.path, violation.line, violation.column, violation.code)
+
+
+def resolve_rules(
+    select: set[str] | None = None, ignore: set[str] | None = None
+) -> list[Rule]:
+    """Instantiate the rule set for a run; unknown codes raise ValueError."""
+    rules = get_rules(select)
+    if ignore:
+        known = {cls.code for cls in ALL_RULES}
+        unknown = ignore - known
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        rules = [r for r in rules if r.code not in ignore]
+    return rules
 
 
 class LintEngine:
@@ -52,36 +89,121 @@ class LintEngine:
         module = ModuleContext.from_source(source, path=path)
         return self.check_module(module)
 
-    def check_module(self, module: ModuleContext) -> list[Violation]:
+    def check_module(
+        self, module: ModuleContext, project: ProjectIndex | None = None
+    ) -> list[Violation]:
+        """Actionable violations for one module (noqa already applied)."""
+        kept, _ = self.check_module_full(module, project)
+        return kept
+
+    def check_module_full(
+        self, module: ModuleContext, project: ProjectIndex | None = None
+    ) -> tuple[list[Violation], list[Violation]]:
+        """(kept, noqa-suppressed) violations for one module."""
         violations: list[Violation] = []
         for rule in self.rules:
-            violations.extend(rule.check(module))
-        violations.sort(key=lambda v: (v.path, v.line, v.column, v.code))
-        return violations
+            if project is not None and isinstance(rule, ProjectRule):
+                violations.extend(rule.check_project(module, project))
+            else:
+                violations.extend(rule.check(module))
+        kept, suppressed = split_suppressed(violations, module.source)
+        kept.sort(key=_sort_key)
+        suppressed.sort(key=_sort_key)
+        return kept, suppressed
 
-    def run(self, paths: Iterable[str]) -> LintReport:
+    def run(self, paths: Iterable[str], jobs: int = 1) -> LintReport:
         report = LintReport()
         paths = list(paths)
         # A typo'd path must not silently pass the lint gate.
         for raw in paths:
             if not Path(raw).exists():
                 report.parse_errors.append(f"{raw}: no such file or directory")
+
+        # Phase 1: parse everything, build the cross-file index.
+        modules: list[ModuleContext] = []
         for path in self.discover(paths):
             try:
                 source = path.read_text(encoding="utf-8")
-                module = ModuleContext.from_source(source, path=str(path))
+                modules.append(ModuleContext.from_source(source, path=str(path)))
             except (OSError, SyntaxError, ValueError) as exc:
                 report.parse_errors.append(f"{path}: {exc}")
-                continue
-            report.files_checked += 1
-            report.violations.extend(self.check_module(module))
-        report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.code))
+        report.files_checked = len(modules)
+        project = build_project_index(modules)
+
+        # Phase 2: per-file rule runs, optionally fanned out.
+        if jobs > 1 and len(modules) >= _MIN_FILES_PER_JOB:
+            self._run_parallel(modules, project, jobs, report)
+        else:
+            for module in modules:
+                kept, suppressed = self.check_module_full(module, project)
+                report.violations.extend(kept)
+                report.suppressed.extend(suppressed)
+
+        report.violations.sort(key=_sort_key)
+        report.suppressed.sort(key=_sort_key)
         return report
 
+    def _run_parallel(
+        self,
+        modules: list[ModuleContext],
+        project: ProjectIndex,
+        jobs: int,
+        report: LintReport,
+    ) -> None:
+        codes = frozenset(r.code for r in self.rules)
+        batches: list[list[str]] = [[] for _ in range(jobs)]
+        for i, module in enumerate(modules):
+            batches[i % jobs].append(module.path)
+        batches = [batch for batch in batches if batch]
+        try:
+            with ProcessPoolExecutor(max_workers=len(batches)) as pool:
+                for kept, suppressed in pool.map(
+                    _lint_worker,
+                    batches,
+                    [codes] * len(batches),
+                    [project] * len(batches),
+                ):
+                    report.violations.extend(kept)
+                    report.suppressed.extend(suppressed)
+        except (OSError, ValueError):  # pragma: no cover - pool unavailable
+            for module in modules:
+                kept, suppressed = self.check_module_full(module, project)
+                report.violations.extend(kept)
+                report.suppressed.extend(suppressed)
 
-def lint_paths(paths: Iterable[str], select: set[str] | None = None) -> LintReport:
+
+def _lint_worker(
+    paths: list[str], codes: frozenset[str], project: ProjectIndex
+) -> tuple[list[Violation], list[Violation]]:
+    """Process-pool worker: re-parse a batch of files, run the rules.
+
+    The parent already parsed these files successfully (the index pass),
+    so parse failures here are races; they are silently skipped rather
+    than double-reported.
+    """
+    engine = LintEngine(get_rules(set(codes)))
+    kept: list[Violation] = []
+    suppressed: list[Violation] = []
+    for path in paths:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+            module = ModuleContext.from_source(source, path=path)
+        except (OSError, SyntaxError, ValueError):  # pragma: no cover
+            continue
+        file_kept, file_suppressed = engine.check_module_full(module, project)
+        kept.extend(file_kept)
+        suppressed.extend(file_suppressed)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    jobs: int = 1,
+) -> LintReport:
     """Convenience wrapper: lint files/directories with (a subset of) rules."""
-    return LintEngine(get_rules(select)).run(paths)
+    return LintEngine(resolve_rules(select, ignore)).run(paths, jobs=jobs)
 
 
 def lint_source(source: str, path: str = "<string>", select: set[str] | None = None) -> list[Violation]:
@@ -99,6 +221,9 @@ def _format_json(report: LintReport) -> str:
         {
             "files_checked": report.files_checked,
             "violations": [v.to_json() for v in report.violations],
+            "suppressed": [v.to_json() for v in report.suppressed],
+            "baselined": [v.to_json() for v in report.baselined],
+            "stale_baseline": report.stale_baseline,
             "codes": report.codes(),
             "parse_errors": report.parse_errors,
             "ok": report.ok,
@@ -107,13 +232,26 @@ def _format_json(report: LintReport) -> str:
     )
 
 
-def _format_text(report: LintReport) -> str:
+def _format_text(report: LintReport, verbose: bool = False) -> str:
     lines = [v.format_text() for v in report.violations]
     lines.extend(f"parse error: {err}" for err in report.parse_errors)
+    if verbose:
+        lines.extend(f"suppressed (noqa): {v.format_text()}" for v in report.suppressed)
+        lines.extend(f"baselined: {v.format_text()}" for v in report.baselined)
+        lines.extend(f"stale baseline entry: {entry}" for entry in report.stale_baseline)
     summary = (
         f"{report.files_checked} file(s) checked, "
         f"{len(report.violations)} violation(s)"
     )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{len(report.suppressed)} suppressed")
+    if report.baselined:
+        extras.append(f"{len(report.baselined)} baselined")
+    if report.stale_baseline:
+        extras.append(f"{len(report.stale_baseline)} stale baseline entr(y/ies)")
+    if extras:
+        summary += f" ({', '.join(extras)})"
     if report.codes():
         summary += f" [{', '.join(report.codes())}]"
     lines.append(summary)
@@ -130,15 +268,51 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _parse_codes(raw: str) -> set[str] | None:
+    return {code.strip().upper() for code in raw.split(",") if code.strip()} or None
+
+
+def _resolve_jobs(raw: str, n_files: int) -> int:
+    """``auto`` sizes the pool to the machine *and* the workload: pools
+    only pay off with enough files per worker, and on a single-CPU box
+    the sequential path is always faster."""
+    if raw != "auto":
+        return max(1, int(raw))
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, n_files // _MIN_FILES_PER_JOB))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="adam2-lint",
-        description="Protocol-invariant linter for the Adam2 reproduction (rules ADM001-ADM008).",
+        description=(
+            "Protocol-invariant linter for the Adam2 reproduction "
+            "(rules ADM001-ADM013)."
+        ),
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
-    parser.add_argument("--format", choices=("text", "json"), default="text", dest="fmt")
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text", dest="fmt")
     parser.add_argument(
         "--select", default="", help="comma-separated rule codes to run (default: all)"
+    )
+    parser.add_argument(
+        "--ignore", default="", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--baseline", default="", metavar="FILE",
+        help="baseline file: matching findings are reported but do not fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the --baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--jobs", default="auto", metavar="N",
+        help="parallel worker processes ('auto' sizes to CPUs and file count)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print the resolved rule set and suppressed/baselined accounting",
     )
     parser.add_argument("--list-rules", action="store_true", help="describe every rule and exit")
     args = parser.parse_args(argv)
@@ -146,18 +320,48 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.update_baseline and not args.baseline:
+        print("adam2-lint: --update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
-    select = {code.strip().upper() for code in args.select.split(",") if code.strip()} or None
     try:
-        report = lint_paths(args.paths, select=select)
+        rules = resolve_rules(_parse_codes(args.select), _parse_codes(args.ignore))
+        jobs = _resolve_jobs(args.jobs, len(LintEngine.discover(args.paths)))
     except ValueError as exc:
         print(f"adam2-lint: {exc}", file=sys.stderr)
         return 2
 
-    print(_format_json(report) if args.fmt == "json" else _format_text(report))
+    if args.verbose:
+        active = ", ".join(f"{r.code}:{r.name}" for r in rules)
+        print(f"rules: {active}", file=sys.stderr)
+        print(f"jobs: {jobs}", file=sys.stderr)
+
+    report = LintEngine(rules).run(args.paths, jobs=jobs)
+
+    try:
+        if args.update_baseline:
+            previous = Baseline.load(args.baseline)
+            Baseline.from_violations(report.violations, previous).save(args.baseline)
+            print(
+                f"baseline updated: {args.baseline} "
+                f"({len(report.violations)} finding(s) recorded)"
+            )
+            return 0
+        if args.baseline:
+            apply_baseline(report, Baseline.load(args.baseline))
+    except (OSError, ValueError) as exc:
+        print(f"adam2-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fmt == "json":
+        print(_format_json(report))
+    elif args.fmt == "sarif":
+        print(format_sarif(report, rules))
+    else:
+        print(_format_text(report, verbose=args.verbose))
     if report.parse_errors:
         return 2
-    return 0 if not report.violations else 1
+    return 0 if not report.errors else 1
 
 
 if __name__ == "__main__":

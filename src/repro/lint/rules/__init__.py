@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
-from repro.lint.rules.base import ModuleContext, Rule
+from repro.lint.rules.asynctasks import OrphanedTasks
+from repro.lint.rules.base import ModuleContext, ProjectRule, Rule
+from repro.lint.rules.blocking import BlockingInAsync
 from repro.lint.rules.defaults import NoMutableDefaults
 from repro.lint.rules.exceptions import NoSwallowedErrors
 from repro.lint.rules.exchange import ExchangeConservation
 from repro.lint.rules.floats import FloatEqualityOnEstimates
 from repro.lint.rules.network import NetOutsideRuntime
+from repro.lint.rules.obsnames import ObsNameDiscipline
 from repro.lint.rules.rng import NoGlobalRng, RngParameter
+from repro.lint.rules.seedflow import SeedTaint
+from repro.lint.rules.snapshots import SnapshotImmutability
 from repro.lint.rules.wallclock import NoWallClock
 
-__all__ = ["ALL_RULES", "get_rules", "ModuleContext", "Rule"]
+__all__ = ["ALL_RULES", "get_rules", "ModuleContext", "ProjectRule", "Rule"]
 
 #: every rule class, in code order
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -23,6 +28,11 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoMutableDefaults,    # ADM006
     NoWallClock,          # ADM007
     NetOutsideRuntime,    # ADM008
+    OrphanedTasks,        # ADM009
+    BlockingInAsync,      # ADM010
+    SnapshotImmutability,  # ADM011
+    SeedTaint,            # ADM012
+    ObsNameDiscipline,    # ADM013
 )
 
 

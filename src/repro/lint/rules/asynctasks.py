@@ -1,0 +1,220 @@
+"""ADM009: no un-awaited coroutines or fire-and-forget tasks.
+
+Paper invariant (serving reliability): the continuous estimation service
+answers queries from a single asyncio loop per process.  A coroutine
+that is called but never awaited silently does nothing; a task spawned
+with ``create_task``/``ensure_future`` whose reference is dropped can be
+garbage-collected mid-flight, and one whose exception is never retrieved
+turns a protocol failure into an invisible "Task exception was never
+retrieved" log line at interpreter exit.  Either way the service keeps
+serving *stale* estimates while believing it is healthy — exactly the
+failure mode the reliability claims exclude.
+
+The rule flags, in any module:
+
+* a **bare expression statement** calling a function the project index
+  resolves to an ``async def`` (cross-file: the callee may live in
+  another module) — the coroutine object is created and dropped;
+* ``create_task(...)`` / ``ensure_future(...)`` whose result is
+  **discarded** (bare statement) or assigned to a name that is **never
+  used again** in the enclosing scope — an orphaned task;
+* a task whose only done-callback is a bare container unbinding
+  (``tasks.discard`` / ``tasks.remove``): the reference bookkeeping is
+  right but the callback never calls ``task.exception()``, so failures
+  are still swallowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.project import ProjectIndex
+from repro.lint.rules.base import (
+    ModuleContext,
+    ProjectRule,
+    attribute_chain,
+    build_parent_map,
+)
+from repro.lint.violation import Violation
+
+__all__ = ["OrphanedTasks"]
+
+#: call-chain tails that spawn a task from a coroutine
+_SPAWN_CALLS = {"create_task", "ensure_future"}
+
+#: done-callback attribute names that only unbind, never retrieve
+_UNBIND_ONLY = {"discard", "remove"}
+
+
+class OrphanedTasks(ProjectRule):
+    """ADM009: un-awaited coroutines / unreferenced or unobserved tasks."""
+
+    code = "ADM009"
+    name = "orphaned-tasks"
+    hint = (
+        "await the coroutine, or hold the task and attach a done-callback "
+        "that retrieves task.exception()"
+    )
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        parents = build_parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_scope(module, project, node, parents)
+
+    # ------------------------------------------------------------------
+
+    def _check_scope(
+        self,
+        module: ModuleContext,
+        project: ProjectIndex,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        parents: dict[int, ast.AST],
+    ) -> Iterator[Violation]:
+        enclosing_class = self._enclosing_class(fn, parents)
+        for stmt in _own_scope_statements(fn):
+            # -- dropped coroutine: a bare `f(...)` where f is async ----
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                spawn = _spawn_name(call)
+                if spawn is not None:
+                    yield self.violation(
+                        module, call,
+                        f"task from {spawn}() is discarded immediately "
+                        "(fire-and-forget; it can be garbage-collected mid-flight)",
+                    )
+                    continue
+                chain = attribute_chain(call.func)
+                callee = self._resolve_async(module, project, chain, enclosing_class)
+                if callee is not None:
+                    yield self.violation(
+                        module, call,
+                        f"coroutine {callee}() is called but never awaited",
+                    )
+            # -- spawned task: must be held and observed ----------------
+            elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                if _spawn_name(stmt.value) is None:
+                    continue
+                if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                    continue
+                yield from self._check_task_binding(
+                    module, fn, stmt, stmt.targets[0].id
+                )
+
+    def _check_task_binding(
+        self,
+        module: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        assign: ast.Assign,
+        task_name: str,
+    ) -> Iterator[Violation]:
+        used = False
+        # The binding's own target Name must not count as a "use".
+        skip = {id(assign)} | {id(target) for target in assign.targets}
+        for node in ast.walk(fn):
+            if id(node) in skip:
+                continue
+            if isinstance(node, ast.Name) and node.id == task_name:
+                used = True
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            receiver = node.func.value
+            if not (isinstance(receiver, ast.Name) and receiver.id == task_name):
+                continue
+            if node.func.attr == "add_done_callback" and node.args:
+                callback_chain = attribute_chain(node.args[0])
+                if callback_chain is not None and callback_chain[-1] in _UNBIND_ONLY:
+                    yield self.violation(
+                        module, node,
+                        f"done-callback {'.'.join(callback_chain)} only unbinds the "
+                        f"task; its exception is never retrieved",
+                        hint="use a callback that calls task.exception() "
+                        "(and then unbinds the reference)",
+                    )
+        if not used:
+            yield self.violation(
+                module, assign.value,
+                f"task bound to {task_name!r} is never stored, awaited, or given "
+                "a done-callback (orphaned task)",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _resolve_async(
+        self,
+        module: ModuleContext,
+        project: ProjectIndex,
+        chain: list[str] | None,
+        enclosing_class: str | None,
+    ) -> str | None:
+        """Resolve a call chain to an ``async def``'s display name, if any."""
+        if chain is None:
+            return None
+        summary = project.resolve_module(module.module_name)
+        # self.method() -> a method of the enclosing class
+        if len(chain) == 2 and chain[0] in ("self", "cls") and enclosing_class:
+            if summary is not None:
+                info = summary.functions.get(f"{enclosing_class}.{chain[1]}")
+                if info is not None and info.is_async:
+                    return f"self.{chain[1]}"
+            return None
+        # helper() -> a module-local function, or an imported symbol
+        if len(chain) == 1:
+            if summary is not None:
+                info = summary.functions.get(chain[0])
+                if info is not None and info.is_async:
+                    return chain[0]
+                imported = project.resolve_import(summary, chain)
+                if imported is not None and imported.is_async:
+                    return chain[0]
+            return None
+        # mod.func() -> through the import graph (cross-file)
+        if summary is not None:
+            info = project.resolve_import(summary, chain)
+            if info is not None and info.is_async:
+                return ".".join(chain)
+        return None
+
+    @staticmethod
+    def _enclosing_class(
+        fn: ast.AST, parents: dict[int, ast.AST]
+    ) -> str | None:
+        node = parents.get(id(fn))
+        while node is not None:
+            if isinstance(node, ast.ClassDef):
+                return node.name
+            node = parents.get(id(node))
+        return None
+
+
+def _spawn_name(call: ast.Call) -> str | None:
+    """Display name when ``call`` spawns a task, else None.
+
+    Matches any receiver shape — ``asyncio.create_task(...)``,
+    ``loop.create_task(...)``, and the chained
+    ``asyncio.get_running_loop().create_task(...)`` (whose receiver is a
+    call, so no pure attribute chain exists).
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _SPAWN_CALLS:
+        chain = attribute_chain(func)
+        return ".".join(chain) if chain is not None else func.attr
+    if isinstance(func, ast.Name) and func.id in _SPAWN_CALLS:
+        return func.id
+    return None
+
+
+def _own_scope_statements(fn: ast.AST) -> Iterator[ast.stmt]:
+    """Statements of a function body, not descending into nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.stmt):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -8,9 +8,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.lint.project import ProjectIndex
 from repro.lint.violation import Violation
 
-__all__ = ["ModuleContext", "Rule"]
+__all__ = ["ModuleContext", "ProjectRule", "Rule", "build_parent_map"]
 
 
 @dataclass(slots=True)
@@ -81,6 +82,8 @@ class Rule(ABC):
     name: str = "base-rule"
     #: generic autofix hint
     hint: str = ""
+    #: ``"error"`` gates the exit code; ``"warning"`` is advisory
+    severity: str = "error"
 
     @abstractmethod
     def check(self, module: ModuleContext) -> Iterator[Violation]:
@@ -96,7 +99,40 @@ class Rule(ABC):
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0),
             hint=self.hint if hint is None else hint,
+            severity=self.severity,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the cross-file :class:`ProjectIndex`.
+
+    The engine calls :meth:`check_project` with the index built over the
+    whole lint invocation; :meth:`check` (the per-file interface) runs
+    against an index of just the one module, so single-file uses such as
+    ``lint_source`` still work — they simply cannot see other files.
+    """
+
+    @abstractmethod
+    def check_project(
+        self, module: ModuleContext, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``module``, with the
+        whole-project ``project`` index available for resolution."""
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        from repro.lint.project import build_project_index
+
+        yield from self.check_project(module, build_project_index([module]))
+
+
+def build_parent_map(tree: ast.AST) -> dict[int, ast.AST]:
+    """``id(child) -> parent`` for every node (rules that need statement
+    context — e.g. "is this call a bare expression statement")."""
+    parents: dict[int, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+    return parents
 
 
 def attribute_chain(node: ast.expr) -> list[str] | None:

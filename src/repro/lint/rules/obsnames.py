@@ -1,0 +1,163 @@
+"""ADM013: observability names are literals from the ``repro.obs.events`` registry.
+
+Paper invariant (operability of the reliability claims): dashboards,
+CI artifact checks, and the divergence/restart alarms all key on metric
+and span names (``rounds_total``, ``query_latency_s``, ``"round"`` …).
+A name invented ad hoc at an emission site — or computed at runtime —
+silently forks the namespace: the emitting code believes it is observed
+while every consumer reads the registered name and sees a flatline.
+:mod:`repro.obs.events` is therefore the single registry of emittable
+names, and every emission site must use a literal drawn from it.
+
+The rule flags, outside the ``repro.obs`` package itself:
+
+* ``*.counter(...)`` / ``*.gauge(...)`` / ``*.histogram(...)`` and
+  ``hub.span(...)``-style calls whose name argument is **not a string
+  literal** (a computed name cannot be audited against the registry);
+* a literal name that is **not registered** in the
+  ``METRIC_NAMES`` / ``SPAN_NAMES`` / ``METRIC_NAME_TEMPLATES`` sets of
+  the project's ``obs.events`` module (cross-file: the registry is read
+  from the project index, never imported);
+* an f-string name whose literal skeleton matches **no registered
+  template** (``f"queries_{op}_total"`` is fine because the template
+  ``queries_{op}_total`` is registered).
+
+When the linted file set does not contain an ``obs.events`` module (e.g.
+linting a single file), only literal-ness is enforced — membership needs
+the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.project import ProjectIndex, project_module_name
+from repro.lint.rules.base import ModuleContext, ProjectRule, attribute_chain
+from repro.lint.violation import Violation
+
+__all__ = ["ObsNameDiscipline"]
+
+#: metric-emitting method names (distinctive enough to match on alone)
+_METRIC_METHODS = {"counter", "gauge", "histogram"}
+
+#: receivers through which span() calls are recognised
+_SPAN_RECEIVERS = {"hub", "obs", "spans"}
+
+#: the registry module and the set names read from it
+_REGISTRY_MODULE = "obs.events"
+_REGISTRY_SETS = ("METRIC_NAMES", "SPAN_NAMES", "METRIC_NAME_TEMPLATES", "EVENT_TYPES")
+
+
+def _in_obs_package(module: ModuleContext) -> bool:
+    # Path-derived (not module_name): fixture packages linted out of a
+    # temp directory get stem-only module names, but their path still
+    # shows the ``obs`` package.
+    return "obs" in project_module_name(module.path).split(".")
+
+
+def _template_skeleton(template: str) -> str:
+    """``queries_{op}_total`` -> ``queries_{}_total`` (placeholder-blind)."""
+    skeleton: list[str] = []
+    depth = 0
+    for char in template:
+        if char == "{":
+            depth += 1
+            if depth == 1:
+                skeleton.append("{}")
+        elif char == "}":
+            depth = max(depth - 1, 0)
+        elif depth == 0:
+            skeleton.append(char)
+    return "".join(skeleton)
+
+
+def _fstring_skeleton(node: ast.JoinedStr) -> str:
+    parts: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append("{}")
+    return "".join(parts)
+
+
+class ObsNameDiscipline(ProjectRule):
+    """ADM013: unregistered or non-literal metric/span names."""
+
+    code = "ADM013"
+    name = "obs-name-discipline"
+    hint = (
+        "use a string literal registered in repro.obs.events "
+        "(METRIC_NAMES / SPAN_NAMES / METRIC_NAME_TEMPLATES)"
+    )
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        if _in_obs_package(module):
+            return
+        registry = project.registry_strings(_REGISTRY_MODULE, *_REGISTRY_SETS)
+        templates: frozenset[str] | None = None
+        if registry is not None:
+            templates = frozenset(
+                _template_skeleton(name) for name in registry if "{" in name
+            )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._emission_kind(node)
+            if kind is None:
+                continue
+            yield from self._check_name(module, node, kind, registry, templates)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _emission_kind(node: ast.Call) -> str | None:
+        chain = attribute_chain(node.func)
+        if chain is None or len(chain) < 2:
+            return None
+        method = chain[-1]
+        if method in _METRIC_METHODS:
+            return "metric"
+        if method == "span" and chain[-2] in _SPAN_RECEIVERS:
+            return "span"
+        return None
+
+    def _check_name(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        kind: str,
+        registry: frozenset[str] | None,
+        templates: frozenset[str] | None,
+    ) -> Iterator[Violation]:
+        if not node.args:
+            return
+        name_arg = node.args[0]
+        display = ast.unparse(node.func)
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            if registry is not None and name_arg.value not in registry:
+                yield self.violation(
+                    module, node,
+                    f"{kind} name {name_arg.value!r} passed to {display}() is not "
+                    "registered in repro.obs.events",
+                )
+            return
+        if isinstance(name_arg, ast.JoinedStr):
+            if registry is None:
+                return
+            skeleton = _fstring_skeleton(name_arg)
+            if templates is None or skeleton not in templates:
+                yield self.violation(
+                    module, node,
+                    f"f-string {kind} name {skeleton!r} matches no registered "
+                    "template in repro.obs.events",
+                )
+            return
+        yield self.violation(
+            module, node,
+            f"{kind} name passed to {display}() is computed "
+            f"({ast.unparse(name_arg)}); names must be auditable literals",
+        )

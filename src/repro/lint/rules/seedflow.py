@@ -1,0 +1,172 @@
+"""ADM012: every generator construction derives its seed from a run seed.
+
+Paper invariant (reproducibility): every reported error curve must
+replay bit-for-bit from the one integer ``seed`` threaded in through
+:func:`repro.api.run` (and the service/scheduler options built on it).
+ADM001 already forces generator *construction* through ``repro.rngs``;
+this rule polices what flows **into** those constructors.  A hard-coded
+seed (``make_rng(0)``) silently couples independent components to the
+same stream and pins "random" subsampling across experiments; a missing
+seed (``make_rng()``) draws OS entropy and makes the run unreplayable
+outright.
+
+The rule runs a small taint analysis over each function that calls
+``make_rng`` / ``derive`` / ``default_rng``:
+
+* **sources** — parameters and attributes named like a seed or a
+  generator (``seed``, ``run_seed``, ``spec.seed``, ``options["seed"]``,
+  ``rng``), and draws from tainted generators (``rng.integers(...)``);
+* **propagation** — assignments, arithmetic, ``int()``/``abs()``-style
+  conversions, and ``derive``/``spawn`` chains;
+* **cross-file flow** — a call to a helper resolved through the import
+  graph inherits the helper's return-taint summary from the project
+  index: a helper that returns a literal is a hard-coded seed even when
+  it lives in another module, and a helper that derives from its own
+  seed parameter is only as good as the argument passed at this call
+  site.
+
+Violations: a seed argument that classifies as **constant** (hard-coded,
+possibly via cross-file constant flow), or a construction with **no**
+seed argument at all (OS entropy).  Untraceable expressions are allowed
+— the rule prefers silence to false alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.project import (
+    CallTaintResolver,
+    ProjectIndex,
+    classify_seed_expr,
+    is_seed_name,
+)
+from repro.lint.rules.base import ModuleContext, ProjectRule, attribute_chain
+from repro.lint.violation import Violation
+
+__all__ = ["SeedTaint"]
+
+#: generator constructors whose seed argument the rule traces
+_CONSTRUCTORS = {"make_rng", "derive", "default_rng"}
+
+
+def _is_rngs_module(module: ModuleContext) -> bool:
+    return module.module_name.split(".")[-1] == "rngs"
+
+
+class SeedTaint(ProjectRule):
+    """ADM012: hard-coded or entropy seeds in generator construction."""
+
+    code = "ADM012"
+    name = "seed-taint"
+    hint = (
+        "thread the run seed (repro.api `seed=` option) to this site — "
+        "accept a seed/rng parameter and derive from it"
+    )
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        if _is_rngs_module(module):
+            return
+        summary = project.resolve_module(module.module_name)
+
+        def resolve_callee_taint(func: ast.expr) -> str:
+            chain = attribute_chain(func)
+            if chain is None or summary is None:
+                return "unknown"
+            info = project.resolve_import(summary, chain)
+            return info.seed_taint if info is not None else "unknown"
+
+        # Every function scope, with its own parameter taint.
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                tainted = {
+                    a.arg
+                    for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+                    if is_seed_name(a.arg)
+                }
+                yield from self._scan(
+                    module, node.body, tainted, resolve_callee_taint
+                )
+        # Module- and class-level statements (no parameters to taint from).
+        yield from self._scan(module, module.tree.body, set(), resolve_callee_taint)
+
+    # ------------------------------------------------------------------
+
+    def _scan(
+        self,
+        module: ModuleContext,
+        body: list[ast.stmt],
+        tainted: set[str],
+        resolver: CallTaintResolver,
+    ) -> Iterator[Violation]:
+        """Source-ordered own-scope scan: track name taint, flag calls."""
+        constants: set[str] = set()
+        for node in _ordered_own_scope(body):
+            if isinstance(node, ast.Assign):
+                taint = classify_seed_expr(node.value, tainted, constants, resolver)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if taint == "seed":
+                            tainted.add(target.id)
+                            constants.discard(target.id)
+                        elif taint == "constant":
+                            constants.add(target.id)
+                            tainted.discard(target.id)
+            elif isinstance(node, ast.Call):
+                yield from self._check_construction(
+                    module, node, tainted, constants, resolver
+                )
+
+    def _check_construction(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        tainted: set[str],
+        constants: set[str],
+        resolver: CallTaintResolver,
+    ) -> Iterator[Violation]:
+        chain = attribute_chain(node.func)
+        if chain is None or chain[-1] not in _CONSTRUCTORS:
+            return
+        display = ".".join(chain)
+        seed_arg: ast.expr | None = None
+        if node.args:
+            seed_arg = node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed_arg = keyword.value
+                    break
+        if seed_arg is None:
+            yield self.violation(
+                module, node,
+                f"{display}() without a seed draws OS entropy — the run cannot "
+                "be replayed",
+            )
+            return
+        taint = classify_seed_expr(seed_arg, tainted, constants, resolver)
+        if taint == "constant":
+            yield self.violation(
+                module, node,
+                f"{display}({ast.unparse(seed_arg)}) uses a hard-coded seed that "
+                "does not derive from the run seed",
+            )
+
+
+def _ordered_own_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Pre-order, source-ordered traversal that does not descend into
+    nested function definitions (they are scanned with their own
+    parameter taint) but does descend into class bodies."""
+    for stmt in body:
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield node
+            children = list(ast.iter_child_nodes(node))
+            stack.extend(reversed(children))

@@ -1,0 +1,194 @@
+"""ADM011: published estimate snapshots are immutable outside the store.
+
+Paper invariant (serving correctness): the continuous service shares one
+:class:`~repro.service.store.EstimateSnapshot` between the scheduler
+thread, the query engine, and every TCP connection — sharing is free
+*because* snapshots never change after publish.  Any mutation outside
+:mod:`repro.service.store` (the one module allowed to construct them)
+would let a query observe a half-updated estimate, breaking version
+pinning, the LRU point-query cache, and the planned multi-worker
+endpoint (whose whole design rests on zero-copy snapshot sharing).
+
+The rule tracks which names in a module are snapshot-typed — via
+``EstimateSnapshot`` annotations (parameters, variables, returns of
+project-resolved functions) and via assignments from store lookups
+(``*store*.latest()`` / ``*store*.get(...)`` / ``*store*.pin(...)``) —
+and flags, outside the store module:
+
+* attribute assignment, augmented assignment, or deletion on a
+  snapshot-typed name (``snap.version = ...``);
+* the frozen-dataclass escape hatch ``object.__setattr__(snap, ...)``;
+* in-place mutation of snapshot payload: subscript assignment or a
+  mutating method call (``sort``/``fill``/``append``/...) reached
+  through a snapshot-typed root (``snap.estimate.thresholds.sort()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.project import ProjectIndex
+from repro.lint.rules.base import ModuleContext, ProjectRule, attribute_chain
+from repro.lint.violation import Violation
+
+__all__ = ["SnapshotImmutability"]
+
+#: the snapshot type name the annotations refer to
+_SNAPSHOT_TYPE = "EstimateSnapshot"
+
+#: store-lookup methods that hand out snapshots
+_STORE_LOOKUPS = {"latest", "get", "pin"}
+
+#: method names that mutate their receiver in place
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "update", "setdefault", "add", "discard", "fill", "put",
+    "resize", "partial_fit",
+}
+
+
+def _is_store_module(module: ModuleContext) -> bool:
+    parts = module.module_name.split(".")
+    return bool(parts) and parts[-1] == "store"
+
+
+def _annotation_is_snapshot(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    return _SNAPSHOT_TYPE in ast.unparse(annotation)
+
+
+def _is_store_lookup(value: ast.expr) -> bool:
+    """``self._store.latest()`` / ``store.get(v)`` / ``stores[k].pin(v)``."""
+    if not (isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute)):
+        return False
+    if value.func.attr not in _STORE_LOOKUPS:
+        return False
+    chain = attribute_chain(value.func)
+    if chain is None:
+        return False
+    return any("store" in part.lower() for part in chain[:-1])
+
+
+class SnapshotImmutability(ProjectRule):
+    """ADM011: no mutation of ``EstimateSnapshot`` objects outside the store."""
+
+    code = "ADM011"
+    name = "snapshot-immutability"
+    hint = (
+        "snapshots are shared zero-copy between threads; publish a new "
+        "version through EstimateStore.publish() instead of mutating one"
+    )
+
+    def check_project(
+        self, module: ModuleContext, project: ProjectIndex
+    ) -> Iterator[Violation]:
+        if _is_store_module(module):
+            return
+        snapshot_names = self._snapshot_names(module, project)
+        if not snapshot_names:
+            return
+        for node in ast.walk(module.tree):
+            yield from self._check_node(module, node, snapshot_names)
+
+    # ------------------------------------------------------------------
+
+    def _snapshot_names(
+        self, module: ModuleContext, project: ProjectIndex
+    ) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                    if _annotation_is_snapshot(arg.annotation):
+                        names.add(arg.arg)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _annotation_is_snapshot(node.annotation):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_store_lookup(node.value):
+                    names.add(target.id)
+                elif self._returns_snapshot(module, project, node.value):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _returns_snapshot(
+        module: ModuleContext,
+        project: ProjectIndex,
+        value: ast.expr,
+    ) -> bool:
+        """Cross-file: assigned from a call whose resolved return
+        annotation is ``EstimateSnapshot``."""
+        if not isinstance(value, ast.Call):
+            return False
+        chain = attribute_chain(value.func)
+        if chain is None:
+            return False
+        resolved = None
+        module_summary = project.resolve_module(module.module_name)
+        if module_summary is not None:
+            resolved = project.resolve_import(module_summary, chain)
+        if resolved is None and len(chain) == 2 and chain[0] in ("self", "cls"):
+            if module_summary is not None:
+                for qualname, info in module_summary.functions.items():
+                    if qualname.endswith("." + chain[1]):
+                        resolved = info
+                        break
+        return resolved is not None and _SNAPSHOT_TYPE in resolved.return_annotation
+
+    # ------------------------------------------------------------------
+
+    def _check_node(
+        self, module: ModuleContext, node: ast.AST, snapshots: set[str]
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                root = _chain_root(target)
+                if root in snapshots and not isinstance(target, ast.Name):
+                    yield self.violation(
+                        module, node,
+                        f"assignment into snapshot {root!r} "
+                        f"({ast.unparse(target)}) mutates a published estimate",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                root = _chain_root(target)
+                if root in snapshots and not isinstance(target, ast.Name):
+                    yield self.violation(
+                        module, node,
+                        f"deletion of {ast.unparse(target)} mutates snapshot {root!r}",
+                    )
+        elif isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if chain is None or len(chain) < 2:
+                return
+            if chain[:2] == ["object", "__setattr__"] and node.args:
+                root = _chain_root(node.args[0])
+                if root in snapshots:
+                    yield self.violation(
+                        module, node,
+                        f"object.__setattr__ on snapshot {root!r} defeats the "
+                        "frozen dataclass",
+                    )
+            elif chain[0] in snapshots and len(chain) >= 3 and chain[-1] in _MUTATING_METHODS:
+                yield self.violation(
+                    module, node,
+                    f"mutating call {'.'.join(chain)}() changes the payload of "
+                    f"snapshot {chain[0]!r} in place",
+                )
+
+
+def _chain_root(node: ast.expr) -> str | None:
+    """Root name of an attribute/subscript chain (``a.b[0].c`` -> ``a``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 output for ``adam2-lint`` (CI code-scanning ingestion).
+
+Emits one run with the full ADM rule metadata and one result per
+finding.  Suppressed findings are included as SARIF-suppressed results
+(``kind: "inSource"`` for inline ``# adam2: noqa`` comments,
+``kind: "external"`` for baseline matches) so code-scanning UIs show
+them as resolved rather than losing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.lint.violation import LintReport, Violation
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_metadata(rule: Any) -> dict[str, Any]:
+    doc = (getattr(rule, "__doc__", "") or "").strip().splitlines()
+    short = doc[0] if doc else rule.name
+    meta: dict[str, Any] = {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "warning")},
+    }
+    if rule.hint:
+        meta["help"] = {"text": rule.hint}
+    return meta
+
+
+def _result(
+    violation: Violation,
+    rule_indices: dict[str, int],
+    suppression_kind: str | None = None,
+) -> dict[str, Any]:
+    message = violation.message
+    if violation.hint:
+        message += f" — fix: {violation.hint}"
+    result: dict[str, Any] = {
+        "ruleId": violation.code,
+        "level": _LEVELS.get(violation.severity, "warning"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if violation.code in rule_indices:
+        result["ruleIndex"] = rule_indices[violation.code]
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def to_sarif(report: LintReport, rules: Sequence[Any]) -> dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run, as plain data."""
+    ordered_rules = sorted(rules, key=lambda r: r.code)
+    rule_indices = {rule.code: i for i, rule in enumerate(ordered_rules)}
+    results = [_result(v, rule_indices) for v in report.violations]
+    results.extend(
+        _result(v, rule_indices, suppression_kind="inSource")
+        for v in report.suppressed
+    )
+    results.extend(
+        _result(v, rule_indices, suppression_kind="external")
+        for v in report.baselined
+    )
+    run: dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "adam2-lint",
+                "informationUri": "https://example.invalid/adam2-repro",
+                "semanticVersion": "2.0.0",
+                "rules": [_rule_metadata(rule) for rule in ordered_rules],
+            }
+        },
+        "columnKind": "unicodeCodePoints",
+        "results": results,
+    }
+    if report.parse_errors:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": [
+                    {"level": "error", "message": {"text": error}}
+                    for error in report.parse_errors
+                ],
+            }
+        ]
+    else:
+        run["invocations"] = [{"executionSuccessful": True}]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def format_sarif(report: LintReport, rules: Sequence[Any]) -> str:
+    return json.dumps(to_sarif(report, rules), indent=2)

@@ -1,0 +1,63 @@
+"""Inline suppressions: ``# adam2: noqa[ADM012]`` comments.
+
+A violation is suppressed when its source line carries an
+``adam2: noqa`` comment naming its rule code (or naming no code at all,
+which suppresses every rule on that line).  Suppressions are deliberate,
+reviewable exceptions — the lint report keeps them on the side so a run
+can still account for every site the rules flagged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.lint.violation import Violation
+
+__all__ = ["parse_suppressions", "split_suppressed"]
+
+#: ``# adam2: noqa`` or ``# adam2: noqa[ADM009, ADM012]``
+_NOQA = re.compile(
+    r"#\s*adam2:\s*noqa(?:\[(?P<codes>[A-Za-z0-9,\s]*)\])?",
+)
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed codes.
+
+    ``None`` means a blanket ``noqa`` (all codes); a frozenset limits the
+    suppression to the listed rule codes.
+    """
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "adam2" not in line or "noqa" not in line:
+            continue
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            suppressions[lineno] = None
+        else:
+            codes = frozenset(
+                code.strip().upper() for code in raw.split(",") if code.strip()
+            )
+            # ``noqa[]`` with nothing inside suppresses nothing.
+            suppressions[lineno] = codes if codes else frozenset()
+    return suppressions
+
+
+def split_suppressed(
+    violations: Iterable[Violation], source: str
+) -> tuple[list[Violation], list[Violation]]:
+    """Partition violations into (kept, suppressed) for one file."""
+    suppressions = parse_suppressions(source)
+    kept: list[Violation] = []
+    suppressed: list[Violation] = []
+    for violation in violations:
+        codes = suppressions.get(violation.line, frozenset())
+        if codes is None or violation.code in (codes or ()):
+            suppressed.append(violation)
+        else:
+            kept.append(violation)
+    return kept, suppressed

@@ -11,13 +11,15 @@ class Violation:
     """One rule violation at one source location.
 
     Attributes:
-        code: the rule code (``ADM001`` … ``ADM008``).
+        code: the rule code (``ADM001`` … ``ADM013``).
         message: what is wrong at this site.
         path: file the violation was found in.
         line: 1-based source line.
         column: 0-based source column.
         hint: how to fix it (the rule's autofix hint, possibly
             specialised to the site).
+        severity: ``"error"`` (gates the exit code) or ``"warning"``
+            (reported but never fails the run).
     """
 
     code: str
@@ -26,12 +28,18 @@ class Violation:
     line: int
     column: int = 0
     hint: str = ""
+    severity: str = "error"
 
     def format_text(self) -> str:
-        text = f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        text = f"{self.path}:{self.line}:{self.column + 1}: {self.code}{tag} {self.message}"
         if self.hint:
             text += f"\n    hint: {self.hint}"
         return text
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Stable identity used by the baseline (line numbers drift)."""
+        return (self.code, self.path.replace("\\", "/"), self.message)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -41,20 +49,35 @@ class Violation:
             "line": self.line,
             "column": self.column,
             "hint": self.hint,
+            "severity": self.severity,
         }
 
 
 @dataclass(slots=True)
 class LintReport:
-    """All violations from one lint run, plus file accounting."""
+    """All violations from one lint run, plus file accounting.
+
+    ``violations`` holds the *actionable* findings: everything that was
+    neither suppressed inline (``# adam2: noqa[...]``) nor matched by the
+    baseline file.  Suppressed and baselined findings are retained on the
+    side so tooling can account for every site the rules flagged.
+    """
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations and not self.parse_errors
+
+    @property
+    def errors(self) -> list[Violation]:
+        """Non-baselined findings at severity ``error`` (the exit-code gate)."""
+        return [v for v in self.violations if v.severity == "error"]
 
     def codes(self) -> list[str]:
         return sorted({v.code for v in self.violations})

@@ -89,6 +89,7 @@ def matrix_errors(
     grid: np.ndarray | None = None,
     node_sample: int | None = None,
     rng: np.random.Generator | None = None,
+    sample_seed: int = 0,
 ) -> tuple[ErrorPair, ErrorPair]:
     """System-wide errors for many nodes sharing one threshold set.
 
@@ -103,6 +104,11 @@ def matrix_errors(
             are always exact over all nodes.  The paper observes a
             cross-node standard deviation below 1e-5, so sampling does
             not change the reported values.
+        rng: generator used to draw the node subsample; pass the
+            run-seeded generator so the subsample replays with the run.
+        sample_seed: seed for the subsample generator when no ``rng`` is
+            given — deterministic standalone use stays replayable rather
+            than silently pinning every caller to one hard-coded stream.
     """
     fractions = np.asarray(fractions, dtype=float)
     n = fractions.shape[0]
@@ -119,7 +125,7 @@ def matrix_errors(
     )
 
     if node_sample is not None and node_sample < n:
-        rng = rng or make_rng(0)
+        rng = rng or make_rng(sample_seed)
         idx = rng.choice(n, size=node_sample, replace=False)
     else:
         idx = np.arange(n)

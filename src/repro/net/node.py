@@ -132,6 +132,8 @@ class NodeDaemon:
         self.push_failures = 0
         #: timer fires that skipped their push at the in-flight bound
         self.pushes_skipped = 0
+        #: unexpected exceptions retrieved from background push tasks
+        self.push_errors = 0
         self._inflight: set[asyncio.Task[None]] = set()
         self._running = False
         self._crashed = False
@@ -222,7 +224,18 @@ class NodeDaemon:
     def _spawn(self, coro: Any) -> None:
         task = asyncio.get_running_loop().create_task(coro)
         self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
+        task.add_done_callback(self._on_push_done)
+
+    def _on_push_done(self, task: asyncio.Task[None]) -> None:
+        # Unbind *and* observe: a discard-only callback leaves the task's
+        # exception unretrieved, so a crashed push would only surface as an
+        # asyncio log line at interpreter exit while the node keeps
+        # believing it is gossiping.
+        self._inflight.discard(task)
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.push_errors += 1
 
     async def _push(self, peer_id: int, address: tuple[str, int]) -> None:
         # Snapshot highest-TTL first: fit_states keeps a prefix, and the

@@ -94,6 +94,9 @@ class ServiceEndpoint:
         self._requested_port = port
         self._server: asyncio.Server | None = None
         self.port: int | None = None
+        self._connections: set[asyncio.Task[None]] = set()
+        #: handler tasks that died with an unexpected exception
+        self.handler_errors = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -102,7 +105,7 @@ class ServiceEndpoint:
         if self._server is not None:
             raise NetworkError("endpoint already started")
         self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self._requested_port
+            self._accept_connection, self.host, self._requested_port
         )
         sockets = self._server.sockets or ()
         if not sockets:  # pragma: no cover - start_server always binds or raises
@@ -115,6 +118,13 @@ class ServiceEndpoint:
             await self._server.wait_closed()
             self._server = None
             self.port = None
+        # In-flight handlers are ours, not the server's: cancel them so a
+        # stopped endpoint never leaves a connection half-served, and
+        # gather the cancellations so teardown is deterministic.
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections), return_exceptions=True)
 
     async def __aenter__(self) -> "ServiceEndpoint":
         await self.start()
@@ -124,6 +134,23 @@ class ServiceEndpoint:
         await self.stop()
 
     # -- connection handling --------------------------------------------
+
+    def _accept_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Hold the handler task ourselves: the reference start_server
+        # keeps internally is invisible to stop(), so handlers would
+        # outlive a stopped endpoint with their exceptions unretrieved.
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._on_connection_done)
+
+    def _on_connection_done(self, task: asyncio.Task[None]) -> None:
+        self._connections.discard(task)
+        if not task.cancelled() and task.exception() is not None:
+            self.handler_errors += 1
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

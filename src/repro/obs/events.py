@@ -13,14 +13,73 @@ from dataclasses import dataclass
 from typing import Union
 
 __all__ = [
+    "EVENT_TYPES",
     "Event",
     "InstanceCompleted",
     "InstanceStarted",
+    "METRIC_NAMES",
+    "METRIC_NAME_TEMPLATES",
     "QueryServed",
     "RoundSample",
     "RunCompleted",
     "RunStarted",
+    "SPAN_NAMES",
 ]
+
+# ---------------------------------------------------------------------
+# Name registry
+#
+# The single source of truth for every name the observability layer may
+# emit.  Dashboards, trace consumers and the divergence/restart alarms
+# key on these strings; an emission site that invents its own name forks
+# the namespace silently.  ``adam2-lint`` rule ADM013 checks every
+# ``counter()``/``gauge()``/``histogram()``/``span()`` call site outside
+# :mod:`repro.obs` against these sets — add the name here *first*, then
+# emit it.
+# ---------------------------------------------------------------------
+
+#: stable ``type`` tags of the structured events below
+EVENT_TYPES = frozenset({
+    "run_start",
+    "instance_start",
+    "round",
+    "instance_end",
+    "run_end",
+    "query",
+})
+
+#: every registered counter/gauge/histogram name
+METRIC_NAMES = frozenset({
+    "runs_total",
+    "instances_total",
+    "rounds_total",
+    "messages_total",
+    "bytes_total",
+    "weight_sum",
+    "mass_sum",
+    "reached",
+    "instance_err_avg",
+    "queries_total",
+    "query_cache_hits_total",
+    "query_cache_misses_total",
+    "query_errors_total",
+    "query_latency_s",
+    "service_cycles_total",
+    "service_restarts_total",
+    "service_tick",
+})
+
+#: templated metric families (``{placeholder}`` marks the variable part)
+METRIC_NAME_TEMPLATES = frozenset({
+    "queries_{op}_total",
+})
+
+#: every registered span name
+SPAN_NAMES = frozenset({
+    "run",
+    "instance",
+    "round",
+})
 
 
 @dataclass(frozen=True, slots=True)

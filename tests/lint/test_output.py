@@ -1,0 +1,247 @@
+"""Suppressions, baselines, and SARIF output — the v2 reporting surface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.lint.baseline import Baseline, apply_baseline
+from repro.lint.engine import LintEngine, lint_paths, main
+from repro.lint.rules import get_rules
+from repro.lint.sarif import to_sarif
+from repro.lint.suppress import parse_suppressions, split_suppressed
+from repro.lint.violation import LintReport, Violation
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: one ADM001 (global random) + one ADM007 (wall clock) per line
+BAD_TWO_RULES = """\
+import random
+import time
+
+
+def sample():
+    a = random.random()
+    b = time.time()
+    return a + b
+"""
+
+
+def _violation(code="ADM001", path="x.py", line=3, message="m"):
+    return Violation(code=code, message=message, path=path, line=line)
+
+
+# ---------------------------------------------------------------------
+# Inline suppressions
+# ---------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_parse_blanket_and_coded(self):
+        source = (
+            "a = 1  # adam2: noqa\n"
+            "b = 2  # adam2: noqa[ADM001, adm007]\n"
+            "c = 3  # adam2: noqa[]\n"
+            "d = 4\n"
+        )
+        parsed = parse_suppressions(source)
+        assert parsed[1] is None
+        assert parsed[2] == {"ADM001", "ADM007"}
+        assert parsed[3] == frozenset()
+        assert 4 not in parsed
+
+    def test_split_by_line_and_code(self):
+        source = "x\ny  # adam2: noqa[ADM001]\n"
+        violations = [
+            _violation(code="ADM001", line=1),
+            _violation(code="ADM001", line=2),
+            _violation(code="ADM007", line=2),
+        ]
+        kept, suppressed = split_suppressed(violations, source)
+        assert [(v.code, v.line) for v in kept] == [("ADM001", 1), ("ADM007", 2)]
+        assert [(v.code, v.line) for v in suppressed] == [("ADM001", 2)]
+
+    def test_engine_honours_noqa(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "\n"
+            "\n"
+            "def sample():\n"
+            "    return random.random()  # adam2: noqa[ADM001]\n"
+        )
+        report = lint_paths([str(bad)], select={"ADM001"})
+        assert report.violations == []
+        assert [v.code for v in report.suppressed] == ["ADM001"]
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        violations = LintEngine(get_rules({"ADM001"})).check_source(
+            "import random\n"
+            "\n"
+            "\n"
+            "def sample():\n"
+            "    return random.random()  # adam2: noqa[ADM007]\n"
+        )
+        assert [v.code for v in violations] == ["ADM001"]
+
+
+# ---------------------------------------------------------------------
+# Baseline semantics
+# ---------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_preserves_counts_and_justifications(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline.from_violations(
+            [_violation(), _violation(), _violation(code="ADM007")]
+        )
+        baseline.justifications[("ADM001", "x.py", "m")] = "legacy"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.counts == {
+            ("ADM001", "x.py", "m"): 2,
+            ("ADM007", "x.py", "m"): 1,
+        }
+        assert loaded.justifications == {("ADM001", "x.py", "m"): "legacy"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").counts == {}
+
+    def test_malformed_file_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_apply_splits_and_budgets(self):
+        # Two identical findings baselined once: one is matched, the
+        # second (new occurrence) still fails the gate.
+        report = LintReport(violations=[_violation(), _violation()])
+        apply_baseline(report, Baseline.from_violations([_violation()]))
+        assert len(report.violations) == 1
+        assert len(report.baselined) == 1
+        assert report.stale_baseline == []
+
+    def test_fixed_findings_become_stale(self):
+        report = LintReport(violations=[])
+        apply_baseline(report, Baseline.from_violations([_violation()]))
+        assert report.violations == []
+        assert len(report.stale_baseline) == 1
+        assert "ADM001" in report.stale_baseline[0]
+
+    def test_update_carries_surviving_justifications(self):
+        previous = Baseline.from_violations([_violation(), _violation(code="ADM007")])
+        previous.justifications[("ADM001", "x.py", "m")] = "keep me"
+        previous.justifications[("ADM007", "x.py", "m")] = "drop me"
+        updated = Baseline.from_violations([_violation()], previous)
+        assert updated.counts == {("ADM001", "x.py", "m"): 1}
+        assert updated.justifications == {("ADM001", "x.py", "m"): "keep me"}
+
+    def test_cli_baseline_gate(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_TWO_RULES)
+        baseline = tmp_path / "baseline.json"
+        scope = ["--select", "ADM001,ADM007"]
+
+        # Without a baseline the findings fail the run.
+        assert main([str(bad), *scope]) == 1
+        capsys.readouterr()
+
+        # --update-baseline records them and exits 0 ...
+        assert main([str(bad), *scope, "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert "baseline updated" in capsys.readouterr().out
+        entries = json.loads(baseline.read_text())["entries"]
+        assert {e["code"] for e in entries} == {"ADM001", "ADM007"}
+
+        # ... after which the same findings pass the gate as baselined.
+        assert main([str(bad), *scope, "--baseline", str(baseline)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+        # A *new* finding on top of the baseline still fails.
+        bad.write_text(BAD_TWO_RULES + "\n\nc = random.random()\n")
+        assert main([str(bad), *scope, "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+
+        # Fixing everything leaves stale entries, visible under --verbose.
+        bad.write_text("x = 1\n")
+        assert main([str(bad), *scope, "--baseline", str(baseline), "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+
+    def test_cli_update_baseline_requires_path(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean), "--update-baseline"]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------
+
+
+class TestSarif:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return json.loads((FIXTURES / "sarif-2.1.0-subset.schema.json").read_text())
+
+    def _document(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            BAD_TWO_RULES
+            + "\n\ndef again():\n    return random.random()  # adam2: noqa[ADM001]\n"
+        )
+        report = lint_paths([str(tmp_path)], select={"ADM001", "ADM007"})
+        return to_sarif(report, get_rules())
+
+    def test_document_validates_against_schema(self, tmp_path, schema):
+        jsonschema.validate(self._document(tmp_path), schema)
+
+    def test_rules_results_and_suppressions(self, tmp_path):
+        document = self._document(tmp_path)
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "adam2-lint"
+        assert [r["id"] for r in driver["rules"]] == [
+            f"ADM{i:03d}" for i in range(1, 14)
+        ]
+        by_rule = {}
+        for result in run["results"]:
+            by_rule.setdefault(result["ruleId"], []).append(result)
+        assert set(by_rule) == {"ADM001", "ADM007"}
+        suppressed = [
+            r for r in run["results"]
+            if r.get("suppressions", [{}])[0].get("kind") == "inSource"
+        ]
+        assert len(suppressed) == 1
+        # ruleIndex must point back into the rules array.
+        for result in run["results"]:
+            assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_locations_are_one_based(self, tmp_path):
+        document = self._document(tmp_path)
+        for result in document["runs"][0]["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_cli_sarif_output_validates(self, tmp_path, schema, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_TWO_RULES)
+        assert main([str(bad), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        jsonschema.validate(document, schema)
+        assert document["version"] == "2.1.0"
+
+    def test_parse_errors_surface_in_invocations(self, tmp_path, schema, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        assert main([str(tmp_path), "--format", "sarif"]) == 2
+        document = json.loads(capsys.readouterr().out)
+        jsonschema.validate(document, schema)
+        invocation = document["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        assert invocation["toolExecutionNotifications"]

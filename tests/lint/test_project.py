@@ -1,0 +1,148 @@
+"""The cross-file project index: symbol resolution and seed-taint summaries."""
+
+from __future__ import annotations
+
+import ast
+import pickle
+
+from repro.lint.project import (
+    ProjectIndex,
+    build_project_index,
+    classify_seed_expr,
+    is_seed_name,
+    project_module_name,
+)
+from repro.lint.rules.base import ModuleContext
+
+
+def _index(**sources: str) -> ProjectIndex:
+    modules = [
+        ModuleContext.from_source(source, path=f"pkg/{name}.py")
+        for name, source in sources.items()
+    ]
+    return build_project_index(modules)
+
+
+class TestSeedNames:
+    def test_seed_like_names(self):
+        for name in ("seed", "run_seed", "_seed", "seed_base", "rng", "node_rng"):
+            assert is_seed_name(name), name
+
+    def test_non_seed_names(self):
+        for name in ("node_id", "count", "seedling", "ring"):
+            assert not is_seed_name(name), name
+
+
+class TestModuleName:
+    def test_strips_src_anchor_and_init(self):
+        assert project_module_name("src/repro/net/node.py") == "repro.net.node"
+        assert project_module_name("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_temp_dir_prefix_is_bounded(self):
+        name = project_module_name("/tmp/pytest-123/t0/fixture/pkg/mod.py")
+        assert name.endswith("fixture.pkg.mod")
+        assert len(name.split(".")) <= 6
+
+
+class TestSummaries:
+    def test_function_info(self):
+        index = _index(mod="""
+import asyncio
+
+async def pump(queue):
+    await queue.get()
+
+def fixed_seed():
+    return 42
+
+def derived(seed):
+    return seed * 2 + 1
+""")
+        module = index.resolve_module("pkg.mod")
+        assert module is not None
+        assert module.functions["pump"].is_async
+        assert module.functions["fixed_seed"].seed_taint == "constant"
+        assert module.functions["derived"].seed_taint == "seed"
+
+    def test_methods_are_qualified(self):
+        index = _index(mod="""
+class Node:
+    async def push(self):
+        pass
+""")
+        module = index.resolve_module("mod")
+        assert module is not None
+        assert module.functions["Node.push"].is_async
+        assert module.classes == ("Node",)
+
+    def test_string_sets_extracted(self):
+        index = _index(events="""
+METRIC_NAMES = frozenset({"b_total", "a_total"})
+NOT_STRINGS = frozenset({1, 2})
+""")
+        assert index.registry_strings("events", "METRIC_NAMES") == {"a_total", "b_total"}
+        assert index.registry_strings("events", "NOT_STRINGS") == frozenset()
+        assert index.registry_strings("absent.module", "METRIC_NAMES") is None
+
+
+class TestResolution:
+    def test_resolve_import_through_from_import(self):
+        index = _index(
+            helpers="def fixed():\n    return 7\n",
+            caller="from pkg.helpers import fixed\n",
+        )
+        caller = index.resolve_module("pkg.caller")
+        assert caller is not None
+        info = index.resolve_import(caller, ["fixed"])
+        assert info is not None and info.seed_taint == "constant"
+
+    def test_resolve_import_through_module_import(self):
+        index = _index(
+            helpers="async def pump():\n    pass\n",
+            caller="import pkg.helpers as helpers\n",
+        )
+        caller = index.resolve_module("pkg.caller")
+        assert caller is not None
+        info = index.resolve_import(caller, ["helpers", "pump"])
+        assert info is not None and info.is_async
+
+    def test_ambiguous_suffix_does_not_resolve(self):
+        modules = [
+            ModuleContext.from_source("x = 1", path="a/node.py"),
+            ModuleContext.from_source("x = 2", path="b/node.py"),
+        ]
+        index = build_project_index(modules)
+        assert index.resolve_module("node") is None
+
+    def test_index_is_picklable(self):
+        # The index ships to process-pool workers; AST nodes must not leak in.
+        index = _index(mod="def f(seed):\n    return seed\n")
+        clone = pickle.loads(pickle.dumps(index))
+        module = clone.resolve_module("mod")
+        assert module is not None and "f" in module.functions
+
+
+class TestClassify:
+    def _classify(self, expr: str, tainted=(), constants=()):
+        node = ast.parse(expr, mode="eval").body
+        return classify_seed_expr(node, set(tainted), set(constants))
+
+    def test_literals_are_constant(self):
+        assert self._classify("0") == "constant"
+        assert self._classify("0x5EED + 1") == "constant"
+
+    def test_tainted_names_win(self):
+        assert self._classify("seed", tainted={"seed"}) == "seed"
+        assert self._classify("seed ^ 0x5EED", tainted={"seed"}) == "seed"
+        assert self._classify("int(spec['seed'])") == "seed"
+        assert self._classify("opts.seed + 3") == "seed"
+
+    def test_draw_from_tainted_generator(self):
+        assert self._classify("rng.integers(0, 2**32)", tainted={"rng"}) == "seed"
+
+    def test_unknowns_stay_unknown(self):
+        assert self._classify("node_id") == "unknown"
+        assert self._classify("mystery()") == "unknown"
+
+    def test_constant_propagation_through_names(self):
+        assert self._classify("base + 1", constants={"base"}) == "constant"

@@ -1,0 +1,474 @@
+"""The project-wide rules ADM009-ADM013: each fires on the bad shape and
+stays quiet on the blessed one (including cross-file resolution through
+fixture packages linted out of a temp directory)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.engine import lint_paths, lint_source
+
+
+def _codes(violations):
+    return [v.code for v in violations]
+
+
+def _lint_pkg(tmp_path: Path, select: set[str], **files: str):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, source in files.items():
+        (pkg / f"{name}.py").write_text(source)
+    return lint_paths([str(tmp_path)], select=select)
+
+
+# ---------------------------------------------------------------------
+# ADM009: orphaned tasks / un-awaited coroutines
+# ---------------------------------------------------------------------
+
+
+class TestOrphanedTasks:
+    def test_fire_and_forget_create_task(self):
+        violations = lint_source(
+            "import asyncio\n"
+            "async def go(coro):\n"
+            "    asyncio.create_task(coro)\n",
+            select={"ADM009"},
+        )
+        assert _codes(violations) == ["ADM009"]
+        assert "fire-and-forget" in violations[0].message
+
+    def test_chained_loop_receiver_is_still_seen(self):
+        # asyncio.get_running_loop().create_task(...) has no pure
+        # attribute chain; the spawn must be recognised anyway.
+        violations = lint_source(
+            "import asyncio\n"
+            "async def go(coro):\n"
+            "    asyncio.get_running_loop().create_task(coro)\n",
+            select={"ADM009"},
+        )
+        assert _codes(violations) == ["ADM009"]
+
+    def test_orphaned_task_binding(self):
+        violations = lint_source(
+            "import asyncio\n"
+            "async def go(coro):\n"
+            "    task = asyncio.create_task(coro)\n",
+            select={"ADM009"},
+        )
+        assert _codes(violations) == ["ADM009"]
+        assert "orphaned" in violations[0].message
+
+    def test_discard_only_done_callback(self):
+        violations = lint_source(
+            "import asyncio\n"
+            "class Pool:\n"
+            "    def spawn(self, coro):\n"
+            "        task = asyncio.create_task(coro)\n"
+            "        self._inflight.add(task)\n"
+            "        task.add_done_callback(self._inflight.discard)\n",
+            select={"ADM009"},
+        )
+        assert _codes(violations) == ["ADM009"]
+        assert "never retrieved" in violations[0].message
+
+    def test_observed_task_is_clean(self):
+        violations = lint_source(
+            "import asyncio\n"
+            "class Pool:\n"
+            "    def spawn(self, coro):\n"
+            "        task = asyncio.create_task(coro)\n"
+            "        self._inflight.add(task)\n"
+            "        task.add_done_callback(self._on_done)\n",
+            select={"ADM009"},
+        )
+        assert violations == []
+
+    def test_awaited_task_is_clean(self):
+        violations = lint_source(
+            "import asyncio\n"
+            "async def go(coro):\n"
+            "    task = asyncio.create_task(coro)\n"
+            "    await task\n",
+            select={"ADM009"},
+        )
+        assert violations == []
+
+    def test_dropped_local_coroutine(self):
+        violations = lint_source(
+            "async def pump():\n"
+            "    pass\n"
+            "def tick():\n"
+            "    pump()\n",
+            select={"ADM009"},
+        )
+        assert _codes(violations) == ["ADM009"]
+        assert "never awaited" in violations[0].message
+
+    def test_dropped_self_method_coroutine(self):
+        violations = lint_source(
+            "class Node:\n"
+            "    async def push(self):\n"
+            "        pass\n"
+            "    def tick(self):\n"
+            "        self.push()\n",
+            select={"ADM009"},
+        )
+        assert _codes(violations) == ["ADM009"]
+
+    def test_cross_file_dropped_coroutine(self, tmp_path):
+        report = _lint_pkg(
+            tmp_path,
+            {"ADM009"},
+            helpers="async def pump():\n    pass\n",
+            caller=(
+                "from pkg.helpers import pump\n"
+                "def tick():\n"
+                "    pump()\n"
+            ),
+        )
+        assert _codes(report.violations) == ["ADM009"]
+        assert "pump" in report.violations[0].message
+
+    def test_awaiting_cross_file_coroutine_is_clean(self, tmp_path):
+        report = _lint_pkg(
+            tmp_path,
+            {"ADM009"},
+            helpers="async def pump():\n    pass\n",
+            caller=(
+                "from pkg.helpers import pump\n"
+                "async def tick():\n"
+                "    await pump()\n"
+            ),
+        )
+        assert report.violations == []
+
+
+# ---------------------------------------------------------------------
+# ADM010: blocking calls in async defs
+# ---------------------------------------------------------------------
+
+
+class TestBlockingInAsync:
+    def test_time_sleep(self):
+        violations = lint_source(
+            "import time\n"
+            "async def serve():\n"
+            "    time.sleep(1)\n",
+            select={"ADM010"},
+        )
+        assert _codes(violations) == ["ADM010"]
+        assert "time.sleep" in violations[0].message
+
+    def test_subprocess_and_sync_io(self):
+        violations = lint_source(
+            "import subprocess\n"
+            "from pathlib import Path\n"
+            "async def serve(p: Path):\n"
+            "    subprocess.run(['ls'])\n"
+            "    open('x')\n"
+            "    p.read_text()\n",
+            select={"ADM010"},
+        )
+        assert _codes(violations) == ["ADM010", "ADM010", "ADM010"]
+
+    def test_async_sleep_is_clean(self):
+        violations = lint_source(
+            "import asyncio\n"
+            "async def serve():\n"
+            "    await asyncio.sleep(1)\n",
+            select={"ADM010"},
+        )
+        assert violations == []
+
+    def test_sync_def_is_not_flagged(self):
+        violations = lint_source(
+            "import time\n"
+            "def worker():\n"
+            "    time.sleep(1)\n",
+            select={"ADM010"},
+        )
+        assert violations == []
+
+    def test_nested_sync_def_is_exempt(self):
+        # Nested sync defs are commonly shipped to run_in_executor.
+        violations = lint_source(
+            "import time\n"
+            "async def serve(loop):\n"
+            "    def work():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, work)\n",
+            select={"ADM010"},
+        )
+        assert violations == []
+
+
+# ---------------------------------------------------------------------
+# ADM011: snapshot immutability
+# ---------------------------------------------------------------------
+
+
+class TestSnapshotImmutability:
+    def test_attribute_assignment_on_annotated_param(self):
+        violations = lint_source(
+            "def poke(snap: EstimateSnapshot):\n"
+            "    snap.version = 99\n",
+            select={"ADM011"},
+        )
+        assert _codes(violations) == ["ADM011"]
+
+    def test_store_lookup_result_is_tracked(self):
+        violations = lint_source(
+            "def poke(store):\n"
+            "    snap = store.latest()\n"
+            "    snap.estimate.fractions[0] = 1.0\n",
+            select={"ADM011"},
+        )
+        assert _codes(violations) == ["ADM011"]
+
+    def test_object_setattr_escape_hatch(self):
+        violations = lint_source(
+            "def poke(snap: EstimateSnapshot):\n"
+            "    object.__setattr__(snap, 'version', 99)\n",
+            select={"ADM011"},
+        )
+        assert _codes(violations) == ["ADM011"]
+
+    def test_mutating_method_through_snapshot(self):
+        violations = lint_source(
+            "def poke(store):\n"
+            "    snap = store.get(3)\n"
+            "    snap.estimate.thresholds.sort()\n",
+            select={"ADM011"},
+        )
+        assert _codes(violations) == ["ADM011"]
+
+    def test_reads_and_rebinding_are_clean(self):
+        violations = lint_source(
+            "def read(snap: EstimateSnapshot):\n"
+            "    x = snap.version\n"
+            "    snap = None\n"
+            "    return x\n",
+            select={"ADM011"},
+        )
+        assert violations == []
+
+    def test_store_module_is_exempt(self, tmp_path):
+        store = tmp_path / "store.py"
+        store.write_text(
+            "def publish(snap: EstimateSnapshot):\n"
+            "    object.__setattr__(snap, 'version', 1)\n"
+        )
+        report = lint_paths([str(store)], select={"ADM011"})
+        assert report.violations == []
+
+    def test_cross_file_return_annotation(self, tmp_path):
+        report = _lint_pkg(
+            tmp_path,
+            {"ADM011"},
+            provider=(
+                "def current() -> 'EstimateSnapshot':\n"
+                "    ...\n"
+            ),
+            consumer=(
+                "from pkg.provider import current\n"
+                "def poke():\n"
+                "    snap = current()\n"
+                "    snap.version = 1\n"
+            ),
+        )
+        assert _codes(report.violations) == ["ADM011"]
+
+
+# ---------------------------------------------------------------------
+# ADM012: seed taint
+# ---------------------------------------------------------------------
+
+
+class TestSeedTaint:
+    def test_hard_coded_seed(self):
+        violations = lint_source(
+            "from repro.rngs import make_rng\n"
+            "def sample():\n"
+            "    rng = make_rng(0)\n",
+            select={"ADM012"},
+        )
+        assert _codes(violations) == ["ADM012"]
+        assert "hard-coded" in violations[0].message
+
+    def test_no_seed_draws_entropy(self):
+        violations = lint_source(
+            "from numpy.random import default_rng\n"
+            "def sample():\n"
+            "    rng = default_rng()\n",
+            select={"ADM012"},
+        )
+        assert _codes(violations) == ["ADM012"]
+        assert "OS entropy" in violations[0].message
+
+    def test_derived_seed_is_clean(self):
+        violations = lint_source(
+            "from repro.rngs import make_rng\n"
+            "def sample(seed):\n"
+            "    rng = make_rng(seed ^ 0x5EED)\n",
+            select={"ADM012"},
+        )
+        assert violations == []
+
+    def test_constant_flow_through_local_name(self):
+        violations = lint_source(
+            "from repro.rngs import make_rng\n"
+            "def sample():\n"
+            "    base = 1234\n"
+            "    rng = make_rng(base)\n",
+            select={"ADM012"},
+        )
+        assert _codes(violations) == ["ADM012"]
+
+    def test_untraceable_argument_is_allowed(self):
+        # Silence over false alarms: node_id is not provably constant.
+        violations = lint_source(
+            "from repro.rngs import derive\n"
+            "def wire(node_id):\n"
+            "    rng = derive(node_id, 'wire')\n",
+            select={"ADM012"},
+        )
+        assert violations == []
+
+    def test_cross_file_constant_helper(self, tmp_path):
+        report = _lint_pkg(
+            tmp_path,
+            {"ADM012"},
+            helpers="def fixed_seed():\n    return 1234\n",
+            sim=(
+                "from pkg.helpers import fixed_seed\n"
+                "from repro.rngs import make_rng\n"
+                "def sample():\n"
+                "    rng = make_rng(fixed_seed())\n"
+            ),
+        )
+        assert _codes(report.violations) == ["ADM012"]
+
+    def test_cross_file_deriving_helper_is_clean(self, tmp_path):
+        report = _lint_pkg(
+            tmp_path,
+            {"ADM012"},
+            helpers="def derived(seed):\n    return seed * 2 + 1\n",
+            sim=(
+                "from pkg.helpers import derived\n"
+                "from repro.rngs import make_rng\n"
+                "def sample(run_seed):\n"
+                "    rng = make_rng(derived(run_seed))\n"
+            ),
+        )
+        assert report.violations == []
+
+    def test_rngs_module_is_exempt(self, tmp_path):
+        rngs = tmp_path / "rngs.py"
+        rngs.write_text(
+            "from numpy.random import default_rng\n"
+            "def make_rng(seed=None):\n"
+            "    return default_rng()\n"
+        )
+        report = lint_paths([str(rngs)], select={"ADM012"})
+        assert report.violations == []
+
+
+# ---------------------------------------------------------------------
+# ADM013: obs name discipline
+# ---------------------------------------------------------------------
+
+_REGISTRY = (
+    "METRIC_NAMES = frozenset({'rounds_total'})\n"
+    "SPAN_NAMES = frozenset({'round'})\n"
+    "METRIC_NAME_TEMPLATES = frozenset({'queries_{op}_total'})\n"
+)
+
+
+class TestObsNameDiscipline:
+    def _lint(self, tmp_path, emitter: str):
+        pkg = tmp_path / "pkg"
+        obs = pkg / "obs"
+        obs.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (obs / "__init__.py").write_text("")
+        (obs / "events.py").write_text(_REGISTRY)
+        (pkg / "emitter.py").write_text(emitter)
+        return lint_paths([str(tmp_path)], select={"ADM013"})
+
+    def test_registered_names_are_clean(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def tick(metrics, hub):\n"
+            "    metrics.counter('rounds_total').inc()\n"
+            "    with hub.span('round'):\n"
+            "        pass\n",
+        )
+        assert report.violations == []
+
+    def test_unregistered_metric_name(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def tick(metrics):\n"
+            "    metrics.counter('rounds_grand_total').inc()\n",
+        )
+        assert _codes(report.violations) == ["ADM013"]
+        assert "not registered" in report.violations[0].message
+
+    def test_unregistered_span_name(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def tick(hub):\n"
+            "    with hub.span('mystery'):\n"
+            "        pass\n",
+        )
+        assert _codes(report.violations) == ["ADM013"]
+
+    def test_computed_name_is_flagged(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def tick(metrics, name):\n"
+            "    metrics.counter(name).inc()\n",
+        )
+        assert _codes(report.violations) == ["ADM013"]
+        assert "computed" in report.violations[0].message
+
+    def test_fstring_matching_template_is_clean(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def tick(metrics, op):\n"
+            "    metrics.counter(f'queries_{op}_total').inc()\n",
+        )
+        assert report.violations == []
+
+    def test_fstring_without_template_is_flagged(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def tick(metrics, op):\n"
+            "    metrics.counter(f'rounds_{op}_extra').inc()\n",
+        )
+        assert _codes(report.violations) == ["ADM013"]
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        obs = pkg / "obs"
+        obs.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (obs / "__init__.py").write_text("")
+        (obs / "events.py").write_text(_REGISTRY)
+        (obs / "observer.py").write_text(
+            "def tick(metrics):\n"
+            "    metrics.counter('internal_bootstrap_total').inc()\n"
+        )
+        report = lint_paths([str(tmp_path)], select={"ADM013"})
+        assert report.violations == []
+
+    def test_without_registry_only_literalness_enforced(self):
+        violations = lint_source(
+            "def tick(metrics, name):\n"
+            "    metrics.counter('anything_total').inc()\n"
+            "    metrics.counter(name).inc()\n",
+            select={"ADM013"},
+        )
+        assert _codes(violations) == ["ADM013"]
+        assert "computed" in violations[0].message
