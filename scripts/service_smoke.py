@@ -3,18 +3,24 @@
 Warms a fast-backend service, serves it over the JSON-lines endpoint,
 and drives a mixed query workload (cdf / quantile / fraction / size,
 plus a sprinkle of deliberately malformed requests) from several
-concurrent clients.  Fails hard if:
+concurrent clients.  A second phase serves the same handle from a
+multi-worker pool (``--workers``, default 4) and exercises the binary
+frame codec and batched queries against it.  Fails hard if:
 
 * any request draws a ``server_error`` (the 5xx class — a healthy
   service never produces one; malformed requests must map to
   ``bad_request`` instead),
 * client-observed p99 latency exceeds the budget,
-* the JSONL trace does not account for every request line served.
+* the JSONL trace does not account for every request line served on the
+  single-endpoint phase (worker processes trace into their own hubs, so
+  the accounting check stays on phase one),
+* a batched binary answer from the pool disagrees with the in-process
+  engine, or the pool draws any error at all.
 
 Usage::
 
     python scripts/service_smoke.py --queries 1000 --clients 4 \
-        --trace service_smoke_trace.jsonl --p99-budget 0.05
+        --workers 4 --trace service_smoke_trace.jsonl --p99-budget 0.05
 """
 
 from __future__ import annotations
@@ -58,10 +64,83 @@ async def _drive(
     return latencies, errors
 
 
+async def _pool_correctness(
+    handle: object, host: str, port: int, xs: list[float]
+) -> tuple[list[float | None], dict[str, object]]:
+    """One binary batch against the pool; values plus a worker status."""
+    from repro.net.service_endpoint import ServiceClient
+    from repro.service.protocol import QueryRequest
+
+    async with ServiceClient(host, port, frame="binary") as client:
+        batch = await client.batch(
+            [QueryRequest("cdf", (x,)) for x in xs]
+            + [QueryRequest("size", ())]
+        )
+        status = await client.status()
+    return [r.value for r in batch.results], status
+
+
+def _pool_phase(
+    handle: object, args: argparse.Namespace,
+    mixed: list[tuple[str, tuple[float, ...]]],
+) -> tuple[dict[str, object], list[str]]:
+    """Drive batch + binary through a >= 4 worker pool; returns report, failures."""
+    from repro.net.service_endpoint import measure_endpoint_qps
+    from repro.net.service_worker import ServiceWorkerPool
+
+    failures: list[str] = []
+    xs = [float(x) for x in range(0, 1000, 97)]
+    pool = ServiceWorkerPool(handle.store, workers=args.workers, host=args.host)  # type: ignore[attr-defined]
+    pool.start()
+    try:
+        values, status = asyncio.run(
+            _pool_correctness(handle, args.host, pool.port, xs)
+        )
+        mode = pool.mode
+    finally:
+        pool.stop()
+
+    expected = [handle.cdf(x) for x in xs] + [handle.network_size()]  # type: ignore[attr-defined]
+    mismatched = sum(
+        1 for got, want in zip(values, expected)
+        if got is None or abs(got - want) > 1e-9
+    )
+    if mismatched:
+        failures.append(
+            f"{mismatched}/{len(expected)} batched binary answers disagree "
+            "with the in-process engine"
+        )
+    if status.get("serving_mode") not in ("reuseport", "threads"):
+        failures.append(f"pool status reports no serving mode: {status!r}")
+
+    stats = measure_endpoint_qps(
+        handle, mixed, clients=args.clients, workers=args.workers,  # type: ignore[arg-type]
+        frame="binary", batch_size=args.batch,
+    )
+    if stats["errors"]:
+        failures.append(f"pool load drew {stats['errors']} error responses")
+    report = {
+        "workers": args.workers,
+        "mode": mode,
+        "batch_size": args.batch,
+        "ops": stats["ops"],
+        "qps": stats["qps"],
+        "errors": stats["errors"],
+        "worker_status": {
+            k: status.get(k) for k in ("worker", "serving_mode", "versions")
+        },
+    }
+    return report, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--queries", type=int, default=1000)
     parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the multi-worker phase (0 skips it)")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="ops per batched request in the pool phase")
     parser.add_argument("--nodes", type=int, default=800)
     parser.add_argument("--points", type=int, default=24)
     parser.add_argument("--rounds", type=int, default=25)
@@ -131,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
         latencies, errors = asyncio.run(
             _drive(handle, requests, args.clients, args.host)
         )
+        pool_report: dict[str, object] = {}
+        pool_failures: list[str] = []
+        if args.workers > 0:
+            pool_report, pool_failures = _pool_phase(handle, args, mixed)
         metrics = hub.metrics.snapshot()
     finally:
         hub.close()
@@ -155,10 +238,11 @@ def main(argv: list[str] | None = None) -> int:
         "traced_query_events": traced_queries,
         "cache": dict(handle.engine.cache_info()),
         "counters": metrics["counters"],
+        "pool": pool_report,
     }
     print(json.dumps(report, indent=2, sort_keys=True))
 
-    failures = []
+    failures = list(pool_failures)
     if len(latencies) != len(requests):
         failures.append(
             f"only {len(latencies)}/{len(requests)} requests were answered"

@@ -195,6 +195,13 @@ def serve(
     snapshot.  Remaining keyword arguments are forwarded to
     :func:`repro.service.build_service` (``policy``, ``drift``,
     ``cache_size``, ``warm_cycles``, ``hub``, ``options``, ...).
+
+    To put the handle on the network, hand it to
+    :func:`repro.net.service_endpoint.serve_blocking` — with
+    ``workers > 1`` it serves from an ``SO_REUSEPORT`` worker-process
+    pool (:class:`repro.net.service_worker.ServiceWorkerPool`) fed by
+    the store's snapshot feed; clients may negotiate the binary frame
+    codec and batch queries (see :mod:`repro.service.protocol`).
     """
     # Late import: repro.service drives this module's run(), so importing
     # it at module level would be circular.

@@ -216,6 +216,10 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="pause between scheduler cycles")
     parser.add_argument("--cycles", type=int, default=None,
                         help="stop after this many refresh cycles (default: serve forever)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="serving workers; >1 serves from an SO_REUSEPORT "
+                        "worker-process pool fed by store snapshots "
+                        "(threaded fallback where the kernel lacks support)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="append a JSONL query/run event trace to PATH")
     return parser
@@ -246,6 +250,7 @@ def _run_serve(argv: list[str]) -> int:
             port=args.port,
             refresh_every=args.refresh,
             max_cycles=args.cycles,
+            workers=args.workers,
         )
     except KeyboardInterrupt:
         print("\nshutting down")
@@ -269,6 +274,12 @@ def _build_query_bench_parser() -> argparse.ArgumentParser:
                         help="in-process mixed queries per mode")
     parser.add_argument("--clients", metavar="N,N,...", default="1,4,16",
                         help="TCP client concurrencies")
+    parser.add_argument("--worker-counts", metavar="N,N,...", default="1,2,4",
+                        help="pool sizes for the qps-vs-workers curve")
+    parser.add_argument("--pool-workers", type=int, default=4,
+                        help="pool size for the qps-vs-clients curve")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="ops per batched request on the pool path")
     parser.add_argument("--no-tcp", action="store_true",
                         help="skip the TCP endpoint measurements")
     parser.add_argument("--out", metavar="PATH", default="BENCH_service.json")
@@ -282,21 +293,28 @@ def _run_query_bench(argv: list[str]) -> int:
     from repro.workloads import boinc_workload
 
     args = _build_query_bench_parser().parse_args(argv)
-    try:
-        clients = tuple(int(part) for part in args.clients.split(","))
-    except ValueError:
-        raise ConfigurationError(
-            f"--clients must be comma-separated integers, got {args.clients!r}"
-        ) from None
-    if not clients or any(count < 1 for count in clients):
-        raise ConfigurationError("--clients needs counts >= 1")
+
+    def counts(raw: str, flag: str) -> tuple[int, ...]:
+        try:
+            parsed = tuple(int(part) for part in raw.split(","))
+        except ValueError:
+            raise ConfigurationError(
+                f"{flag} must be comma-separated integers, got {raw!r}"
+            ) from None
+        if not parsed or any(count < 1 for count in parsed):
+            raise ConfigurationError(f"{flag} needs counts >= 1")
+        return parsed
+
     document = profile_service(
         boinc_workload("ram"),
         Adam2Config(points=args.points, rounds_per_instance=30),
         backend=args.backend,
         n_nodes=args.nodes,
         n_queries=args.queries,
-        client_counts=clients,
+        client_counts=counts(args.clients, "--clients"),
+        worker_counts=counts(args.worker_counts, "--worker-counts"),
+        pool_workers=args.pool_workers,
+        batch_size=args.batch,
         tcp=not args.no_tcp,
         seed=args.seed,
     )

@@ -33,10 +33,12 @@ __all__ = [
     "Message",
     "NetBackend",
     "NodeDaemon",
+    "FrameCodec",
     "PeerDirectory",
     "PeerRecord",
     "ServiceClient",
     "ServiceEndpoint",
+    "ServiceWorkerPool",
     "UdpTransport",
     "WIRE_VERSION",
     "WireCodec",
@@ -49,10 +51,12 @@ _EXPORTS = {
     "Message": "repro.net.codec",
     "NetBackend": "repro.net.backend",
     "NodeDaemon": "repro.net.node",
+    "FrameCodec": "repro.net.frames",
     "PeerDirectory": "repro.net.peers",
     "PeerRecord": "repro.net.peers",
     "ServiceClient": "repro.net.service_endpoint",
     "ServiceEndpoint": "repro.net.service_endpoint",
+    "ServiceWorkerPool": "repro.net.service_worker",
     "UdpTransport": "repro.net.transport",
     "WIRE_VERSION": "repro.net.codec",
     "WireCodec": "repro.net.codec",

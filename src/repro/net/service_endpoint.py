@@ -1,4 +1,4 @@
-"""JSON-over-TCP frontend for the continuous estimation service.
+"""TCP frontend for the continuous estimation service.
 
 The endpoint exposes a :class:`~repro.service.handle.ServiceHandle` over
 a newline-delimited JSON protocol — one request object per line, one
@@ -9,21 +9,31 @@ Request::
     {"id": 7, "op": "cdf", "x": 1.5}
     {"id": 8, "op": "quantile", "q": 0.9, "version": 3}
     {"id": 9, "op": "fraction", "a": 2048, "b": 1e12}
+    {"op": "batch", "ops": [{"op": "cdf", "x": 1.5}, {"op": "size"}]}
     {"op": "size"} / {"op": "status"} / {"op": "pin", "version": 3}
 
 Response::
 
     {"id": 7, "ok": true, "value": 0.42, "version": 5}
     {"id": 8, "ok": false, "error": "unavailable", "message": "..."}
+    {"ok": true, "results": [{"ok": true, "value": 0.42}, ...]}
 
 ``error`` is one of ``bad_request`` (caller mistake — bad JSON, unknown
 op, invalid arguments), ``unavailable`` (nothing published / version
 evicted), or ``server_error`` (the 5xx class; a healthy service never
-produces one).  Query latency histograms and cache hit/miss counters
-flow through the handle's :mod:`repro.obs` hub exactly as for in-process
-callers; protocol-level failures the engine never saw are emitted here
-so the trace accounts for every request line received.
+produces one).  Request parsing, execution, and tracing all live in the
+typed protocol layer (:mod:`repro.service.protocol`): this module is
+transport only.
 
+Connections start in JSON-lines mode and may upgrade in-band to the
+compact length-prefixed binary codec (:mod:`repro.net.frames`) with
+``{"op": "frame", "frame": "binary"}`` — the acknowledgement is the last
+JSON line on the connection.  Clients may also *pipeline*: write many
+request lines (or frames) before reading; responses come back in order.
+
+For serving beyond one event loop, :class:`~repro.net.service_worker.
+ServiceWorkerPool` runs the same connection protocol from a pool of
+``SO_REUSEPORT`` worker processes — see :mod:`repro.net.service_worker`.
 This module lives in :mod:`repro.net` because it opens real sockets —
 the ADM008 fence keeps :mod:`repro.service` itself host-independent.
 """
@@ -32,11 +42,20 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+import warnings
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
-from repro.errors import NetworkError, ServiceError
-from repro.obs.events import QueryServed
+from repro.errors import CodecError, NetworkError, ServiceError
+from repro.net.frames import HEADER, KIND_BATCH_REQUEST, KIND_REQUEST, FrameCodec
 from repro.obs.spans import wall_clock
+from repro.service.protocol import (
+    BatchRequest,
+    BatchResponse,
+    QueryDispatcher,
+    QueryRequest,
+    QueryResponse,
+    parse_request,
+)
 
 if TYPE_CHECKING:  # runtime import stays lazy (repro.service imports repro.api)
     from repro.service.handle import ServiceHandle
@@ -45,52 +64,164 @@ __all__ = [
     "ServiceClient",
     "ServiceEndpoint",
     "measure_endpoint_qps",
+    "process_frame",
+    "process_json_line",
     "serve_blocking",
 ]
-
-#: request ops answered by the query engine (these emit their own events)
-_ENGINE_OPS = frozenset({"cdf", "quantile", "fraction", "size"})
-#: control-plane ops handled by the endpoint itself
-_CONTROL_OPS = frozenset({"status", "pin", "unpin", "history"})
 
 _MAX_LINE = 64 * 1024
 
 
-def _number(request: Mapping[str, Any], key: str) -> float:
-    value = request.get(key)
-    if not isinstance(value, (int, float)) or isinstance(value, bool):
-        raise ServiceError(
-            f"op {request.get('op')!r} needs numeric field {key!r}",
-            code="bad_request",
-        )
-    return float(value)
+# ----------------------------------------------------------------------
+# Transport-agnostic per-message steps (shared with the worker pool)
+# ----------------------------------------------------------------------
 
+def process_json_line(
+    dispatcher: QueryDispatcher, codec: FrameCodec, line: bytes
+) -> tuple[bytes, bool]:
+    """One JSON-lines request -> ``(response bytes, upgraded_to_binary)``.
 
-def _version_of(request: Mapping[str, Any], *, required: bool = False) -> int | None:
-    value = request.get("version")
-    if value is None:
-        if required:
-            raise ServiceError(
-                f"op {request.get('op')!r} needs integer field 'version'",
-                code="bad_request",
+    Handles the in-band ``{"op": "frame", ...}`` negotiation; everything
+    else goes through the dispatcher.  Shared by the asyncio endpoint,
+    the worker processes, and the threaded fallback, so every serving
+    surface speaks byte-identical protocol.
+    """
+    upgraded = False
+    if len(line) > _MAX_LINE:
+        response = QueryResponse.failure(
+            "bad_request", "request line too long"
+        ).to_wire()
+    else:
+        payload: Any = None
+        decoded = False
+        try:
+            payload = json.loads(line)
+            decoded = True
+        except json.JSONDecodeError as exc:
+            response = dispatcher.failure_wire(
+                "invalid", "bad_request", f"invalid JSON: {exc}"
             )
-        return None
-    if not isinstance(value, int) or isinstance(value, bool):
-        raise ServiceError("'version' must be an integer", code="bad_request")
-    return value
+        if decoded:
+            if isinstance(payload, dict) and payload.get("op") == "frame":
+                response, upgraded = _negotiate_frame(payload)
+            else:
+                response = dispatcher.dispatch_wire(payload)
+    return json.dumps(response, separators=(",", ":")).encode() + b"\n", upgraded
+
+
+def _negotiate_frame(payload: Mapping[str, Any]) -> tuple[dict[str, Any], bool]:
+    request_id = payload.get("id")
+    name = payload.get("frame")
+    if name in ("binary", "json"):
+        response: dict[str, Any] = {"ok": True, "frame": name}
+        if request_id is not None:
+            response["id"] = request_id
+        return response, name == "binary"
+    wire = QueryResponse.failure(
+        "bad_request",
+        f"unknown frame {name!r}; supported: binary, json",
+        request_id=request_id if isinstance(request_id, (int, str)) else None,
+    ).to_wire()
+    return wire, False
+
+
+def process_frame(
+    dispatcher: QueryDispatcher, codec: FrameCodec, kind: int, payload: bytes
+) -> bytes:
+    """One binary request frame -> the encoded response frame."""
+    if kind not in (KIND_REQUEST, KIND_BATCH_REQUEST):
+        return codec.encode_response(QueryResponse.failure(
+            "bad_request", f"frame kind {kind} is not a request"
+        ))
+    try:
+        request = codec.decode_request(kind, payload)
+    except CodecError as exc:
+        return codec.encode_response(
+            QueryResponse.failure("bad_request", str(exc))
+        )
+    return codec.encode_response(dispatcher.dispatch(request))
+
+
+# ----------------------------------------------------------------------
+# The asyncio endpoint
+# ----------------------------------------------------------------------
+
+async def serve_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    dispatcher: QueryDispatcher,
+    codec: FrameCodec,
+) -> None:
+    """Serve one connection to EOF: JSON lines, with binary upgrade.
+
+    Requests are answered strictly in order, so clients may pipeline
+    freely; an unreadable binary frame is answered with an error frame
+    and the connection closed (frame streams cannot resynchronise).
+    """
+    binary = False
+    try:
+        while True:
+            try:
+                if binary:
+                    header = await reader.readexactly(HEADER.size)
+                    kind, length = codec.unpack_header(header)
+                    payload = await reader.readexactly(length)
+                    out = process_frame(dispatcher, codec, kind, payload)
+                else:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    out, upgraded = process_json_line(dispatcher, codec, line)
+                    binary = binary or upgraded
+            except asyncio.IncompleteReadError:
+                break
+            except (ConnectionError, asyncio.LimitOverrunError):
+                break
+            except CodecError as exc:
+                writer.write(codec.encode_response(
+                    QueryResponse.failure("bad_request", str(exc))
+                ))
+                break
+            writer.write(out)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # The handler is finished either way; server shutdown may
+            # cancel this last await, and re-raising would only make
+            # asyncio log a spurious "task exception" at teardown.
+            pass
 
 
 class ServiceEndpoint:
-    """Serves one :class:`ServiceHandle` to TCP clients (JSON lines)."""
+    """Serves one :class:`ServiceHandle` to TCP clients (one event loop).
+
+    The single-process frontend: every connection shares the handle's
+    query engine (and its LRU cache) on one asyncio loop.  For a
+    multi-core read path, see :class:`~repro.net.service_worker.
+    ServiceWorkerPool`, which serves the same protocol from worker
+    processes fed by store snapshots.
+    """
 
     def __init__(
         self,
         handle: "ServiceHandle",
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        codec: FrameCodec | None = None,
     ) -> None:
         self.handle = handle
         self.host = host
+        self.codec = codec or FrameCodec()
+        self.dispatcher = QueryDispatcher(
+            handle.engine, handle, hub=handle.hub
+        )
         self._requested_port = port
         self._server: asyncio.Server | None = None
         self.port: int | None = None
@@ -142,7 +273,7 @@ class ServiceEndpoint:
         # keeps internally is invisible to stop(), so handlers would
         # outlive a stopped endpoint with their exceptions unretrieved.
         task = asyncio.get_running_loop().create_task(
-            self._serve_connection(reader, writer)
+            serve_connection(reader, writer, self.dispatcher, self.codec)
         )
         self._connections.add(task)
         task.add_done_callback(self._on_connection_done)
@@ -152,161 +283,52 @@ class ServiceEndpoint:
         if not task.cancelled() and task.exception() is not None:
             self.handler_errors += 1
 
-    async def _serve_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError):
-                    break
-                if not line:
-                    break
-                if len(line) > _MAX_LINE:
-                    response = self._error_response(
-                        None, "bad_request", "request line too long"
-                    )
-                else:
-                    response = self._handle_line(line)
-                writer.write(json.dumps(response, separators=(",", ":")).encode() + b"\n")
-                try:
-                    await writer.drain()
-                except ConnectionError:
-                    break
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError, asyncio.CancelledError):
-                # The handler is finished either way; server shutdown may
-                # cancel this last await, and re-raising would only make
-                # asyncio log a spurious "task exception" at teardown.
-                pass
 
-    def _handle_line(self, line: bytes) -> dict[str, Any]:
-        started = wall_clock()
-        request_id: Any = None
-        op = "invalid"
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ServiceError("request must be a JSON object", code="bad_request")
-            request_id = request.get("id")
-            raw_op = request.get("op")
-            op = raw_op if isinstance(raw_op, str) else "invalid"
-            return self._dispatch(op, request, request_id)
-        except json.JSONDecodeError as exc:
-            self._emit_failure(op, "bad_request", started)
-            return self._error_response(request_id, "bad_request", f"invalid JSON: {exc}")
-        except ServiceError as exc:
-            if op not in _ENGINE_OPS:
-                # engine ops already emitted their own failure event
-                self._emit_failure(op, exc.code, started)
-            return self._error_response(request_id, exc.code, str(exc))
-        except Exception as exc:  # the wire-level 5xx class
-            if op not in _ENGINE_OPS:
-                self._emit_failure(op, "server_error", started)
-            return self._error_response(
-                request_id, "server_error", f"{type(exc).__name__}: {exc}"
-            )
-
-    def _dispatch(
-        self, op: str, request: Mapping[str, Any], request_id: Any
-    ) -> dict[str, Any]:
-        handle = self.handle
-        if op in _ENGINE_OPS:
-            started = wall_clock()
-            try:
-                # Argument failures here never reach the engine, so the
-                # endpoint must trace them itself; once parsing succeeds,
-                # the engine accounts for the query (success or failure).
-                version = _version_of(request)
-                if op == "cdf":
-                    args = (_number(request, "x"),)
-                elif op == "quantile":
-                    args = (_number(request, "q"),)
-                elif op == "fraction":
-                    args = (_number(request, "a"), _number(request, "b"))
-                else:
-                    args = ()
-            except ServiceError as exc:
-                self._emit_failure(op, exc.code, started)
-                raise
-            if op == "cdf":
-                value = handle.cdf(*args, version=version)
-            elif op == "quantile":
-                value = handle.quantile(*args, version=version)
-            elif op == "fraction":
-                value = handle.fraction_between(*args, version=version)
-            else:
-                value = handle.network_size(version=version)
-            return self._value_response(request_id, value, version)
-
-        started = wall_clock()
-        if op == "status":
-            payload: dict[str, Any] = {"ok": True, "status": handle.status()}
-        elif op == "history":
-            payload = {"ok": True, "history": handle.history()}
-        elif op == "pin":
-            snapshot = handle.pin(_version_of(request, required=True) or 0)
-            payload = {"ok": True, "pinned": snapshot.version}
-        elif op == "unpin":
-            handle.unpin(_version_of(request, required=True) or 0)
-            payload = {"ok": True}
-        else:
-            raise ServiceError(
-                f"unknown op {op!r}; supported: "
-                f"{', '.join(sorted(_ENGINE_OPS | _CONTROL_OPS))}",
-                code="bad_request",
-            )
-        if request_id is not None:
-            payload["id"] = request_id
-        self.handle.hub.query_served(QueryServed(
-            op=op, version=None, cache_hit=False, ok=True,
-            latency_s=wall_clock() - started,
-        ))
-        return payload
-
-    def _value_response(
-        self, request_id: Any, value: float, version: int | None
-    ) -> dict[str, Any]:
-        payload: dict[str, Any] = {"ok": True, "value": value}
-        if version is not None:
-            payload["version"] = version
-        if request_id is not None:
-            payload["id"] = request_id
-        return payload
-
-    def _error_response(
-        self, request_id: Any, code: str, message: str
-    ) -> dict[str, Any]:
-        payload: dict[str, Any] = {"ok": False, "error": code, "message": message}
-        if request_id is not None:
-            payload["id"] = request_id
-        return payload
-
-    def _emit_failure(self, op: str, code: str, started: float) -> None:
-        self.handle.hub.query_served(QueryServed(
-            op=op, version=None, cache_hit=False, ok=False, error=code,
-            latency_s=wall_clock() - started,
-        ))
-
+# ----------------------------------------------------------------------
+# The client
+# ----------------------------------------------------------------------
 
 class ServiceClient:
-    """Async JSON-lines client for a :class:`ServiceEndpoint`."""
+    """Async client for a service endpoint or worker pool.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    Speaks JSON lines by default; pass ``frame="binary"`` to negotiate
+    the length-prefixed binary codec right after connecting.  The typed
+    surface is :meth:`call` (one :class:`QueryRequest`/:class:`BatchRequest`
+    in, one typed response out) and :meth:`pipeline` (many in flight at
+    once); :meth:`request` keeps the legacy raw-dict contract alive.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        frame: str = "json",
+        codec: FrameCodec | None = None,
+    ) -> None:
+        if frame not in ("json", "binary"):
+            raise ServiceError(f"unknown frame {frame!r}; supported: binary, json")
         self.host = host
         self.port = port
+        self.codec = codec or FrameCodec()
+        self._want_frame = frame
+        self._frame = "json"
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._next_id = 1
+
+    @property
+    def frame(self) -> str:
+        """The negotiated frame codec of the live connection."""
+        return self._frame
 
     async def connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
+        self._frame = "json"
+        if self._want_frame == "binary":
+            await self.negotiate_frame("binary")
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -324,65 +346,200 @@ class ServiceClient:
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
-    async def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        """Send one request object; returns the decoded response."""
+    # -- typed surface --------------------------------------------------
+
+    async def call(
+        self, request: QueryRequest | BatchRequest
+    ) -> QueryResponse | BatchResponse:
+        """Send one typed request; returns the typed response."""
+        self._send(request)
+        await self._drain()
+        return await self._receive()
+
+    async def batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> BatchResponse:
+        """Send many ops as one request line/frame; positional results."""
+        response = await self.call(BatchRequest(tuple(requests), self._take_id()))
+        assert isinstance(response, BatchResponse)
+        return response
+
+    async def pipeline(
+        self, requests: Iterable[QueryRequest | BatchRequest]
+    ) -> list[QueryResponse | BatchResponse]:
+        """Write every request before reading: one round trip, in order."""
+        sent = 0
+        for request in requests:
+            self._send(request)
+            sent += 1
+        await self._drain()
+        return [await self._receive() for _ in range(sent)]
+
+    async def negotiate_frame(self, frame: str) -> None:
+        """Switch the live connection's codec (``"binary"`` / ``"json"``)."""
+        reader, writer = self._connected()
+        writer.write(json.dumps(
+            {"op": "frame", "frame": frame}, separators=(",", ":")
+        ).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise NetworkError("endpoint closed the connection during negotiation")
+        response = json.loads(line)
+        if not (isinstance(response, dict) and response.get("ok")):
+            message = response.get("message") if isinstance(response, dict) else None
+            raise ServiceError(
+                str(message or f"frame negotiation for {frame!r} failed"),
+                code="bad_request",
+            )
+        self._frame = frame
+
+    # -- plumbing -------------------------------------------------------
+
+    def _connected(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
         if self._reader is None or self._writer is None:
             raise NetworkError("client is not connected")
-        message = dict(payload)
-        message.setdefault("id", self._next_id)
+        return self._reader, self._writer
+
+    def _take_id(self) -> int:
+        request_id = self._next_id
         self._next_id += 1
-        self._writer.write(
-            json.dumps(message, separators=(",", ":")).encode() + b"\n"
-        )
-        await self._writer.drain()
-        line = await self._reader.readline()
+        return request_id
+
+    def _send(self, request: QueryRequest | BatchRequest) -> None:
+        _, writer = self._connected()
+        if self._frame == "binary":
+            writer.write(self.codec.encode_request(request))
+        else:
+            writer.write(json.dumps(
+                request.to_wire(), separators=(",", ":")
+            ).encode() + b"\n")
+
+    async def _drain(self) -> None:
+        _, writer = self._connected()
+        await writer.drain()
+
+    async def _receive(self) -> QueryResponse | BatchResponse:
+        reader, _ = self._connected()
+        if self._frame == "binary":
+            try:
+                header = await reader.readexactly(HEADER.size)
+                kind, length = self.codec.unpack_header(header)
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise NetworkError("endpoint closed the connection") from exc
+            return self.codec.decode_response(kind, payload)
+        line = await reader.readline()
         if not line:
             raise NetworkError("endpoint closed the connection")
-        response = json.loads(line)
-        if not isinstance(response, dict):
-            raise NetworkError(f"malformed response: {response!r}")
-        return response
+        decoded = json.loads(line)
+        if not isinstance(decoded, dict):
+            raise NetworkError(f"malformed response: {decoded!r}")
+        if "results" in decoded:
+            return BatchResponse.from_wire(decoded)
+        return QueryResponse.from_wire(decoded)
+
+    # -- legacy dict surface (kept working via the typed layer) ---------
+
+    async def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one raw request object; returns the decoded response dict.
+
+        The wire-level escape hatch: on a JSON connection the payload is
+        sent verbatim (malformed payloads exercise the server's error
+        classes); on a binary connection it is parsed through the typed
+        protocol first, so only well-formed payloads can be expressed.
+        """
+        message = dict(payload)
+        message.setdefault("id", self._take_id())
+        if self._frame == "binary":
+            response = await self.call(parse_request(message))
+            return response.to_wire()
+        reader, writer = self._connected()
+        writer.write(json.dumps(message, separators=(",", ":")).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise NetworkError("endpoint closed the connection")
+        decoded = json.loads(line)
+        if not isinstance(decoded, dict):
+            raise NetworkError(f"malformed response: {decoded!r}")
+        return decoded
 
     async def value(self, payload: Mapping[str, Any]) -> float:
         """Request + unwrap; raises :class:`ServiceError` on error replies."""
         response = await self.request(payload)
-        if not response.get("ok"):
-            raise ServiceError(
-                str(response.get("message", "request failed")),
-                code=str(response.get("error", "server_error")),
-            )
-        return float(response["value"])
+        return QueryResponse.from_wire(response).result()
 
     async def cdf(self, x: float, *, version: int | None = None) -> float:
-        return await self.value({"op": "cdf", "x": x, "version": version})
+        response = await self.call(QueryRequest.cdf(
+            x, version=version, request_id=self._take_id()
+        ))
+        assert isinstance(response, QueryResponse)
+        return response.result()
 
     async def quantile(self, q: float, *, version: int | None = None) -> float:
-        return await self.value({"op": "quantile", "q": q, "version": version})
+        response = await self.call(QueryRequest.quantile(
+            q, version=version, request_id=self._take_id()
+        ))
+        assert isinstance(response, QueryResponse)
+        return response.result()
 
     async def fraction_between(
         self, a: float, b: float, *, version: int | None = None
     ) -> float:
-        return await self.value(
-            {"op": "fraction", "a": a, "b": b, "version": version}
-        )
+        response = await self.call(QueryRequest.fraction_between(
+            a, b, version=version, request_id=self._take_id()
+        ))
+        assert isinstance(response, QueryResponse)
+        return response.result()
 
     async def network_size(self, *, version: int | None = None) -> float:
-        return await self.value({"op": "size", "version": version})
+        response = await self.call(QueryRequest.network_size(
+            version=version, request_id=self._take_id()
+        ))
+        assert isinstance(response, QueryResponse)
+        return response.result()
 
     async def status(self) -> dict[str, Any]:
-        response = await self.request({"op": "status"})
-        status = response.get("status")
-        return status if isinstance(status, dict) else {}
+        response = await self.call(QueryRequest.status(request_id=self._take_id()))
+        assert isinstance(response, QueryResponse)
+        payload = response.payload or {}
+        status = payload.get("status")
+        return dict(status) if isinstance(status, Mapping) else {}
 
 
 def _query_payload(op: str, args: Sequence[float]) -> dict[str, Any]:
-    if op == "cdf":
-        return {"op": "cdf", "x": args[0]}
-    if op == "quantile":
-        return {"op": "quantile", "q": args[0]}
-    if op == "fraction":
-        return {"op": "fraction", "a": args[0], "b": args[1]}
-    return {"op": "size"}
+    """Deprecated: build a wire dict for ``(op, args)``.
+
+    Superseded by the typed protocol — construct a
+    :class:`~repro.service.protocol.QueryRequest` and call
+    ``to_wire()`` instead.  Kept as a shim so pre-protocol callers keep
+    working for one deprecation cycle.
+    """
+    warnings.warn(
+        "_query_payload is deprecated; build a repro.service.protocol."
+        "QueryRequest and use its to_wire()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return QueryRequest(op, tuple(args)).to_wire()
+
+
+# ----------------------------------------------------------------------
+# Measurement + blocking serve loop
+# ----------------------------------------------------------------------
+
+def _batched_requests(
+    queries: Sequence[tuple[str, tuple[float, ...]]], batch_size: int
+) -> list[QueryRequest | BatchRequest]:
+    """Typed requests for a mixed ``(op, args)`` workload, batched."""
+    singles = [QueryRequest(op, args) for op, args in queries]
+    if batch_size <= 1:
+        return list(singles)
+    return [
+        BatchRequest(tuple(singles[i : i + batch_size]))
+        for i in range(0, len(singles), batch_size)
+    ]
 
 
 def measure_endpoint_qps(
@@ -391,39 +548,111 @@ def measure_endpoint_qps(
     *,
     clients: int = 1,
     host: str = "127.0.0.1",
+    workers: int = 1,
+    frame: str = "json",
+    batch_size: int = 1,
+    mode: str = "auto",
+    think_s: float = 0.0,
 ) -> dict[str, object]:
-    """Drive a mixed query workload through a fresh endpoint.
+    """Drive a mixed query workload through a fresh serving surface.
 
-    Starts an ephemeral endpoint for ``handle``, splits ``queries``
-    round-robin over ``clients`` concurrent connections (each pipelining
-    its share sequentially), and measures client-observed per-query
-    latency.  Returns ``{"latencies": [...], "errors": n}``.
+    Starts an ephemeral server for ``handle`` — the single-loop
+    :class:`ServiceEndpoint` for ``workers <= 1``, a
+    :class:`~repro.net.service_worker.ServiceWorkerPool` otherwise —
+    splits ``queries`` round-robin over ``clients`` concurrent
+    connections, groups each share into batches of ``batch_size`` ops,
+    and measures both per-request latency and *aggregate wall-clock
+    throughput* (total ops divided by the time from first byte to last
+    response across all clients — summing per-request latencies would
+    multiply-count time the clients spend queued behind each other,
+    which is exactly the artefact that made the old benchmark report a
+    concurrency "inversion").
+
+    ``mode`` selects the pool's serving mode (``"auto"`` /
+    ``"reuseport"`` / ``"threads"``) when ``workers > 1``.
+
+    ``think_s`` makes the workload *closed-loop with think time*: each
+    client sleeps that long between requests, modelling an application
+    that does its own work between queries.  With think time, one
+    client is bounded by ``batch_size / (think_s + rtt)`` no matter how
+    fast the server is, and aggregate throughput grows with the client
+    count until the serving side saturates — the standard qps-vs-
+    clients shape.  With ``think_s=0`` the clients are a pure saturation
+    load: every client always has a request in flight, which measures
+    peak capacity but cannot show concurrency scaling on a machine
+    where the measuring clients and the server share one CPU.
+
+    Returns ``{"latencies": [...], "errors": n, "ops": n, "wall_s": s,
+    "qps": ops/s, "server": "endpoint"|"reuseport"|"threads"}``.
     """
     if clients < 1:
         raise NetworkError("need at least one client")
+    if batch_size < 1:
+        raise NetworkError("batch_size must be >= 1")
 
-    async def _client(port: int, share: Sequence[tuple[str, tuple[float, ...]]],
+    shares = [
+        _batched_requests(list(queries[i::clients]), batch_size)
+        for i in range(clients)
+    ]
+
+    async def _client(port: int, share: Sequence[QueryRequest | BatchRequest],
                       latencies: list[float]) -> int:
         errors = 0
-        async with ServiceClient(host, port) as client:
-            for op, args in share:
+        async with ServiceClient(host, port, frame=frame) as client:
+            for request in share:
                 started = wall_clock()
-                response = await client.request(_query_payload(op, args))
+                response = await client.call(request)
                 latencies.append(wall_clock() - started)
-                if not response.get("ok"):
+                if isinstance(response, BatchResponse):
+                    errors += sum(1 for r in response.results if not r.ok)
+                elif not response.ok:
                     errors += 1
+                if think_s > 0:
+                    await asyncio.sleep(think_s)
         return errors
 
-    async def _measure() -> dict[str, object]:
+    async def _drive(port: int) -> dict[str, object]:
         latencies: list[float] = []
+        started = wall_clock()
+        errors = await asyncio.gather(*(
+            _client(port, share, latencies) for share in shares if share
+        ))
+        wall_s = max(wall_clock() - started, 1e-9)
+        ops = sum(
+            len(r.items) if isinstance(r, BatchRequest) else 1
+            for share in shares for r in share
+        )
+        return {
+            "latencies": latencies,
+            "errors": int(sum(errors)),
+            "ops": ops,
+            "wall_s": wall_s,
+            "qps": ops / wall_s,
+        }
+
+    if workers > 1:
+        # Late import: service_worker imports this module's connection
+        # machinery.
+        from repro.net.service_worker import ServiceWorkerPool
+
+        pool = ServiceWorkerPool(
+            handle.store, workers=workers, host=host, mode=mode
+        )
+        pool.start()
+        try:
+            assert pool.port is not None
+            result = asyncio.run(_drive(pool.port))
+            result["server"] = pool.mode
+        finally:
+            pool.stop()
+        return result
+
+    async def _measure() -> dict[str, object]:
         async with ServiceEndpoint(handle, host=host, port=0) as endpoint:
             assert endpoint.port is not None
-            shares = [list(queries[i::clients]) for i in range(clients)]
-            errors = await asyncio.gather(*(
-                _client(endpoint.port, share, latencies)
-                for share in shares if share
-            ))
-        return {"latencies": latencies, "errors": int(sum(errors))}
+            result = await _drive(endpoint.port)
+        result["server"] = "endpoint"
+        return result
 
     return asyncio.run(_measure())
 
@@ -436,15 +665,44 @@ def serve_blocking(
     refresh_every: float = 5.0,
     max_cycles: int | None = None,
     announce: Any = print,
+    workers: int = 1,
 ) -> None:
     """Serve a handle over TCP, refreshing the estimate in the background.
 
-    The scheduler cycle runs in a worker thread between refresh pauses —
-    it must not share the endpoint's event loop, because the ``net``
-    backend owns its own ``asyncio.run`` per cycle.  With ``max_cycles``
-    the loop exits after that many refreshes (smoke tests); otherwise it
+    With ``workers <= 1`` a single-loop :class:`ServiceEndpoint` serves
+    from the handle's own engine; the scheduler cycle runs in a worker
+    thread between refresh pauses — it must not share the endpoint's
+    event loop, because the ``net`` backend owns its own ``asyncio.run``
+    per cycle.  With ``workers > 1`` a :class:`~repro.net.service_worker.
+    ServiceWorkerPool` serves from worker processes while the scheduler
+    refreshes in this thread; every published snapshot reaches the
+    workers through the store's snapshot feed.  With ``max_cycles`` the
+    loop exits after that many refreshes (smoke tests); otherwise it
     serves until interrupted.
     """
+    if workers > 1:
+        import time
+
+        from repro.net.service_worker import ServiceWorkerPool
+
+        pool = ServiceWorkerPool(
+            handle.store, workers=workers, host=host, port=port
+        )
+        pool.start()
+        try:
+            if announce is not None:
+                announce(
+                    f"serving on {host}:{pool.port} "
+                    f"({pool.workers} workers, {pool.mode})"
+                )
+            cycles = 0
+            while max_cycles is None or cycles < max_cycles:
+                time.sleep(refresh_every)
+                handle.scheduler.run_cycle()
+                cycles += 1
+        finally:
+            pool.stop()
+        return
 
     async def _serve() -> None:
         loop = asyncio.get_running_loop()

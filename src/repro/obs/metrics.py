@@ -70,9 +70,18 @@ class Histogram:
             raise ValueError(f"histogram {self.name!r} observed non-finite value {value}")
         self.count += 1
         self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-        bound = 0.0 if value <= 0 else float(2.0 ** math.ceil(math.log2(value)))
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0:
+            bound = 0.0
+        else:
+            # ceil(log2(value)) via frexp: value = m * 2**e with
+            # m in [0.5, 1), so the bound is 2**e unless value is an
+            # exact power of two (m == 0.5), which keeps its own bucket.
+            mantissa, exponent = math.frexp(value)
+            bound = math.ldexp(1.0, exponent - 1 if mantissa == 0.5 else exponent)
         self.buckets[bound] = self.buckets.get(bound, 0) + 1
 
     @property

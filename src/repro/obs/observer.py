@@ -28,7 +28,7 @@ from repro.obs.events import (
     RunCompleted,
     RunStarted,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.spans import SpanRegistry
 
 __all__ = ["NULL_HUB", "ObserverHub", "RunObserver"]
@@ -69,7 +69,15 @@ class ObserverHub:
         spans: share an existing span registry (default: a fresh one).
     """
 
-    __slots__ = ("observers", "metrics", "spans", "probes_enabled", "timing_enabled")
+    __slots__ = (
+        "observers",
+        "metrics",
+        "spans",
+        "probes_enabled",
+        "timing_enabled",
+        "_query_instruments",
+        "_query_op_counters",
+    )
 
     def __init__(
         self,
@@ -84,6 +92,14 @@ class ObserverHub:
         self.spans = spans if spans is not None else SpanRegistry()
         self.probes_enabled = bool(self.observers)
         self.timing_enabled = bool(instrument)
+        # The serving path emits one QueryServed per query at tens of
+        # thousands of qps; registry name lookups per event are a
+        # measurable fraction of that budget, so the instruments are
+        # resolved once and kept.
+        self._query_instruments: (
+            tuple[Counter, Counter, Counter, Counter, Histogram] | None
+        ) = None
+        self._query_op_counters: dict[str, Counter] = {}
 
     @property
     def enabled(self) -> bool:
@@ -134,17 +150,32 @@ class ObserverHub:
         magnitude cheaper than a simulation round, so there is no
         disabled-path budget to protect.
         """
-        metrics = self.metrics
-        metrics.counter("queries_total").inc()
-        metrics.counter(f"queries_{event.op}_total").inc()
+        cached = self._query_instruments
+        if cached is None:
+            metrics = self.metrics
+            cached = self._query_instruments = (
+                metrics.counter("queries_total"),
+                metrics.counter("query_cache_hits_total"),
+                metrics.counter("query_cache_misses_total"),
+                metrics.counter("query_errors_total"),
+                metrics.histogram("query_latency_s"),
+            )
+        total, cache_hits, cache_misses, errors, latency = cached
+        total.inc()
+        op_counter = self._query_op_counters.get(event.op)
+        if op_counter is None:
+            op_counter = self._query_op_counters[event.op] = self.metrics.counter(
+                f"queries_{event.op}_total"
+            )
+        op_counter.inc()
         if event.cache_hit:
-            metrics.counter("query_cache_hits_total").inc()
+            cache_hits.inc()
         else:
-            metrics.counter("query_cache_misses_total").inc()
+            cache_misses.inc()
         if not event.ok:
-            metrics.counter("query_errors_total").inc()
+            errors.inc()
         if event.latency_s is not None:
-            metrics.histogram("query_latency_s").observe(event.latency_s)
+            latency.observe(event.latency_s)
         for observer in self.observers:
             observer.on_query(event)
 

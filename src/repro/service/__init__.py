@@ -19,8 +19,14 @@ RAM?".  This package builds that serving layer on top of the four
   answered from the latest (or a pinned) snapshot by binary search over
   the interpolation polyline, with an LRU cache for repeated point
   queries and per-query metrics through :mod:`repro.obs`.
+* **protocol** (:mod:`repro.service.protocol`): the typed query
+  protocol — :class:`QueryRequest`/:class:`QueryResponse` (plus batch
+  envelopes with partial-failure semantics), the canonical op registry
+  mapping wire ops to engine methods, and the :class:`QueryDispatcher`
+  every serving surface executes through.
 * **frontend**: the in-process :class:`ServiceHandle` here, plus the
   asyncio JSON-over-TCP endpoint in :mod:`repro.net.service_endpoint`
+  and the SO_REUSEPORT worker pool in :mod:`repro.net.service_worker`
   (all real sockets stay under the ``repro.net`` ADM008 fence).
 
 Build one with :func:`repro.api.serve` (or :func:`build_service`)::
@@ -37,6 +43,15 @@ Build one with :func:`repro.api.serve` (or :func:`build_service`)::
 
 from repro.service.bench import profile_service
 from repro.service.handle import ServiceHandle, build_service
+from repro.service.protocol import (
+    OPS,
+    BatchRequest,
+    BatchResponse,
+    QueryDispatcher,
+    QueryRequest,
+    QueryResponse,
+    parse_request,
+)
 from repro.service.query import QueryEngine
 from repro.service.scheduler import (
     ContinuousScheduler,
@@ -46,13 +61,20 @@ from repro.service.scheduler import (
 from repro.service.store import EstimateSnapshot, EstimateStore
 
 __all__ = [
+    "OPS",
+    "BatchRequest",
+    "BatchResponse",
     "ContinuousScheduler",
     "EstimateSnapshot",
     "EstimateStore",
+    "QueryDispatcher",
     "QueryEngine",
+    "QueryRequest",
+    "QueryResponse",
     "SchedulerPolicy",
     "ServiceHandle",
     "build_service",
     "estimate_divergence",
+    "parse_request",
     "profile_service",
 ]

@@ -6,14 +6,25 @@ workload, wall-clock timing through :func:`repro.obs.wall_clock`, and a
 machine-readable document written as ``BENCH_service.json`` by
 :func:`repro.obs.write_benchmark`.
 
-Two measurement modes:
+Three measurement modes:
 
 * **in-process** — the :class:`~repro.service.query.QueryEngine` called
   directly, cache on vs. off (the headline qps number);
 * **tcp** — the same mixed workload over the JSON-lines endpoint in
-  :mod:`repro.net.service_endpoint`, at 1/4/16 concurrent clients.
-  Sandboxes that forbid socket binding record the mode as skipped
-  instead of failing the benchmark.
+  :mod:`repro.net.service_endpoint`, at 1/4/16 concurrent clients;
+* **tcp_pool** — the multi-worker serving path
+  (:class:`~repro.net.service_worker.ServiceWorkerPool`) with the
+  binary frame codec and batched requests, driven by closed-loop
+  clients with think time (see :data:`DEFAULT_THINK_S`): a
+  qps-vs-clients curve at the full worker pool and a qps-vs-workers
+  curve under a saturating 16-client load.
+
+Sandboxes that forbid socket binding record the TCP modes as skipped
+instead of failing the benchmark.  All TCP throughput numbers are
+*aggregate wall-clock* qps (total ops / elapsed time across all
+clients): summing per-request latencies would multiply-count the time
+concurrent clients spend queued behind each other, which made earlier
+revisions of this benchmark report a spurious concurrency inversion.
 """
 
 from __future__ import annotations
@@ -35,6 +46,26 @@ __all__ = ["profile_service"]
 
 #: concurrent TCP clients the endpoint is measured at
 DEFAULT_CLIENT_COUNTS = (1, 4, 16)
+
+#: worker-pool sizes the qps-vs-workers curve sweeps
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
+#: worker-pool size for the qps-vs-clients curve
+DEFAULT_POOL_WORKERS = 4
+
+#: ops per batched request on the pool path
+DEFAULT_BATCH_SIZE = 32
+
+#: per-request client think time on the pool path (seconds).  The pool
+#: curves model closed-loop clients *with think time*: an application
+#: that issues a batch, spends ~4 ms on its own work, and asks again.
+#: One such client is bounded by ``batch / (think + rtt)`` regardless of
+#: server speed, so aggregate qps grows with the client count until the
+#: serving side saturates — which is the scaling the curve is meant to
+#: show.  (A zero-think saturation load cannot show it here: the
+#: measuring clients and the server share the same CPU budget, so every
+#: added client just displaces server work.)
+DEFAULT_THINK_S = 0.004
 
 #: mixed-workload operation cycle (weights chosen to exercise the cache,
 #: both polyline directions, and the interval path)
@@ -124,17 +155,26 @@ def profile_service(
     n_queries: int = 20_000,
     pool_size: int = 256,
     client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    pool_workers: int = DEFAULT_POOL_WORKERS,
+    batch_size: int = DEFAULT_BATCH_SIZE,
     tcp: bool = True,
     tcp_queries: int = 2000,
+    pool_queries: int = 24_000,
     seed: int = 0,
 ) -> dict[str, object]:
     """Benchmark the query layer; returns the benchmark document.
 
     The service is warmed with one full cycle on ``backend``; the same
     deterministic mixed workload then runs (a) in-process with the LRU
-    cache enabled, (b) in-process with caching disabled, and (c) — when
-    ``tcp`` — through the TCP endpoint at each of ``client_counts``
-    concurrent clients.
+    cache enabled, (b) in-process with caching disabled, (c) — when
+    ``tcp`` — through the single-loop TCP endpoint at each of
+    ``client_counts`` concurrent clients, and (d) through the
+    multi-worker pool (binary frames, ``batch_size`` ops per request,
+    closed-loop clients with :data:`DEFAULT_THINK_S` think time): the
+    qps-vs-clients curve at ``pool_workers`` workers and the
+    qps-vs-workers curve over ``worker_counts`` under a saturating
+    16-client load.
     """
     hub = ObserverHub()
     handle = build_service(
@@ -166,13 +206,28 @@ def profile_service(
         "cache": dict(uncached.cache_info()),
     }))
 
-    # (c) TCP endpoint at increasing client concurrency
+    # (c) single-loop TCP endpoint at increasing client concurrency
     if tcp:
         tcp_entries, tcp_skips = _profile_tcp(
             handle, queries[:tcp_queries], client_counts
         )
         entries.extend(tcp_entries)
         skipped.extend(tcp_skips)
+
+        # (d) the multi-worker pool: clients curve + workers curve.
+        # Tile the workload if the pool wants more ops than n_queries —
+        # repeats are realistic (that is what the LRU is for).
+        tiles = -(-pool_queries // len(queries))
+        pool_entries, pool_skips = _profile_pool(
+            handle,
+            (list(queries) * tiles)[:pool_queries],
+            client_counts,
+            worker_counts,
+            pool_workers=pool_workers,
+            batch_size=batch_size,
+        )
+        entries.extend(pool_entries)
+        skipped.extend(pool_skips)
 
     return {
         "benchmark": "adam2-service",
@@ -187,6 +242,31 @@ def profile_service(
         "entries": entries,
         "skipped": skipped,
     }
+
+
+def _wire_entry(
+    mode: str, label: str, stats: dict[str, object], extra: dict[str, object]
+) -> dict[str, object]:
+    """One benchmark entry from ``measure_endpoint_qps`` stats.
+
+    Throughput is the aggregate wall-clock qps the measurement computed;
+    the latency percentiles are per *request* (one batch counts once).
+    """
+    latencies = stats["latencies"]
+    assert isinstance(latencies, list)
+    entry: dict[str, object] = {
+        "mode": mode,
+        "label": label,
+        "queries": stats["ops"],
+        "wall_time_s": stats["wall_s"],
+        "qps": stats["qps"],
+        "p50_latency_s": _percentile(latencies, 50),
+        "p99_latency_s": _percentile(latencies, 99),
+        "errors": stats["errors"],
+        "server": stats["server"],
+    }
+    entry.update(extra)
+    return entry
 
 
 def _profile_tcp(
@@ -211,10 +291,65 @@ def _profile_tcp(
                 "reason": f"{type(exc).__name__}: {exc}",
             })
             continue
-        latencies = stats["latencies"]
-        assert isinstance(latencies, list)
-        entries.append(_entry("tcp", f"clients_{int(clients)}", latencies, {
+        entries.append(_wire_entry("tcp", f"clients_{int(clients)}", stats, {
             "clients": int(clients),
-            "errors": stats["errors"],
         }))
+    return entries, skipped
+
+
+def _profile_pool(
+    handle: ServiceHandle,
+    queries: Sequence[tuple[str, tuple[float, ...]]],
+    client_counts: Sequence[int],
+    worker_counts: Sequence[int],
+    *,
+    pool_workers: int,
+    batch_size: int,
+    think_s: float = DEFAULT_THINK_S,
+) -> tuple[list[dict[str, object]], list[dict[str, object]]]:
+    """The multi-worker serving path: clients curve, then workers curve.
+
+    The clients curve runs closed-loop clients with ``think_s`` of
+    think time at the full ``pool_workers`` pool; the workers curve
+    holds the load at 16 such clients (saturating) and sweeps the
+    worker count — ``workers=1`` routes through the single-loop
+    endpoint, so that point is the no-pool baseline.
+    """
+    from repro.net.service_endpoint import measure_endpoint_qps
+
+    entries: list[dict[str, object]] = []
+    skipped: list[dict[str, object]] = []
+
+    def measure(label: str, *, clients: int, workers: int) -> None:
+        try:
+            stats = measure_endpoint_qps(
+                handle, queries, clients=clients, workers=workers,
+                frame="binary", batch_size=batch_size, think_s=think_s,
+            )
+        except (OSError, PermissionError) as exc:
+            skipped.append({
+                "mode": "tcp_pool",
+                "clients": clients,
+                "workers": workers,
+                "reason": f"{type(exc).__name__}: {exc}",
+            })
+            return
+        entries.append(_wire_entry("tcp_pool", label, stats, {
+            "clients": clients,
+            "workers": workers,
+            "frame": "binary",
+            "batch_size": batch_size,
+            "think_s": think_s,
+        }))
+
+    for clients in client_counts:
+        measure(
+            f"pool_clients_{int(clients)}",
+            clients=int(clients), workers=pool_workers,
+        )
+    for workers in worker_counts:
+        measure(
+            f"pool_workers_{int(workers)}",
+            clients=16, workers=int(workers),
+        )
     return entries, skipped

@@ -27,6 +27,7 @@ from typing import Callable, Iterator
 
 from repro.errors import ServiceError
 from repro.obs import NULL_HUB, ObserverHub, QueryServed, wall_clock
+from repro.service.protocol import OPS, QueryRequest, QueryResponse
 from repro.service.store import EstimateSnapshot, EstimateStore
 
 __all__ = ["QueryEngine"]
@@ -117,8 +118,7 @@ class QueryEngine:
         return self._serve(
             "fraction", (a, b), version,
             lambda snap: max(
-                float(snap.estimate.evaluate(b)) - float(snap.estimate.evaluate(a)),
-                0.0,
+                self._edge_cdf(snap, b) - self._edge_cdf(snap, a), 0.0
             ),
         )
 
@@ -133,6 +133,38 @@ class QueryEngine:
             return float(snap.size_estimate)
 
         return self._serve("size", (), version, compute)
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Answer one typed :class:`~repro.service.protocol.QueryRequest`.
+
+        The canonical entry point for every serving surface (endpoint,
+        worker processes, in-process callers): the op registry maps the
+        wire op to the engine method, and engine failures come back as
+        typed error responses instead of raising — the caller is a
+        protocol layer, not application code.
+        """
+        spec = OPS[request.op]
+        if spec.engine_method is None:
+            return QueryResponse.failure(
+                "bad_request",
+                f"op {request.op!r} is a control op; the engine does not serve it",
+                request_id=request.request_id,
+            )
+        method: Callable[..., float] = getattr(self, spec.engine_method)
+        try:
+            value = method(*request.args, version=request.version)
+        except ServiceError as exc:
+            return QueryResponse.failure(
+                exc.code, str(exc), request_id=request.request_id
+            )
+        except Exception as exc:  # the wire-level 5xx class
+            return QueryResponse.failure(
+                "server_error", f"{type(exc).__name__}: {exc}",
+                request_id=request.request_id,
+            )
+        return QueryResponse.success(
+            value, version=request.version, request_id=request.request_id
+        )
 
     # ------------------------------------------------------------------
     # Serving core
@@ -152,6 +184,24 @@ class QueryEngine:
         except ServiceError as exc:
             self._emit(op, None, False, False, exc.code, started)
             raise
+
+    def _edge_cdf(self, snapshot: EstimateSnapshot, x: float) -> float:
+        """``F(x)`` through the cache, sharing keys with the cdf op.
+
+        Interval queries draw endpoints from the same value pool as
+        point queries, but their *pairs* rarely repeat — caching the
+        pair alone made nearly every fraction query re-evaluate the
+        polyline twice.  Evaluating each endpoint through the shared
+        ``(version, "cdf", x)`` entries makes fraction misses cheap and
+        pre-warms the cdf op (and vice versa).  Deliberately not
+        counted as a hit/miss: the op-level lookup already did that.
+        """
+        key: _CacheKey = (snapshot.version, "cdf", x)
+        value = self._cache.get(key)
+        if value is None:
+            value = float(snapshot.estimate.evaluate(x))
+            self._cache_put(key, value)
+        return value
 
     def _snapshot(self, version: int | None) -> EstimateSnapshot:
         if version is None:

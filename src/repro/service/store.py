@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.cdf import EstimatedCDF
 from repro.errors import ServiceError
@@ -111,6 +112,7 @@ class EstimateStore:
         self._pinned: set[int] = set()
         self._next_version = 1
         self._published_total = 0
+        self._subscribers: list[Callable[[EstimateSnapshot], None]] = []
 
     # ------------------------------------------------------------------
     # Publishing
@@ -151,7 +153,53 @@ class EstimateStore:
             self._published_total += 1
             self._snapshots[snapshot.version] = snapshot
             self._evict_locked()
-            return snapshot
+            subscribers = tuple(self._subscribers)
+        # Callbacks run outside the lock: a subscriber that re-enters the
+        # store (or blocks on a worker feed queue) must not deadlock the
+        # publishing scheduler thread.
+        for callback in subscribers:
+            callback(snapshot)
+        return snapshot
+
+    def adopt(self, snapshot: EstimateSnapshot) -> EstimateSnapshot:
+        """Insert an already-versioned snapshot into a replica store.
+
+        The snapshot-feed counterpart of :meth:`publish`: worker
+        processes replay the publisher's snapshots into their own store
+        so every replica serves identical versions.  Adoption is
+        idempotent (re-delivery keeps the first copy), keeps the version
+        counter ahead of the newest adopted version, and never notifies
+        subscribers — replicas re-broadcasting would loop the feed.
+        """
+        with self._lock:
+            if snapshot.version not in self._snapshots:
+                self._snapshots[snapshot.version] = snapshot
+                # Preserve version order even if the feed re-orders
+                # deliveries; OrderedDict iteration order is eviction
+                # and latest() order.
+                ordered = sorted(self._snapshots)
+                for version in ordered:
+                    self._snapshots.move_to_end(version)
+                self._published_total += 1
+                self._evict_locked()
+            self._next_version = max(self._next_version, snapshot.version + 1)
+            return self._snapshots[snapshot.version]
+
+    # ------------------------------------------------------------------
+    # Subscriptions (the worker snapshot feed)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[EstimateSnapshot], None]) -> None:
+        """Call ``callback(snapshot)`` after every :meth:`publish`."""
+        with self._lock:
+            if callback not in self._subscribers:
+                self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[EstimateSnapshot], None]) -> None:
+        """Drop a publish subscription (idempotent)."""
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
 
     def _evict_locked(self) -> None:
         excess = len(self._snapshots) - self.max_history

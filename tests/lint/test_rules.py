@@ -361,6 +361,23 @@ class TestADM008NetOutsideRuntime:
         """
         assert codes(src, path="src/repro/net/service_endpoint.py") == []
 
+    def test_service_worker_module_is_under_the_net_exemption(self):
+        """The SO_REUSEPORT worker pool opens raw sockets and spawns
+        serving processes; it is legal only because it lives in
+        repro.net — the same source anywhere else must trip ADM008."""
+        src = """
+            import socket
+
+            def reuseport_listener(host, port):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                sock.bind((host, port))
+                sock.listen(128)
+                return sock
+        """
+        assert codes(src, path="src/repro/net/service_worker.py") == []
+        assert "ADM008" in codes(src, path="src/repro/service/worker.py")
+
     def test_real_service_sources_lint_clean(self):
         from pathlib import Path
 

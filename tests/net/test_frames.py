@@ -1,0 +1,214 @@
+"""The binary query-frame codec: round trips, validation, corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net.frames import (
+    FRAME_MAGIC,
+    HEADER,
+    KIND_BATCH_REQUEST,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    FrameCodec,
+    FRAME_VERSION,
+)
+from repro.rngs import make_rng
+from repro.service.protocol import (
+    BatchRequest,
+    BatchResponse,
+    QueryRequest,
+    QueryResponse,
+)
+
+
+@pytest.fixture
+def codec():
+    return FrameCodec()
+
+
+def round_trip_request(codec, request):
+    frame = codec.encode_request(request)
+    kind, length = codec.unpack_header(frame[: HEADER.size])
+    payload = frame[HEADER.size :]
+    assert len(payload) == length
+    return codec.decode_request(kind, payload)
+
+
+def round_trip_response(codec, response):
+    frame = codec.encode_response(response)
+    kind, length = codec.unpack_header(frame[: HEADER.size])
+    payload = frame[HEADER.size :]
+    assert len(payload) == length
+    return codec.decode_response(kind, payload)
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("request_", [
+        QueryRequest.cdf(1.5),
+        QueryRequest.cdf(-3.25, version=7, request_id=42),
+        QueryRequest.quantile(0.5, request_id=-1),
+        QueryRequest.fraction_between(2048.0, float("inf")),
+        QueryRequest.network_size(),
+        QueryRequest.status(request_id=9),
+        QueryRequest.history(),
+        QueryRequest.pin(3),
+        QueryRequest.unpin(3, request_id=8),
+    ])
+    def test_single(self, codec, request_):
+        assert round_trip_request(codec, request_) == request_
+
+    def test_batch(self, codec):
+        batch = BatchRequest((
+            QueryRequest.cdf(1.0),
+            QueryRequest.fraction_between(0.0, 10.0),
+            QueryRequest.network_size(),
+        ), request_id=77)
+        again = round_trip_request(codec, batch)
+        assert isinstance(again, BatchRequest)
+        assert again == batch
+
+    def test_string_ids_cannot_ride_binary_frames(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_request(QueryRequest.cdf(1.0, request_id="abc"))
+
+    def test_batch_members_carry_no_ids(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_request(BatchRequest(
+                (QueryRequest.cdf(1.0, request_id=1),)
+            ))
+
+
+class TestResponseRoundTrip:
+    @pytest.mark.parametrize("response", [
+        QueryResponse.success(0.25),
+        QueryResponse.success(0.25, version=3, request_id=5),
+        QueryResponse.failure("bad_request", "nope"),
+        QueryResponse.failure("unavailable", "gone", request_id=2),
+        QueryResponse.failure("server_error", ""),
+        QueryResponse.control({"status": {"versions": [1, 2]}}, request_id=1),
+        QueryResponse.control({"history": [{"version": 1}]}),
+        QueryResponse.control({}),
+    ])
+    def test_single(self, codec, response):
+        again = round_trip_response(codec, response)
+        assert again.ok == response.ok
+        assert again.value == response.value
+        assert again.version == response.version
+        assert again.request_id == response.request_id
+        assert again.error == response.error
+        if response.payload is not None:
+            assert again.payload == dict(response.payload)
+
+    def test_empty_failure_message_still_reads_as_failed(self, codec):
+        again = round_trip_response(codec, QueryResponse.failure("unavailable", ""))
+        assert not again.ok and again.error == "unavailable"
+        assert again.message  # normalised to a non-empty default
+
+    def test_batch(self, codec):
+        batch = BatchResponse((
+            QueryResponse.success(1.0, version=2),
+            QueryResponse.failure("bad_request", "boom"),
+        ), request_id=6)
+        again = round_trip_response(codec, batch)
+        assert isinstance(again, BatchResponse)
+        assert [r.ok for r in again.results] == [True, False]
+        assert again.request_id == 6
+
+
+class TestHeaderValidation:
+    def test_bad_magic(self, codec):
+        frame = bytearray(codec.encode_request(QueryRequest.network_size()))
+        frame[0] = ord("X")
+        with pytest.raises(CodecError):
+            codec.unpack_header(bytes(frame[: HEADER.size]))
+
+    def test_unknown_version(self, codec):
+        header = HEADER.pack(FRAME_MAGIC, FRAME_VERSION + 1, KIND_REQUEST, 0)
+        with pytest.raises(CodecError):
+            codec.unpack_header(header)
+
+    def test_unknown_kind(self, codec):
+        header = HEADER.pack(FRAME_MAGIC, FRAME_VERSION, 200, 0)
+        with pytest.raises(CodecError):
+            codec.unpack_header(header)
+
+    def test_length_budget_is_enforced(self):
+        codec = FrameCodec(max_frame=64)
+        header = HEADER.pack(FRAME_MAGIC, FRAME_VERSION, KIND_REQUEST, 65)
+        with pytest.raises(CodecError):
+            codec.unpack_header(header)
+
+    def test_kind_mismatch_is_rejected(self, codec):
+        frame = codec.encode_request(QueryRequest.network_size())
+        payload = frame[HEADER.size :]
+        with pytest.raises(CodecError):
+            codec.decode_response(KIND_REQUEST, payload)
+        with pytest.raises(CodecError):
+            codec.decode_request(KIND_RESPONSE, payload)
+
+
+class TestCorruption:
+    def payloads(self):
+        codec = FrameCodec()
+        frames = [
+            codec.encode_request(QueryRequest.cdf(1.5, version=2, request_id=9)),
+            codec.encode_request(BatchRequest((
+                QueryRequest.cdf(1.0), QueryRequest.network_size(),
+            ), request_id=3)),
+        ]
+        return codec, frames
+
+    def test_every_truncation_raises_codec_error(self):
+        codec, frames = self.payloads()
+        for frame in frames:
+            kind, _ = codec.unpack_header(frame[: HEADER.size])
+            payload = frame[HEADER.size :]
+            for cut in range(len(payload)):
+                with pytest.raises(CodecError):
+                    codec.decode_request(kind, payload[:cut])
+
+    def test_trailing_garbage_raises_codec_error(self):
+        codec, frames = self.payloads()
+        for frame in frames:
+            kind, _ = codec.unpack_header(frame[: HEADER.size])
+            with pytest.raises(CodecError):
+                codec.decode_request(kind, frame[HEADER.size :] + b"\x00")
+
+    def test_random_bitflips_never_crash_the_decoder(self):
+        """Fuzz: a flipped byte either still decodes or raises CodecError —
+        never any other exception and never a hang."""
+        codec, frames = self.payloads()
+        rng = make_rng(1234)
+        for frame in frames:
+            payload = bytearray(frame[HEADER.size :])
+            for _ in range(300):
+                index = int(rng.integers(0, len(payload)))
+                value = int(rng.integers(0, 256))
+                corrupted = bytearray(payload)
+                corrupted[index] = value
+                for kind in (KIND_REQUEST, KIND_BATCH_REQUEST):
+                    try:
+                        codec.decode_request(kind, bytes(corrupted))
+                    except CodecError:
+                        pass
+
+    def test_random_response_bitflips_never_crash_the_decoder(self):
+        codec = FrameCodec()
+        frame = codec.encode_response(BatchResponse((
+            QueryResponse.success(0.5, version=1, request_id=2),
+            QueryResponse.failure("unavailable", "gone"),
+            QueryResponse.control({"status": {"versions": [1]}}),
+        ), request_id=5))
+        kind, _ = codec.unpack_header(frame[: HEADER.size])
+        payload = bytearray(frame[HEADER.size :])
+        rng = make_rng(99)
+        for _ in range(500):
+            index = int(rng.integers(0, len(payload)))
+            corrupted = bytearray(payload)
+            corrupted[index] = int(rng.integers(0, 256))
+            try:
+                codec.decode_response(kind, bytes(corrupted))
+            except CodecError:
+                pass

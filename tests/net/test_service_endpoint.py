@@ -15,6 +15,7 @@ from repro.net.service_endpoint import (
     ServiceEndpoint,
     measure_endpoint_qps,
 )
+from repro.service.protocol import BatchRequest, QueryRequest
 from repro.workloads.synthetic import uniform_workload
 
 CONFIG = Adam2Config(points=24, rounds_per_instance=25)
@@ -100,6 +101,17 @@ class TestErrors:
 
     def test_non_numeric_field(self, handle):
         self.assert_error(handle, {"op": "cdf", "x": "wide"}, "bad_request")
+
+    def test_boolean_field_is_not_a_number(self, handle):
+        # Regression: bool subclasses int, so a naive isinstance check
+        # would serve {"op": "cdf", "x": true} as cdf(1.0).
+        self.assert_error(handle, {"op": "cdf", "x": True}, "bad_request")
+        self.assert_error(
+            handle, {"op": "fraction", "a": False, "b": 2.0}, "bad_request"
+        )
+        self.assert_error(
+            handle, {"op": "cdf", "x": 1.0, "version": True}, "bad_request"
+        )
 
     def test_bad_quantile_level(self, handle):
         self.assert_error(handle, {"op": "quantile", "q": 3.0}, "bad_request")
@@ -195,6 +207,143 @@ class TestObservability:
         assert len(failures) == 1  # the engine's event; no endpoint double
 
 
+class TestBatch:
+    def test_batch_partial_failure_over_the_wire(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return await client.request({"op": "batch", "ops": [
+                        {"op": "cdf", "x": 500.0},
+                        {"op": "nope"},
+                        {"op": "quantile", "q": 9.0},
+                        {"op": "size"},
+                    ], "id": 5})
+
+        response = run(scenario())
+        assert response["ok"] is True and response["id"] == 5
+        oks = [r["ok"] for r in response["results"]]
+        assert oks == [True, False, False, True]
+        assert response["results"][1]["error"] == "bad_request"
+        assert response["results"][0]["value"] == pytest.approx(
+            handle.cdf(500.0)
+        )
+
+    def test_typed_batch_surface(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    batch = await client.batch([
+                        QueryRequest.cdf(500.0),
+                        QueryRequest.network_size(),
+                    ])
+                    return [r.result() for r in batch.results]
+
+        cdf, size = run(scenario())
+        assert cdf == pytest.approx(handle.cdf(500.0))
+        assert size == pytest.approx(handle.network_size())
+
+    def test_empty_batch_is_bad_request(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return await client.request({"op": "batch", "ops": []})
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+
+class TestBinaryFrames:
+    def test_negotiated_binary_round_trip(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient(
+                    "127.0.0.1", endpoint.port, frame="binary"
+                ) as client:
+                    assert client.frame == "binary"
+                    values = (
+                        await client.cdf(500.0),
+                        await client.quantile(0.5),
+                        await client.network_size(),
+                    )
+                    status = await client.status()
+                    return values, status
+
+        (cdf, quantile, size), status = run(scenario())
+        assert cdf == pytest.approx(handle.cdf(500.0))
+        assert quantile == pytest.approx(handle.quantile(0.5))
+        assert size == pytest.approx(handle.network_size())
+        assert status["backend"] == "fast"
+
+    def test_binary_batch_and_errors(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient(
+                    "127.0.0.1", endpoint.port, frame="binary"
+                ) as client:
+                    batch = await client.batch([
+                        QueryRequest.cdf(500.0),
+                        QueryRequest.quantile(9.0),
+                    ])
+                    return [(r.ok, r.error) for r in batch.results]
+
+        results = run(scenario())
+        assert results[0] == (True, None)
+        assert results[1] == (False, "bad_request")
+
+    def test_unknown_frame_name_is_rejected(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    return await client.request(
+                        {"op": "frame", "frame": "carrier-pigeon"}
+                    )
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+
+class TestPipelining:
+    @pytest.mark.parametrize("frame", ["json", "binary"])
+    def test_pipelined_requests_answer_in_order(self, handle, frame):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient(
+                    "127.0.0.1", endpoint.port, frame=frame
+                ) as client:
+                    requests = [
+                        QueryRequest.cdf(float(i * 50), request_id=i)
+                        for i in range(12)
+                    ]
+                    responses = await client.pipeline(requests)
+                    return [(r.request_id, r.value) for r in responses]
+
+        results = run(scenario())
+        assert [request_id for request_id, _ in results] == list(range(12))
+        for i, (_, value) in enumerate(results):
+            assert value == pytest.approx(handle.cdf(float(i * 50)))
+
+    def test_pipeline_mixes_singles_and_batches(self, handle):
+        async def scenario():
+            async with ServiceEndpoint(handle, port=0) as endpoint:
+                async with ServiceClient("127.0.0.1", endpoint.port) as client:
+                    responses = await client.pipeline([
+                        QueryRequest.cdf(500.0, request_id=1),
+                        BatchRequest((
+                            QueryRequest.network_size(),
+                            QueryRequest.cdf(100.0),
+                        ), request_id=2),
+                        QueryRequest.network_size(request_id=3),
+                    ])
+                    return responses
+
+        single, batch, last = run(scenario())
+        assert single.request_id == 1 and single.ok
+        assert [r.ok for r in batch.results] == [True, True]
+        assert last.request_id == 3 and last.ok
+
+
 class TestConcurrency:
     def test_concurrent_clients_all_answered(self, handle):
         queries = [("cdf", (float(x % 97),)) for x in range(120)]
@@ -203,6 +352,29 @@ class TestConcurrency:
         assert isinstance(latencies, list) and len(latencies) == 120
         assert stats["errors"] == 0
         assert all(latency > 0 for latency in latencies)
+
+    def test_concurrency_does_not_invert_throughput(self, handle):
+        """Closed-loop clients with think time: aggregate wall-clock
+        qps at 4 clients must comfortably exceed qps at 1 client.  The
+        old benchmark summed per-request latencies — multiply-counting
+        time spent queued — and reported the opposite (a concurrency
+        "inversion" the serving path never had)."""
+        queries = [("cdf", (float(x % 97),)) for x in range(1600)]
+        stats_1 = measure_endpoint_qps(
+            handle, queries, clients=1, workers=2,
+            frame="binary", batch_size=8, think_s=0.003,
+        )
+        stats_4 = measure_endpoint_qps(
+            handle, queries, clients=4, workers=2,
+            frame="binary", batch_size=8, think_s=0.003,
+        )
+        assert stats_1["errors"] == 0 and stats_4["errors"] == 0
+        # Each client is think-time-bound (~batch/think qps), so four
+        # clients should land near 4x one client; 2x is the flake-proof
+        # floor.
+        assert stats_4["qps"] >= 2.0 * stats_1["qps"], (
+            stats_1["qps"], stats_4["qps"],
+        )
 
     def test_sequential_requests_answered_in_order(self, handle):
         async def scenario():

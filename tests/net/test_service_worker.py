@@ -1,0 +1,169 @@
+"""The multi-worker serving pool: both modes, the snapshot feed, parity."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import Adam2Config
+from repro.errors import NetworkError
+from repro.net.service_endpoint import ServiceClient, measure_endpoint_qps
+from repro.net.service_worker import ServiceWorkerPool, reuseport_available
+from repro.service import build_service
+from repro.service.protocol import QueryRequest
+from repro.workloads.synthetic import uniform_workload
+
+CONFIG = Adam2Config(points=24, rounds_per_instance=25)
+
+#: both modes must speak identical protocol; reuseport only where the
+#: kernel supports it
+MODES = ["threads"] + (["reuseport"] if reuseport_available() else [])
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_handle(**overrides):
+    kwargs = dict(backend="fast", n_nodes=400, seed=5)
+    kwargs.update(overrides)
+    return build_service(CONFIG, uniform_workload(0, 1000), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def handle():
+    return make_handle()
+
+
+class TestPoolLifecycle:
+    def test_rejects_bad_arguments(self, handle):
+        with pytest.raises(NetworkError):
+            ServiceWorkerPool(handle.store, workers=0)
+        with pytest.raises(NetworkError):
+            ServiceWorkerPool(handle.store, mode="carrier-pigeon")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_start_stop_is_clean_and_restartable(self, handle, mode):
+        pool = ServiceWorkerPool(handle.store, workers=2, mode=mode)
+        with pool:
+            assert pool.mode == mode and pool.port is not None
+        assert pool.mode is None and pool.port is None
+        with pool:  # a stopped pool can start again
+            assert pool.mode == mode
+
+    def test_double_start_fails_loudly(self, handle):
+        pool = ServiceWorkerPool(handle.store, workers=1, mode="threads")
+        with pool:
+            with pytest.raises(NetworkError):
+                pool.start()
+
+
+class TestServingParity:
+    """Both pool modes answer byte-identically to the single endpoint."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("frame", ["json", "binary"])
+    def test_queries_match_in_process(self, handle, mode, frame):
+        async def scenario(port):
+            async with ServiceClient("127.0.0.1", port, frame=frame) as client:
+                return (
+                    await client.cdf(500.0),
+                    await client.quantile(0.5),
+                    await client.fraction_between(100.0, 900.0),
+                    await client.network_size(),
+                )
+
+        with ServiceWorkerPool(handle.store, workers=2, mode=mode) as pool:
+            cdf, quantile, fraction, size = run(scenario(pool.port))
+        assert cdf == pytest.approx(handle.cdf(500.0))
+        assert quantile == pytest.approx(handle.quantile(0.5))
+        assert fraction == pytest.approx(handle.fraction_between(100.0, 900.0))
+        assert size == pytest.approx(handle.network_size())
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_batch_partial_failure_over_the_pool(self, handle, mode):
+        async def scenario(port):
+            async with ServiceClient("127.0.0.1", port) as client:
+                return await client.request({"op": "batch", "ops": [
+                    {"op": "cdf", "x": 500.0},
+                    {"op": "cdf", "x": True},
+                    {"op": "size"},
+                ]})
+
+        with ServiceWorkerPool(handle.store, workers=2, mode=mode) as pool:
+            response = run(scenario(pool.port))
+        results = response["results"]
+        assert [r["ok"] for r in results] == [True, False, True]
+        assert results[1]["error"] == "bad_request"
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_status_names_the_serving_worker(self, handle, mode):
+        async def scenario(port):
+            async with ServiceClient("127.0.0.1", port) as client:
+                return await client.status()
+
+        with ServiceWorkerPool(handle.store, workers=2, mode=mode) as pool:
+            status = run(scenario(pool.port))
+        assert status["serving_mode"] == mode
+        assert status["backend"] == "fast"
+        assert isinstance(status["worker"], int)
+
+
+class TestSnapshotFeed:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_new_versions_reach_the_workers(self, mode):
+        handle = make_handle()
+        baseline = handle.store.versions()
+
+        async def versions(port, want):
+            async with ServiceClient("127.0.0.1", port) as client:
+                # The feed is asynchronous in reuseport mode: poll until
+                # the published version lands in a worker replica.
+                for _ in range(100):
+                    status = await client.status()
+                    if want in status["versions"]:
+                        return status["versions"]
+                    await asyncio.sleep(0.05)
+                return status["versions"]
+
+        with ServiceWorkerPool(handle.store, workers=2, mode=mode) as pool:
+            snapshot = handle.refresh()
+            seen = run(versions(pool.port, snapshot.version))
+        assert snapshot.version in seen
+        assert set(baseline) <= set(seen)
+
+    def test_stopping_unsubscribes_the_feed(self, handle):
+        pool = ServiceWorkerPool(handle.store, workers=1, mode="threads")
+        with pool:
+            pass
+        # Publishing after stop must not enqueue into dead feeds.
+        handle.refresh()
+
+
+class TestPooledMeasurement:
+    def test_measure_endpoint_qps_uses_the_pool(self, handle):
+        queries = [("cdf", (float(x % 37),)) for x in range(120)]
+        stats = measure_endpoint_qps(
+            handle, queries, clients=3, workers=2, frame="binary", batch_size=8
+        )
+        assert stats["ops"] == 120
+        assert stats["errors"] == 0
+        assert stats["server"] in ("reuseport", "threads")
+        assert stats["qps"] > 0
+        # 120 ops in batches of 8 over 3 clients: 5 requests per client
+        latencies = stats["latencies"]
+        assert isinstance(latencies, list) and len(latencies) == 15
+
+    def test_pipeline_through_the_pool(self, handle):
+        async def scenario(port):
+            async with ServiceClient("127.0.0.1", port, frame="binary") as client:
+                requests = [
+                    QueryRequest.cdf(float(i), request_id=i) for i in range(10)
+                ]
+                responses = await client.pipeline(requests)
+                return [r.request_id for r in responses]
+
+        with ServiceWorkerPool(handle.store, workers=2) as pool:
+            ids = run(scenario(pool.port))
+        assert ids == list(range(10))
