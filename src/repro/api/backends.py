@@ -113,13 +113,24 @@ class FastBackend(Backend):
     supported_options = frozenset({
         "exchange", "churn_rate", "neighbour_sample", "node_sample", "sanitize",
         "track", "track_every", "confidence_sample", "drift",
-        "warmup_instances", "system_errors",
+        "warmup_instances", "system_errors", "dtype", "shards", "shard_mix",
     })
+
+    #: options meaningless under sharding (they need full-state access)
+    _SHARD_INCOMPATIBLE = (
+        "exchange", "churn_rate", "track", "track_every",
+        "confidence_sample", "drift", "warmup_instances", "system_errors",
+    )
 
     def run(self, spec: RunSpec, hub: ObserverHub) -> RunResult:
         from repro.fastsim.adam2 import Adam2Simulation
 
         opts = dict(spec.options)
+        shards = int(opts.get("shards", 1))  # type: ignore[arg-type]
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if shards > 1:
+            return self._run_sharded(spec, hub, opts, shards)
         sim = Adam2Simulation(
             spec.workload,
             spec.n_nodes,
@@ -130,6 +141,7 @@ class FastBackend(Backend):
             neighbour_sample=opts.get("neighbour_sample"),  # type: ignore[arg-type]
             node_sample=int(opts.get("node_sample", 64)),  # type: ignore[arg-type]
             sanitize=opts.get("sanitize"),  # type: ignore[arg-type]
+            dtype=str(opts.get("dtype", "float64")),
             obs=hub,
         )
         for _ in range(int(opts.get("warmup_instances", 0))):  # type: ignore[arg-type]
@@ -180,6 +192,65 @@ class FastBackend(Backend):
         if bool(opts.get("system_errors", False)):
             result.extras["system_errors"] = sim.system_errors()
         result.extras["simulation"] = sim
+        return result
+
+    def _run_sharded(
+        self, spec: RunSpec, hub: ObserverHub, opts: dict[str, object], shards: int
+    ) -> RunResult:
+        """Route ``shards=N`` runs through the multiprocessing driver.
+
+        The shard driver targets the static-population N-scaling regime,
+        so options that require per-round full-state access are rejected
+        loudly rather than silently ignored.
+        """
+        from repro.fastsim.shard import DEFAULT_SHARD_MIX, ShardedAdam2
+
+        conflicting = sorted(key for key in self._SHARD_INCOMPATIBLE if key in opts)
+        if conflicting:
+            raise ConfigurationError(
+                f"option(s) {conflicting} are not supported with shards > 1"
+            )
+        summaries: list[InstanceSummary] = []
+        estimate: EstimatedCDF | None = None
+        with ShardedAdam2(
+            spec.workload,
+            spec.n_nodes,
+            spec.config,
+            seed=spec.seed,
+            shards=shards,
+            shard_mix=float(opts.get("shard_mix", DEFAULT_SHARD_MIX)),  # type: ignore[arg-type]
+            neighbour_sample=opts.get("neighbour_sample"),  # type: ignore[arg-type]
+            node_sample=int(opts.get("node_sample", 64)),  # type: ignore[arg-type]
+            sanitize=opts.get("sanitize"),  # type: ignore[arg-type]
+            dtype=str(opts.get("dtype", "float64")),
+            obs=hub,
+        ) as sim:
+            for index in range(spec.instances):
+                with hub.span("instance"):
+                    outcome = sim.run_instance()
+                if outcome.reached:
+                    estimate = outcome.estimate
+                summaries.append(InstanceSummary(
+                    index=index,
+                    thresholds=outcome.thresholds,
+                    fractions=outcome.estimate.fractions,
+                    errors_entire=outcome.errors_entire,
+                    errors_points=outcome.errors_points,
+                    reached=outcome.reached,
+                    messages=outcome.messages_total,
+                    bytes=outcome.bytes_total,
+                    trace=None,
+                    raw=outcome,
+                ))
+        result = RunResult(
+            backend=self.name,
+            n_nodes=spec.n_nodes,
+            seed=spec.seed,
+            config=spec.config,
+            instances=summaries,
+            estimate=estimate,
+        )
+        result.extras["shards"] = shards
         return result
 
 

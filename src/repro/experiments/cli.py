@@ -87,6 +87,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile (default: 32,64; the net backend binds one real UDP "
         "socket per node and is skipped where the sandbox forbids that)",
     )
+    parser.add_argument(
+        "--profile-scaling-sizes",
+        metavar="N,N,...",
+        default=None,
+        help="also run the fastsim N-scaling sweep (naive vs batched vs "
+        "sharded) at these sizes and attach it to the --profile report "
+        "(e.g. 1000,10000,100000,1000000; omitted: no sweep)",
+    )
+    parser.add_argument(
+        "--profile-shards",
+        metavar="S",
+        type=int,
+        default=8,
+        help="worker process count for the sharded mode of the scaling "
+        "sweep (default: %(default)s)",
+    )
     return parser
 
 
@@ -130,7 +146,7 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 
 def _run_profile(args: argparse.Namespace) -> int:
     from repro.core.config import Adam2Config
-    from repro.obs import profile_backends, write_benchmark
+    from repro.obs import profile_backends, profile_scaling, write_benchmark
     from repro.workloads import boinc_workload
 
     sizes = _parse_sizes(args.profile_sizes, "--profile-sizes", (1_000, 10_000))
@@ -142,8 +158,24 @@ def _run_profile(args: argparse.Namespace) -> int:
     document = profile_backends(
         workload, config, sizes=sizes, net_sizes=net_sizes, seed=seed
     )
+    if args.profile_scaling_sizes is not None:
+        scaling_sizes = _parse_sizes(
+            args.profile_scaling_sizes, "--profile-scaling-sizes", ()
+        )
+        document["scaling"] = profile_scaling(
+            workload, config,
+            sizes=scaling_sizes, shards=args.profile_shards, seed=seed,
+        )
     write_benchmark(document, args.profile_out)
     print(f"wrote {args.profile_out} ({len(document['entries'])} entries)")
+    scaling = document.get("scaling")
+    if isinstance(scaling, dict):
+        print(f"scaling sweep: {len(scaling['entries'])} entries")
+        for skip in scaling["skipped"]:
+            print(
+                f"scaling: skipped {skip['mode']} at n={skip['n_nodes']}: {skip['reason']}",
+                file=sys.stderr,
+            )
     for skip in document["skipped"]:
         print(
             f"skipped {skip['backend']} at n={skip['n_nodes']}: {skip['reason']}",

@@ -2,17 +2,22 @@
 
 The object-per-node engine in :mod:`repro.simulation` is the fidelity
 reference; this package re-implements the same gossip semantics on NumPy
-arrays so the paper's sweeps (system sizes up to 100,000 nodes, dozens of
-configurations) run in seconds.  All nodes of an aggregation instance
-share one threshold vector, so the per-node state is a dense matrix and a
-gossip round is a sequence of row averages.
+arrays so the paper's sweeps (system sizes up to 1,000,000 nodes, dozens
+of configurations) run in seconds.  All nodes of an aggregation instance
+share one threshold vector, so the per-node state is one batched
+``(N, λ)`` matrix (:class:`~repro.fastsim.state.BatchState`, reused
+across instances) and a gossip round is a pass of a kernel over
+preallocated scratch (:class:`~repro.fastsim.exchange.ExchangeBuffers`).
+Populations beyond one process's appetite run through the
+multiprocessing shard driver (:class:`~repro.fastsim.shard.ShardedAdam2`).
 """
 
 from repro.fastsim.adam2 import Adam2Simulation, FastInstanceResult, FastRunResult
 from repro.fastsim.churn import FastChurn
 from repro.fastsim.equidepth import EquiDepthSimulation, EquiDepthPhaseResult
-from repro.fastsim.exchange import matching_round, sequential_round
-from repro.fastsim.state import InstanceArrays
+from repro.fastsim.exchange import ExchangeBuffers, matching_round, sequential_round
+from repro.fastsim.shard import ShardedAdam2, ShardInstanceResult, ShardRunResult
+from repro.fastsim.state import BatchState, InstanceArrays, resolve_dtype
 
 __all__ = [
     "Adam2Simulation",
@@ -21,9 +26,15 @@ __all__ = [
     "FastChurn",
     "EquiDepthSimulation",
     "EquiDepthPhaseResult",
+    "ExchangeBuffers",
+    "BatchState",
+    "ShardedAdam2",
+    "ShardInstanceResult",
+    "ShardRunResult",
     "sequential_round",
     "matching_round",
     "InstanceArrays",
+    "resolve_dtype",
     "run_adam2",
 ]
 

@@ -6,6 +6,18 @@ averaged quantities (interpolation fractions, verification fractions, and
 the size weight), a per-node extremes matrix, and a joined mask.  A gossip
 round is a pass of one of the :mod:`repro.fastsim.exchange` kernels.
 
+The hot path is built around one **batched state tensor per run**: a
+single preallocated ``(N, λ)`` matrix (:class:`repro.fastsim.state.BatchState`,
+``λ = k + v + 1`` columns over all thresholds) refilled in place for each
+consecutive instance, driven through preallocated exchange scratch
+(:class:`repro.fastsim.exchange.ExchangeBuffers` — in-place partner
+permutations, gather/scatter row buffers).  In the steady state a round
+allocates nothing proportional to ``N``, which is what lets the
+``matching`` kernel reach million-node populations; the optional
+``float32`` mode halves the memory traffic on top.  The multiprocessing
+shard driver (:mod:`repro.fastsim.shard`) partitions this same state
+across worker processes for populations beyond one core.
+
 Churn semantics (paper §VII-G): replaced nodes get fresh attribute values
 from the same distribution; nodes that enter during an instance ignore it
 (they are *excluded* from the running instance and from its evaluation
@@ -31,7 +43,8 @@ from repro.core.confidence import estimate_errors_matrix, select_verification_po
 from repro.core.interpolation import interpolate_matrix
 from repro.core.selection import get_selection
 from repro.fastsim.churn import FastChurn
-from repro.fastsim.exchange import matching_round, sequential_round
+from repro.fastsim.exchange import ExchangeBuffers, matching_round, sequential_round
+from repro.fastsim.state import BatchState, resolve_dtype
 from repro.metrics.error import error_grid
 from repro.metrics.convergence import ConvergenceTrace
 from repro.obs.bridges import RateTracker
@@ -39,9 +52,121 @@ from repro.obs.events import InstanceCompleted, InstanceStarted, RoundSample
 from repro.obs.observer import NULL_HUB, ObserverHub
 from repro.workloads.base import AttributeWorkload
 
-__all__ = ["Adam2Simulation", "FastInstanceResult", "FastRunResult"]
+__all__ = [
+    "Adam2Simulation",
+    "FastInstanceResult",
+    "FastRunResult",
+    "assemble_error_pairs",
+    "entire_domain_stats",
+    "points_residual_stats",
+    "select_instance_points",
+]
 
 _KERNELS = {"sequential": sequential_round, "matching": matching_round}
+
+
+# ----------------------------------------------------------------------
+# Error aggregation (shared with the shard driver)
+# ----------------------------------------------------------------------
+# The paper's two error metrics decompose into per-row statistics that
+# combine additively, which is what lets the multiprocessing shard
+# driver compute them without gathering the full (N, k) state: each
+# shard reports (max, sum-of-row-means, count) partials and the parent
+# assembles the same numbers this module computes single-process.
+
+
+def points_residual_stats(fractions: np.ndarray, true_at_t: np.ndarray) -> tuple[float, float]:
+    """Residual partials at the interpolation points over a row block.
+
+    Returns ``(max |frac − truth|, sum over rows of mean |frac − truth|)``
+    for the (already clipped) fraction rows of reached nodes.
+    """
+    if fractions.shape[0] == 0:
+        return 0.0, 0.0
+    residual = np.abs(fractions - true_at_t[None, :])
+    return float(residual.max()), float(residual.mean(axis=1).sum())
+
+
+def entire_domain_stats(
+    thresholds: np.ndarray,
+    fractions: np.ndarray,
+    minima: np.ndarray,
+    maxima: np.ndarray,
+    truth_on_grid: np.ndarray,
+    grid: np.ndarray,
+) -> tuple[float, float]:
+    """Entire-domain residual stats (max, mean) over sampled node rows."""
+    estimates = interpolate_matrix(thresholds, fractions, minima, maxima, grid)
+    residual = np.abs(estimates - truth_on_grid[None, :])
+    return float(residual.max(axis=1).max()), float(residual.mean(axis=1).mean())
+
+
+def assemble_error_pairs(
+    n_reached: int,
+    missing: int,
+    points_max: float,
+    points_avg_sum: float,
+    entire_max: float,
+    entire_avg_mean: float,
+) -> tuple[ErrorPair, ErrorPair]:
+    """Combine residual partials into the paper's (entire, points) pairs.
+
+    Eligible nodes the instance has not reached count error 1 (their
+    approximation is undefined — the paper's early-round plateau at 1).
+    """
+    total = n_reached + missing
+    if total == 0:
+        raise SimulationError("no eligible nodes to evaluate")
+    if n_reached == 0:
+        return ErrorPair(1.0, 1.0), ErrorPair(1.0, 1.0)
+    points = ErrorPair(
+        maximum=1.0 if missing else points_max,
+        average=(points_avg_sum + missing) / total,
+    )
+    entire = ErrorPair(
+        maximum=1.0 if missing else entire_max,
+        average=(entire_avg_mean * n_reached + missing) / total,
+    )
+    return entire, points
+
+
+def select_instance_points(
+    config: Adam2Config,
+    previous: EstimatedCDF | None,
+    values: np.ndarray,
+    select_rng: np.random.Generator,
+    *,
+    neighbour_sample: int,
+    selection: str | None = None,
+    bootstrap: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Choose an instance's interpolation and verification thresholds.
+
+    The initiator refines ``previous`` (its estimate from the last
+    completed instance) when it has one, else falls back to the
+    bootstrap heuristic over a neighbour-value sample.  Shared by the
+    single-process simulator (per-initiator previous estimates) and the
+    shard driver (consensus previous estimate held by the coordinator).
+    """
+    pool_size = min(neighbour_sample, values.size)
+    neighbour_values = values[
+        select_rng.choice(values.size, size=pool_size, replace=False)
+    ]
+    if previous is None:
+        heuristic = bootstrap or config.bootstrap
+    else:
+        heuristic = selection or config.selection
+    thresholds = get_selection(heuristic).select(
+        config.points, previous, select_rng, neighbour_values=neighbour_values
+    )
+    if previous is not None:
+        lo, hi = previous.minimum, previous.maximum
+    else:
+        lo, hi = float(neighbour_values.min()), float(neighbour_values.max())
+    v_thresholds = select_verification_points(
+        config.verification_points, config.verification_target, previous, lo, hi
+    )
+    return np.sort(thresholds), np.sort(v_thresholds)
 
 
 @dataclass
@@ -81,7 +206,7 @@ class FastInstanceResult:
             raise SimulationError("no participant completed the instance")
         return EstimatedCDF(
             thresholds=self.thresholds,
-            fractions=self.fractions[mask].mean(axis=0),
+            fractions=self.fractions[mask].mean(axis=0, dtype=np.float64),
             minimum=float(self.minimum[mask].min()),
             maximum=float(self.maximum[mask].max()),
             system_size=float(np.median(self.size_estimates())) if self.weights[mask].max() > 0 else None,
@@ -141,6 +266,9 @@ class Adam2Simulation:
             error metrics (the cross-node spread is ~1e-5, see §VII-A).
         sanitize: run the invariant sanitizer after every round
             (default: follow the ``ADAM2_SANITIZE`` env var).
+        dtype: state precision, ``"float64"`` (reference) or
+            ``"float32"`` (half the per-round memory traffic; the
+            sanitizer scales its mass tolerance to the dtype).
         obs: observability hub (:mod:`repro.obs`); per-round probes and
             lifecycle events are emitted only when observers are
             attached, so the default costs one branch per round.
@@ -157,6 +285,7 @@ class Adam2Simulation:
         neighbour_sample: int | None = None,
         node_sample: int = 64,
         sanitize: bool | None = None,
+        dtype: str = "float64",
         obs: ObserverHub | None = None,
     ):
         if n_nodes < 2:
@@ -167,6 +296,7 @@ class Adam2Simulation:
         self.config = config
         self.n_nodes = n_nodes
         self.kernel = _KERNELS[exchange]
+        self.dtype = resolve_dtype(dtype)
         self.rng = make_rng(seed)
         self._value_rng = spawn(self.rng)
         self._gossip_rng = spawn(self.rng)
@@ -183,6 +313,12 @@ class Adam2Simulation:
 
         self._sanitizer = FastsimSanitizer() if sanitize_enabled(sanitize) else None
         self._obs = obs if obs is not None else NULL_HUB
+        # The (N, λ) batch and exchange scratch are sized on the first
+        # instance (λ depends on the selected thresholds) and reused for
+        # every one after: the steady-state instance allocates nothing
+        # proportional to n beyond its result arrays.
+        self._batch: BatchState | None = None
+        self._buffers: ExchangeBuffers | None = None
         # Post-instance per-node estimate state (shared thresholds).
         self.prev_thresholds: np.ndarray | None = None
         self.prev_fractions: np.ndarray | None = None
@@ -241,16 +377,16 @@ class Adam2Simulation:
 
         all_t = np.concatenate((thresholds, v_thresholds))
         # Columns: k interpolation fractions, v verification fractions, weight.
-        initial = np.empty((n, k + v + 1), dtype=float)
-        initial[:, : k + v] = self.values[:, None] <= all_t[None, :]
-        initial[:, -1] = 0.0
-        averaged = initial.copy()
-        averaged[initiator, -1] = 1.0
-        extremes = np.stack((self.values, self.values), axis=1)
-        joined = np.zeros(n, dtype=bool)
-        joined[initiator] = True
-        excluded = np.zeros(n, dtype=bool)
-        participants = np.ones(n, dtype=bool)
+        batch = self._batch = BatchState.ensure(self._batch, n, k + v + 1, self.dtype)
+        buffers = self._buffers = ExchangeBuffers.ensure(
+            self._buffers, n, batch.width, batch.dtype
+        )
+        batch.begin_instance(self.values, all_t, initiator)
+        averaged = batch.averaged
+        extremes = batch.extremes
+        joined = batch.joined
+        excluded = batch.excluded
+        participants = batch.participants
 
         start_values = self.values.copy()
         truth = EmpiricalCDF(start_values)
@@ -276,16 +412,15 @@ class Adam2Simulation:
                 # Unreached nodes evaluate their attribute at join time:
                 # keep their pending indicator rows in sync with the
                 # drifted values (paper §VII-F).
-                pending = ~joined
-                if pending.any():
-                    fresh = self.values[pending]
-                    averaged[pending, : k + v] = fresh[:, None] <= all_t[None, :]
-                    extremes[pending, 0] = fresh
-                    extremes[pending, 1] = fresh
+                batch.refresh_pending(self.values, all_t)
                 truth = EmpiricalCDF(self.values)
                 grid = error_grid(truth.minimum, truth.maximum)
             if self.churn is not None:
-                self._apply_churn(averaged, extremes, joined, excluded, participants, all_t, k)
+                self.churn.apply(
+                    batch, self.values, all_t,
+                    self.prev_fractions, self.prev_minimum, self.prev_maximum,
+                    self.has_estimate,
+                )
             if sanitizer is not None and (self.churn is not None or (drift is not None and not drift.is_static)):
                 # Churn resets rows and drift re-evaluates pending ones —
                 # legitimate external mass changes; rebase the invariant.
@@ -294,6 +429,7 @@ class Adam2Simulation:
                 active = self.kernel(
                     averaged, extremes, joined, self._gossip_rng, cfg.join_mode,
                     excluded=excluded if self.churn is not None else None,
+                    buffers=buffers,
                 )
             if sanitizer is not None:
                 sanitizer.after_round(averaged, k, round_index)
@@ -312,7 +448,9 @@ class Adam2Simulation:
 
         fractions = np.clip(averaged[:, :k], 0.0, 1.0)
         v_fractions = np.clip(averaged[:, k : k + v], 0.0, 1.0) if v else np.empty((n, 0))
-        weights = averaged[:, -1]
+        # The batch tensor is reused by the next instance: results must
+        # own copies of everything they keep (clip already copies).
+        weights = averaged[:, -1].copy()
         eligible = participants & ~excluded
         entire, points = self._instance_errors(
             fractions, extremes, joined, eligible, thresholds, truth, grid
@@ -422,8 +560,8 @@ class Adam2Simulation:
         """
         reached = int(joined.sum())
         rows = averaged[joined]
-        mass_sum = float(rows[:, :k].sum())
-        weight_sum = float(rows[:, -1].sum())
+        mass_sum = float(rows[:, :k].sum(dtype=np.float64))
+        weight_sum = float(rows[:, -1].sum(dtype=np.float64))
         spread = float(rows[:, :k].std(axis=0).mean()) if reached > 1 else 0.0
         return RoundSample(
             instance=self.instances_run,
@@ -440,7 +578,6 @@ class Adam2Simulation:
     def _select_points(
         self, initiator: int, selection: str | None, bootstrap: str | None
     ) -> tuple[np.ndarray, np.ndarray]:
-        cfg = self.config
         previous = None
         if self.has_estimate[initiator] and self.prev_fractions is not None:
             previous = EstimatedCDF(
@@ -449,55 +586,15 @@ class Adam2Simulation:
                 float(self.prev_minimum[initiator]),
                 float(self.prev_maximum[initiator]),
             )
-        pool_size = min(self.neighbour_sample, self.n_nodes)
-        neighbour_values = self.values[
-            self._select_rng.choice(self.n_nodes, size=pool_size, replace=False)
-        ]
-        if previous is None:
-            heuristic = bootstrap or cfg.bootstrap
-        else:
-            heuristic = selection or cfg.selection
-        thresholds = get_selection(heuristic).select(
-            cfg.points, previous, self._select_rng, neighbour_values=neighbour_values
+        return select_instance_points(
+            self.config,
+            previous,
+            self.values,
+            self._select_rng,
+            neighbour_sample=self.neighbour_sample,
+            selection=selection,
+            bootstrap=bootstrap,
         )
-        if previous is not None:
-            lo, hi = previous.minimum, previous.maximum
-        else:
-            lo, hi = float(neighbour_values.min()), float(neighbour_values.max())
-        v_thresholds = select_verification_points(
-            cfg.verification_points, cfg.verification_target, previous, lo, hi
-        )
-        return np.sort(thresholds), np.sort(v_thresholds)
-
-    def _apply_churn(
-        self,
-        averaged: np.ndarray,
-        extremes: np.ndarray,
-        joined: np.ndarray,
-        excluded: np.ndarray,
-        participants: np.ndarray,
-        all_t: np.ndarray,
-        k: int,
-    ) -> None:
-        victims = self.churn.select_victims(self.n_nodes)
-        if victims.size == 0:
-            return
-        fresh = self.churn.fresh_values(victims.size)
-        self.values[victims] = fresh
-        averaged[victims, : all_t.size] = fresh[:, None] <= all_t[None, :]
-        averaged[victims, -1] = 0.0
-        extremes[victims, 0] = fresh
-        extremes[victims, 1] = fresh
-        joined[victims] = False
-        excluded[victims] = True  # new nodes ignore the running instance
-        participants[victims] = False
-        # Bootstrap the joiners with neighbours' previous estimates.
-        if self.prev_fractions is not None:
-            donors = self.churn.rng.integers(0, self.n_nodes, size=victims.size)
-            self.prev_fractions[victims] = self.prev_fractions[donors]
-            self.prev_minimum[victims] = self.prev_minimum[donors]
-            self.prev_maximum[victims] = self.prev_maximum[donors]
-            self.has_estimate[victims] = self.has_estimate[donors]
 
     def _instance_errors(
         self,
@@ -515,20 +612,14 @@ class Adam2Simulation:
         reached = joined & eligible
         missing = int((eligible & ~joined).sum())
         n_reached = int(reached.sum())
-        total = n_reached + missing
-        if total == 0:
+        if n_reached + missing == 0:
             raise SimulationError("no eligible nodes to evaluate")
         if n_reached == 0:
-            return ErrorPair(1.0, 1.0), ErrorPair(1.0, 1.0)
+            return assemble_error_pairs(0, missing, 0.0, 0.0, 0.0, 0.0)
 
         frac = np.clip(fractions[reached], 0.0, 1.0)
-        true_at_t = truth.evaluate(thresholds)
-        residual_points = np.abs(frac - true_at_t[None, :])
-        max_points = float(residual_points.max(axis=1).max())
-        avg_points = float(residual_points.mean(axis=1).sum())
-        points = ErrorPair(
-            maximum=1.0 if missing else max_points,
-            average=(avg_points + missing) / total,
+        points_max, points_avg_sum = points_residual_stats(
+            frac, truth.evaluate(thresholds)
         )
 
         idx_pool = np.flatnonzero(reached)
@@ -536,17 +627,13 @@ class Adam2Simulation:
             idx = idx_pool[self._measure_rng.choice(idx_pool.size, size=self.node_sample, replace=False)]
         else:
             idx = idx_pool
-        estimates = interpolate_matrix(
-            thresholds, fractions[idx], extremes[idx, 0], extremes[idx, 1], grid
+        entire_max, entire_avg_mean = entire_domain_stats(
+            thresholds, fractions[idx], extremes[idx, 0], extremes[idx, 1],
+            truth.evaluate(grid), grid,
         )
-        residual = np.abs(estimates - truth.evaluate(grid)[None, :])
-        per_node_max = residual.max(axis=1)
-        per_node_avg = residual.mean(axis=1)
-        entire = ErrorPair(
-            maximum=1.0 if missing else float(per_node_max.max()),
-            average=(float(per_node_avg.mean()) * n_reached + missing) / total,
+        return assemble_error_pairs(
+            n_reached, missing, points_max, points_avg_sum, entire_max, entire_avg_mean
         )
-        return entire, points
 
     def _evaluate_confidence(self, result: FastInstanceResult, sample: int, grid: np.ndarray) -> None:
         reached = np.flatnonzero(result.joined & result.participants)
@@ -578,7 +665,6 @@ class Adam2Simulation:
 
     def _commit_estimates(self, result: FastInstanceResult, excluded: np.ndarray) -> None:
         """Store per-node estimates for refinement and Fig.-13 metrics."""
-        n = self.n_nodes
         self.prev_thresholds = result.thresholds.copy()
         fractions = result.fractions.copy()
         minimum = result.minimum.copy()

@@ -5,6 +5,12 @@ round a binomially distributed number of nodes leaves and is replaced by
 fresh nodes with new attribute values from the same distribution.  In the
 array representation a replacement simply resets the victim's row:
 attribute value, initial indicator state, extremes, and the joined flag.
+
+:meth:`FastChurn.apply` performs the whole round's replacement as one
+vectorised mask application over a :class:`~repro.fastsim.state.BatchState`
+— victim selection, value resampling, row reset, and the neighbour-donor
+bootstrap of the joiners' previous estimates all operate on index arrays,
+never per-node Python loops.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.fastsim.state import BatchState
 from repro.workloads.base import AttributeWorkload
 
 __all__ = ["FastChurn"]
@@ -47,3 +54,40 @@ class FastChurn:
 
     def fresh_values(self, k: int) -> np.ndarray:
         return self.workload.sample(k, self.rng)
+
+    def apply(
+        self,
+        batch: BatchState,
+        values: np.ndarray,
+        all_t: np.ndarray,
+        prev_fractions: np.ndarray | None = None,
+        prev_minimum: np.ndarray | None = None,
+        prev_maximum: np.ndarray | None = None,
+        has_estimate: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One round of replacement churn over the batch, vectorised.
+
+        Selects victims, samples their replacement values into
+        ``values`` (the live population array, mutated in place), resets
+        the victims' batch rows, and — when previous-instance estimate
+        arrays are provided — bootstraps each joiner with the estimate of
+        a uniformly random donor node, as in the paper.
+
+        Returns the victim index array (empty when no node churned).
+        """
+        victims = self.select_victims(batch.n)
+        if victims.size == 0:
+            return victims
+        fresh = self.fresh_values(victims.size)
+        values[victims] = fresh
+        batch.reset_rows(victims, fresh, all_t)
+        if prev_fractions is not None:
+            donors = self.rng.integers(0, batch.n, size=victims.size)
+            prev_fractions[victims] = prev_fractions[donors]
+            if prev_minimum is not None:
+                prev_minimum[victims] = prev_minimum[donors]
+            if prev_maximum is not None:
+                prev_maximum[victims] = prev_maximum[donors]
+            if has_estimate is not None:
+                has_estimate[victims] = has_estimate[donors]
+        return victims

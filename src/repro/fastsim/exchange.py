@@ -16,12 +16,24 @@ Two kernels:
 * :func:`sequential_round` — every node initiates one push–pull exchange
   with a uniformly random other node, sequentially in a random order
   (PeerSim cycle-driven semantics; a node's later exchanges see earlier
-  effects).  This is the reference kernel.
+  effects).  This is the reference kernel — and the *naive baseline* of
+  the N-scaling benchmark: a Python loop over nodes, unusable beyond a
+  few tens of thousands of nodes.
 * :func:`matching_round` — one random perfect matching per round, all
   pairs exchange simultaneously (fully vectorised).  Converges
   exponentially with a slightly smaller per-round factor (each node takes
   part in exactly one exchange per round instead of two on average);
-  useful for very large ``n``.
+  the only kernel that reaches million-node populations.
+
+Both kernels accept an optional :class:`ExchangeBuffers`: preallocated
+per-round scratch (partner permutations, gather/scatter row buffers)
+reused across rounds and instances, so the steady-state matching round
+performs no heap allocation proportional to ``n``.  Buffered and
+unbuffered paths consume the generator identically (an in-place shuffle
+over a copied identity is exactly what ``rng.permutation`` does
+internally, and the partner draw is the same ``rng.integers`` call), so
+enabling buffers never changes a seeded run — a property the tests
+assert bit-for-bit.
 
 Both kernels implement the two join semantics discussed in DESIGN.md:
 ``literal`` (paper Fig. 1: the joiner merges, the contacted peer ignores
@@ -49,15 +61,123 @@ from repro.errors import SimulationError
 from repro.core.config import LITERAL_JOIN_BIAS
 from repro.core.conservation import register_non_conserving
 
-__all__ = ["sequential_round", "matching_round", "random_partners"]
+__all__ = [
+    "ExchangeBuffers",
+    "matching_round",
+    "random_partners",
+    "sequential_round",
+]
 
 register_non_conserving("literal", LITERAL_JOIN_BIAS)
 
 
-def random_partners(n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
-    """Random node order and a uniform partner (≠ self) for each."""
+class ExchangeBuffers:
+    """Preallocated per-round scratch for the exchange kernels.
+
+    One instance is sized for a fixed population ``n`` and state width
+    (columns of the ``averaged`` matrix) and reused for every round of
+    every instance: the permutation and partner draws fill preallocated
+    index buffers in place, and the matching kernel gathers pair rows
+    into preallocated row buffers (``np.take(..., out=...)``) instead of
+    allocating ``(n/2, width)`` temporaries four times per round.
+
+    The buffered and unbuffered paths consume the generator identically
+    (`shuffle` over a copied identity is exactly what ``permutation``
+    does internally), so enabling buffers never changes a seeded run.
+    """
+
+    def __init__(self, n: int, width: int, dtype: np.dtype | type = np.float64):
+        if n < 2:
+            raise SimulationError("need at least 2 nodes to gossip")
+        if width < 1:
+            raise SimulationError("state width must be at least 1")
+        self.n = int(n)
+        self.width = int(width)
+        self.dtype = np.dtype(dtype)
+        self._identity = np.arange(self.n, dtype=np.intp)
+        self.order = np.empty(self.n, dtype=np.intp)
+        self.partners = np.empty(self.n, dtype=np.int64)
+        self._ge = np.empty(self.n, dtype=bool)
+        half = self.n // 2
+        # Matching-kernel row scratch: gathered pair rows and extremes.
+        self.rows_a = np.empty((half, self.width), dtype=self.dtype)
+        self.rows_b = np.empty((half, self.width), dtype=self.dtype)
+        self.ext_a = np.empty((half, 2), dtype=self.dtype)
+        self.ext_b = np.empty((half, 2), dtype=self.dtype)
+
+    @classmethod
+    def ensure(
+        cls,
+        current: "ExchangeBuffers | None",
+        n: int,
+        width: int,
+        dtype: np.dtype | type = np.float64,
+    ) -> "ExchangeBuffers":
+        """Reuse ``current`` when it matches, else allocate fresh scratch."""
+        resolved = np.dtype(dtype)
+        if (
+            current is not None
+            and current.n == n
+            and current.width == width
+            and current.dtype == resolved
+        ):
+            return current
+        return cls(n, width, resolved)
+
+    def compatible(self, averaged: np.ndarray) -> bool:
+        """Whether this scratch matches a state matrix's shape and dtype."""
+        return (
+            averaged.shape[0] == self.n
+            and averaged.shape[1] == self.width
+            and averaged.dtype == self.dtype
+        )
+
+    def permutation(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniform random permutation of ``0..n-1``, allocation-free.
+
+        Identical stream consumption to ``rng.permutation(n)``: copy the
+        identity, shuffle in place.
+        """
+        order = self.order
+        order[:] = self._identity
+        rng.shuffle(order)
+        return order
+
+    def uniform_partners(self, rng: np.random.Generator, order: np.ndarray) -> np.ndarray:
+        """Uniform partner (≠ self) per node, adjusted in place.
+
+        The draw itself is the same ``rng.integers`` call as the
+        unbuffered path (NumPy has no ``out=`` form for bounded integer
+        draws), copied into the preallocated buffer; the ≥-shift that
+        keeps a node from gossiping with itself then runs in place
+        instead of materialising two comparison temporaries.
+        """
+        partners = self.partners
+        partners[:] = rng.integers(0, self.n - 1, size=self.n)
+        np.greater_equal(partners, order, out=self._ge)
+        np.add(partners, self._ge, out=partners)
+        return partners
+
+
+def random_partners(
+    n: int,
+    rng: np.random.Generator,
+    buffers: ExchangeBuffers | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random node order and a uniform partner (≠ self) for each.
+
+    With ``buffers`` the permutation is shuffled in place into the
+    preallocated index buffer (the order stream is identical to the
+    unbuffered path) and the partner draw fills preallocated scratch —
+    no per-round allocation.  Without buffers, fresh arrays are drawn
+    exactly as the original implementation did.
+    """
     if n < 2:
         raise SimulationError("need at least 2 nodes to gossip")
+    if buffers is not None and buffers.n == n:
+        order = buffers.permutation(rng)
+        partners = buffers.uniform_partners(rng, order)
+        return order, partners
     order = rng.permutation(n)
     partners = rng.integers(0, n - 1, size=n)
     partners = partners + (partners >= order)
@@ -71,6 +191,7 @@ def sequential_round(
     rng: np.random.Generator,
     join_mode: str = "symmetric",
     excluded: np.ndarray | None = None,
+    buffers: ExchangeBuffers | None = None,
 ) -> int:
     """One sequential push–pull round; returns exchanges that carried data.
 
@@ -79,7 +200,7 @@ def sequential_round(
     an excluded peer is a no-op for both sides.
     """
     n = averaged.shape[0]
-    order, partners = random_partners(n, rng)
+    order, partners = random_partners(n, rng, buffers)
     literal = join_mode == "literal"
     active = 0
     for i in range(n):
@@ -124,15 +245,48 @@ def matching_round(
     rng: np.random.Generator,
     join_mode: str = "symmetric",
     excluded: np.ndarray | None = None,
+    buffers: ExchangeBuffers | None = None,
 ) -> int:
-    """One random-matching round (vectorised); returns active exchanges."""
+    """One random-matching round (vectorised); returns active exchanges.
+
+    With compatible ``buffers`` and every node joined (the steady state
+    an instance spends most of its rounds in), the round is entirely
+    allocation-free: permutation in place, pair rows gathered with
+    ``np.take(out=...)``, means and extremes computed into preallocated
+    scratch, scattered back with fancy assignment.
+    """
     n = averaged.shape[0]
     if n < 2:
         raise SimulationError("need at least 2 nodes to gossip")
-    perm = rng.permutation(n)
+    buffered = buffers is not None and buffers.compatible(averaged)
+    perm = buffers.permutation(rng) if buffered else rng.permutation(n)
     half = n // 2
     a = perm[:half]
     b = perm[half : 2 * half]
+
+    if buffered and excluded is None and joined.all():
+        # Steady-state fast path: every pair is active and already
+        # joined, so the whole round is four takes, two reductions and
+        # four scatters over the preallocated row scratch.
+        assert buffers is not None
+        rows_a = buffers.rows_a
+        rows_b = buffers.rows_b
+        np.take(averaged, a, axis=0, out=rows_a)
+        np.take(averaged, b, axis=0, out=rows_b)
+        np.add(rows_a, rows_b, out=rows_a)
+        rows_a *= 0.5
+        averaged[a] = rows_a
+        averaged[b] = rows_a
+        ext_a = buffers.ext_a
+        ext_b = buffers.ext_b
+        np.take(extremes, a, axis=0, out=ext_a)
+        np.take(extremes, b, axis=0, out=ext_b)
+        np.minimum(ext_a[:, 0], ext_b[:, 0], out=ext_a[:, 0])
+        np.maximum(ext_a[:, 1], ext_b[:, 1], out=ext_a[:, 1])
+        extremes[a] = ext_a
+        extremes[b] = ext_a
+        return half
+
     ja = joined[a]
     jb = joined[b]
     active = ja | jb
@@ -159,15 +313,37 @@ def matching_round(
         b = b[both]
         if a.size == 0:
             return int(active.sum())
-    mean = (averaged[a] + averaged[b]) * 0.5
-    averaged[a] = mean
-    averaged[b] = mean
-    lo = np.minimum(extremes[a, 0], extremes[b, 0])
-    hi = np.maximum(extremes[a, 1], extremes[b, 1])
-    extremes[a, 0] = lo
-    extremes[a, 1] = hi
-    extremes[b, 0] = lo
-    extremes[b, 1] = hi
+    if buffered:
+        # Partial-activity path (spreading phase, churn exclusions):
+        # same take/out discipline over size-m views of the scratch.
+        assert buffers is not None
+        m = a.size
+        rows_a = buffers.rows_a[:m]
+        rows_b = buffers.rows_b[:m]
+        np.take(averaged, a, axis=0, out=rows_a)
+        np.take(averaged, b, axis=0, out=rows_b)
+        np.add(rows_a, rows_b, out=rows_a)
+        rows_a *= 0.5
+        averaged[a] = rows_a
+        averaged[b] = rows_a
+        ext_a = buffers.ext_a[:m]
+        ext_b = buffers.ext_b[:m]
+        np.take(extremes, a, axis=0, out=ext_a)
+        np.take(extremes, b, axis=0, out=ext_b)
+        np.minimum(ext_a[:, 0], ext_b[:, 0], out=ext_a[:, 0])
+        np.maximum(ext_a[:, 1], ext_b[:, 1], out=ext_a[:, 1])
+        extremes[a] = ext_a
+        extremes[b] = ext_a
+    else:
+        mean = (averaged[a] + averaged[b]) * 0.5
+        averaged[a] = mean
+        averaged[b] = mean
+        lo = np.minimum(extremes[a, 0], extremes[b, 0])
+        hi = np.maximum(extremes[a, 1], extremes[b, 1])
+        extremes[a, 0] = lo
+        extremes[a, 1] = hi
+        extremes[b, 0] = lo
+        extremes[b, 1] = hi
     joined[a] = True
     joined[b] = True
     return int(active.sum())

@@ -43,7 +43,10 @@ __all__ = [
     "SanitizedAsyncProtocol",
     "capture_instance_masses",
     "check_delivery_merge",
+    "check_mass_totals",
     "check_node_invariants",
+    "check_shard_invariants",
+    "mass_tolerances",
 ]
 
 #: env var switching the sanitizer on globally
@@ -56,6 +59,22 @@ MASS_RTOL = 1e-9
 MASS_ATOL = 1e-7
 #: tolerance for per-node range and monotonicity checks
 RANGE_TOL = 1e-9
+
+
+def mass_tolerances(dtype: Any = None) -> tuple[float, float]:
+    """Mass-comparison ``(rtol, atol)`` scaled to the state dtype.
+
+    The module defaults suit float64, where per-exchange rounding is far
+    below the fixed tolerances.  A float32 state genuinely rounds every
+    averaging operation at ``eps ≈ 1.2e-7``, so over many rounds the
+    column sums random-walk by multiples of eps — the tolerances scale
+    with the dtype's epsilon to stay an invariant check rather than a
+    precision check.
+    """
+    if dtype is None or np.dtype(dtype) == np.dtype(np.float64):
+        return MASS_RTOL, MASS_ATOL
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    return max(MASS_RTOL, 512.0 * eps), max(MASS_ATOL, 8192.0 * eps)
 
 
 def sanitize_enabled(flag: bool | None = None) -> bool:
@@ -117,10 +136,12 @@ def _check_mass(
     backend: str,
     round_index: int | float | None,
     instance: Any,
+    rtol: float = MASS_RTOL,
+    atol: float = MASS_ATOL,
 ) -> None:
     actual = np.atleast_1d(np.asarray(actual, dtype=float))
     expected = np.atleast_1d(np.asarray(expected, dtype=float))
-    tolerance = MASS_ATOL + MASS_RTOL * np.abs(expected)
+    tolerance = atol + rtol * np.abs(expected)
     deviation = np.abs(actual - expected)
     if np.any(deviation > tolerance):
         column = int(np.argmax(deviation - tolerance))
@@ -216,16 +237,21 @@ class FastsimSanitizer:
         self._conserving: bool = True
         self._mode: str = "symmetric"
         self._instance: Any = None
+        self._rtol: float = MASS_RTOL
+        self._atol: float = MASS_ATOL
 
     def begin_instance(self, averaged: np.ndarray, join_mode: str, instance: Any = None) -> None:
         self._mode = join_mode
         self._conserving = is_mass_conserving(join_mode)
         self._instance = instance
-        self._expected = averaged.sum(axis=0).copy()
+        self._rtol, self._atol = mass_tolerances(averaged.dtype)
+        # Sum in float64 regardless of state dtype so the *check's own*
+        # accumulation error never eats into the tolerance budget.
+        self._expected = averaged.sum(axis=0, dtype=np.float64)
 
     def rebaseline(self, averaged: np.ndarray) -> None:
         """Accept the current mass as the new baseline (churn/drift)."""
-        self._expected = averaged.sum(axis=0).copy()
+        self._expected = averaged.sum(axis=0, dtype=np.float64)
 
     def after_round(self, averaged: np.ndarray, k: int, round_index: int) -> None:
         if self._expected is None:
@@ -237,11 +263,13 @@ class FastsimSanitizer:
             )
         if self._conserving:
             _check_mass(
-                averaged.sum(axis=0),
+                averaged.sum(axis=0, dtype=np.float64),
                 self._expected,
                 backend=self.backend,
                 round_index=round_index,
                 instance=self._instance,
+                rtol=self._rtol,
+                atol=self._atol,
             )
         _check_weights(
             averaged[:, -1],
@@ -547,6 +575,65 @@ def check_delivery_merge(
             round_index=round_index,
             instance=iid,
         )
+
+
+def check_mass_totals(
+    actual: np.ndarray,
+    expected: np.ndarray,
+    *,
+    backend: str,
+    round_index: int | float | None = None,
+    instance: Any = None,
+    dtype: Any = None,
+) -> None:
+    """Assert two column-mass vectors agree within dtype-scaled tolerance.
+
+    This is the *global* mass-conservation check of the shard driver:
+    per-shard mass is legitimately not conserved (cross-shard pairs move
+    mass between shards every round), but the sum over all shards must
+    be invariant.  Pass the state ``dtype`` so float32 runs get
+    eps-scaled tolerances (:func:`mass_tolerances`).
+    """
+    rtol, atol = mass_tolerances(dtype)
+    _check_mass(
+        actual,
+        expected,
+        backend=backend,
+        round_index=round_index,
+        instance=instance,
+        rtol=rtol,
+        atol=atol,
+    )
+
+
+def check_shard_invariants(
+    averaged: np.ndarray,
+    k: int,
+    *,
+    backend: str = "fastsim.shard",
+    round_index: int | float | None = None,
+    instance: Any = None,
+) -> None:
+    """Per-shard range/weight/monotonicity checks (never mass).
+
+    A shard worker can verify every *local* invariant after its round —
+    weights in [0, 1], fractions in range, rows monotone — but must not
+    check mass conservation: its column sums change whenever a
+    cross-shard pair lands on it.  The coordinator owns the global
+    mass check via :func:`check_mass_totals`.
+    """
+    _check_weights(
+        averaged[:, -1],
+        backend=backend,
+        round_index=round_index,
+        instance=instance,
+    )
+    _check_fraction_rows(
+        averaged[:, :k],
+        backend=backend,
+        round_index=round_index,
+        instance=instance,
+    )
 
 
 def check_node_invariants(

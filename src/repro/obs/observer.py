@@ -28,7 +28,7 @@ from repro.obs.events import (
     RunCompleted,
     RunStarted,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import SpanRegistry
 
 __all__ = ["NULL_HUB", "ObserverHub", "RunObserver"]
@@ -77,6 +77,7 @@ class ObserverHub:
         "timing_enabled",
         "_query_instruments",
         "_query_op_counters",
+        "_round_instruments",
     )
 
     def __init__(
@@ -100,6 +101,12 @@ class ObserverHub:
             tuple[Counter, Counter, Counter, Counter, Histogram] | None
         ) = None
         self._query_op_counters: dict[str, Counter] = {}
+        # Same reasoning for the round loop: a million-node sweep emits
+        # one RoundSample per round per instance, and six registry
+        # lookups per probe were measurable against a vectorised round.
+        self._round_instruments: (
+            tuple[Counter, Counter, Counter, Gauge, Gauge, Gauge] | None
+        ) = None
 
     @property
     def enabled(self) -> bool:
@@ -121,13 +128,24 @@ class ObserverHub:
             observer.on_instance_start(event)
 
     def round_sample(self, event: RoundSample) -> None:
-        metrics = self.metrics
-        metrics.counter("rounds_total").inc()
-        metrics.counter("messages_total").inc(event.messages)
-        metrics.counter("bytes_total").inc(event.bytes)
-        metrics.gauge("weight_sum").set(event.weight_sum)
-        metrics.gauge("mass_sum").set(event.mass_sum)
-        metrics.gauge("reached").set(event.reached)
+        cached = self._round_instruments
+        if cached is None:
+            metrics = self.metrics
+            cached = self._round_instruments = (
+                metrics.counter("rounds_total"),
+                metrics.counter("messages_total"),
+                metrics.counter("bytes_total"),
+                metrics.gauge("weight_sum"),
+                metrics.gauge("mass_sum"),
+                metrics.gauge("reached"),
+            )
+        rounds, messages, bytes_, weight, mass, reached = cached
+        rounds.inc()
+        messages.inc(event.messages)
+        bytes_.inc(event.bytes)
+        weight.set(event.weight_sum)
+        mass.set(event.mass_sum)
+        reached.set(event.reached)
         for observer in self.observers:
             observer.on_round(event)
 

@@ -3,6 +3,10 @@
 :func:`profile_backends` runs the same seeded workload through each
 registered backend at several population sizes with span timing enabled
 and reduces the span statistics to one record per (backend, size) pair.
+:func:`profile_scaling` is the large-``N`` companion: it sweeps the fast
+simulator's execution modes (naive sequential baseline, batched
+float64/float32, sharded) up to million-node populations and records
+wall time, peak RSS, and traffic per node for each point.
 :func:`write_benchmark` serialises the result as ``BENCH_backends.json``
 — the artifact the CI benchmark smoke job publishes.
 
@@ -15,6 +19,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import resource
+import sys
+import time
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -23,7 +30,13 @@ from repro.obs.observer import ObserverHub
 from repro.obs.spans import SEP
 from repro.workloads.base import AttributeWorkload
 
-__all__ = ["config_fingerprint", "profile_backends", "write_benchmark"]
+__all__ = [
+    "config_fingerprint",
+    "peak_rss_bytes",
+    "profile_backends",
+    "profile_scaling",
+    "write_benchmark",
+]
 
 #: the paper-benchmark population sizes
 DEFAULT_SIZES = (1_000, 10_000)
@@ -31,6 +44,28 @@ DEFAULT_SIZES = (1_000, 10_000)
 #: real-socket populations: one OS socket per node, so the net backend
 #: is profiled at cluster scale rather than simulation scale
 DEFAULT_NET_SIZES = (32, 64)
+
+#: the N-scaling sweep sizes (the paper's headline range)
+DEFAULT_SCALING_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+
+#: population ceiling for the naive sequential baseline in the scaling
+#: sweep — the Python per-node loop is linear at ~100 s per million
+#: node-rounds, so anything past this is recorded as skipped
+DEFAULT_NAIVE_CAP = 1_000_000
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process tree so far, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; the
+    children's maximum covers shard worker processes.  The value is
+    monotone over the process lifetime, so callers comparing
+    configurations should order runs from small to large.
+    """
+    self_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(max(self_rss, children_rss)) * scale
 
 #: span path engines time each gossip round under
 _ROUND_PATH = SEP.join(("run", "instance", "round"))
@@ -126,6 +161,7 @@ def profile_backends(
                     0.0 if round_stats is None else round_stats.mean_seconds
                 ),
                 "final_err_avg": result.final_errors.average,
+                "peak_rss_bytes": peak_rss_bytes(),
                 "spans": hub.spans.snapshot(),
             })
     entries.sort(key=lambda e: (str(e["backend"]), int(e["n_nodes"])))  # type: ignore[arg-type]
@@ -137,6 +173,118 @@ def profile_backends(
         ),
         "sizes": [int(n) for n in sizes],
         "net_sizes": [int(n) for n in net_sizes],
+        "entries": entries,
+        "skipped": skipped,
+    }
+
+
+def profile_scaling(
+    workload: AttributeWorkload,
+    config: Adam2Config,
+    *,
+    sizes: Sequence[int] = DEFAULT_SCALING_SIZES,
+    shards: int = 8,
+    shard_mix: float | None = None,
+    seed: int = 0,
+    naive_cap: int = DEFAULT_NAIVE_CAP,
+) -> dict[str, object]:
+    """N-scaling sweep over the fast simulator's execution modes.
+
+    Four modes per size, each timed over one *warm* instance (an untimed
+    warm-up instance first absorbs buffer allocation and, for the shard
+    driver, worker start-up — except for ``naive``, whose Python loop
+    dwarfs its setup):
+
+    * ``naive`` — the per-node sequential kernel (PeerSim-faithful
+      reference; the linear baseline the batched modes are judged
+      against), skipped above ``naive_cap`` nodes;
+    * ``batched`` — the vectorised matching kernel on the float64
+      ``(N, λ)`` batch;
+    * ``batched-f32`` — the same with the float32 state (half the
+      memory traffic);
+    * ``sharded-f32`` — the multiprocessing shard driver, float32,
+      ``shards`` workers (cache-sized partitions + sampled cross-shard
+      exchange).
+
+    Entries record wall time, per-round time, peak RSS, and the traffic
+    columns (messages and protocol bytes per node).  Sizes are profiled
+    in ascending order so the monotone RSS counter stays attributable.
+    """
+    from repro.fastsim.adam2 import Adam2Simulation
+    from repro.fastsim.shard import DEFAULT_SHARD_MIX, ShardedAdam2
+
+    entries: list[dict[str, object]] = []
+    skipped: list[dict[str, object]] = []
+    rounds = config.rounds_per_instance
+    mix = DEFAULT_SHARD_MIX if shard_mix is None else shard_mix
+
+    def record(
+        mode: str, n_nodes: int, dtype: str, wall: float, result: object, **extra: object
+    ) -> None:
+        entries.append({
+            "mode": mode,
+            "n_nodes": int(n_nodes),
+            "dtype": dtype,
+            "rounds_per_instance": rounds,
+            "points": config.points,
+            "seed": seed,
+            "wall_time_s": wall,
+            "time_per_round_s": wall / rounds,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "messages_per_node": result.messages_total / n_nodes,  # type: ignore[attr-defined]
+            "bytes_per_node": result.bytes_total / n_nodes,  # type: ignore[attr-defined]
+            "final_err_avg": result.errors_entire.average,  # type: ignore[attr-defined]
+            **extra,
+        })
+
+    for n_nodes in sorted(int(n) for n in sizes):
+        if n_nodes <= naive_cap:
+            sim = Adam2Simulation(
+                workload, n_nodes, config, seed=seed, exchange="sequential"
+            )
+            start = time.perf_counter()
+            outcome = sim.run_instance()
+            record("naive", n_nodes, "float64", time.perf_counter() - start, outcome)
+        else:
+            skipped.append({
+                "mode": "naive",
+                "n_nodes": n_nodes,
+                "reason": f"sequential baseline capped at {naive_cap} nodes",
+            })
+        for mode, dtype in (("batched", "float64"), ("batched-f32", "float32")):
+            sim = Adam2Simulation(
+                workload, n_nodes, config, seed=seed, exchange="matching", dtype=dtype
+            )
+            sim.run_instance()  # warm-up: allocates the reused batch/buffers
+            start = time.perf_counter()
+            outcome = sim.run_instance()
+            record(mode, n_nodes, dtype, time.perf_counter() - start, outcome)
+        if n_nodes >= 2 * shards:
+            with ShardedAdam2(
+                workload, n_nodes, config, seed=seed,
+                shards=shards, shard_mix=mix, dtype="float32",
+            ) as sharded:
+                sharded.run_instance()  # warm-up: starts and warms the workers
+                start = time.perf_counter()
+                outcome = sharded.run_instance()
+                record(
+                    "sharded-f32", n_nodes, "float32",
+                    time.perf_counter() - start, outcome,
+                    shards=shards, shard_mix=mix,
+                    cross_rows_total=outcome.cross_rows_total,
+                )
+        else:
+            skipped.append({
+                "mode": "sharded-f32",
+                "n_nodes": n_nodes,
+                "reason": f"population too small for {shards} shards",
+            })
+    entries.sort(key=lambda e: (int(e["n_nodes"]), str(e["mode"])))  # type: ignore[arg-type]
+    return {
+        "sizes": [int(n) for n in sorted(int(n) for n in sizes)],
+        "shards": int(shards),
+        "shard_mix": mix,
+        "naive_cap": int(naive_cap),
         "entries": entries,
         "skipped": skipped,
     }

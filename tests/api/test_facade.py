@@ -94,6 +94,41 @@ class TestRunFacade:
             run(CONFIG, WORKLOAD, backend="fast", n_nodes=1)
 
 
+class TestShardedFastBackend:
+    def test_shards_option_routes_to_shard_driver(self):
+        result = run(
+            CONFIG, WORKLOAD, backend="fast", n_nodes=256, instances=2, seed=3,
+            shards=4,
+        )
+        assert result.backend == "fast"
+        assert result.extras["shards"] == 4
+        assert len(result) == 2
+        for instance in result.instances:
+            assert instance.reached == 256
+
+    def test_sharded_dtype_option(self):
+        result = run(
+            CONFIG, WORKLOAD, backend="fast", n_nodes=256, seed=3,
+            shards=4, dtype="float32",
+        )
+        assert result.final.reached == 256
+
+    def test_shards_one_stays_single_process(self):
+        result = run(CONFIG, WORKLOAD, backend="fast", n_nodes=64, seed=3, shards=1)
+        assert "shards" not in result.extras
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            run(CONFIG, WORKLOAD, backend="fast", n_nodes=64, seed=3, shards=0)
+
+    def test_incompatible_option_rejected_loudly(self):
+        with pytest.raises(ConfigurationError, match="churn_rate"):
+            run(
+                CONFIG, WORKLOAD, backend="fast", n_nodes=256, seed=3,
+                shards=4, churn_rate=0.01,
+            )
+
+
 class TestRunResult:
     def test_errors_by_instance(self):
         result = run(CONFIG, WORKLOAD, backend="fast", n_nodes=48, instances=2, seed=3)

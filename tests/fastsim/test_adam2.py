@@ -163,3 +163,42 @@ class TestMatchingKernel:
         )
         result = sim.run_instance()
         assert result.errors_points.maximum < 1e-4
+
+
+class TestBatchedState:
+    def test_batch_and_buffers_reused_across_instances(self):
+        sim = make_sim()
+        sim.run_instance()
+        batch, buffers = sim._batch, sim._buffers
+        sim.run_instance()
+        assert sim._batch is batch
+        assert sim._buffers is buffers
+
+    def test_results_detached_from_reused_batch(self):
+        sim = make_sim()
+        first = sim.run_instance()
+        snapshot = (first.fractions.copy(), first.weights.copy())
+        sim.run_instance()
+        # The second instance refills the shared batch in place; the
+        # first result must hold copies, not views into it.
+        assert np.array_equal(first.fractions, snapshot[0])
+        assert np.array_equal(first.weights, snapshot[1])
+
+    def test_float32_mode_converges(self):
+        config = Adam2Config(points=10, rounds_per_instance=30)
+        f64 = Adam2Simulation(
+            uniform_workload(0, 1000), 400, config, seed=2, dtype="float64"
+        ).run_instance()
+        f32 = Adam2Simulation(
+            uniform_workload(0, 1000), 400, config, seed=2, dtype="float32"
+        ).run_instance()
+        assert f32.errors_points.maximum < 1e-3
+        assert f32.errors_entire.average == pytest.approx(
+            f64.errors_entire.average, abs=1e-3
+        )
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adam2Simulation(
+                uniform_workload(0, 10), 10, Adam2Config(), dtype="float16"
+            )

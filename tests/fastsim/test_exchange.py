@@ -5,7 +5,12 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.rngs import make_rng
-from repro.fastsim.exchange import matching_round, random_partners, sequential_round
+from repro.fastsim.exchange import (
+    ExchangeBuffers,
+    matching_round,
+    random_partners,
+    sequential_round,
+)
 
 
 def make_state(n, k=3, seed=0):
@@ -81,6 +86,70 @@ class TestKernels:
         for _ in range(20):
             kernel(averaged, extremes, joined, rng)
         assert averaged.std(axis=0).max() < start * 1e-2
+
+
+@pytest.mark.parametrize("kernel", [sequential_round, matching_round])
+class TestExchangeBuffers:
+    def test_buffered_bit_identical_to_unbuffered(self, kernel):
+        """Preallocated scratch must not change results or the RNG stream."""
+        averaged_a, extremes_a, joined_a = make_state(64)
+        averaged_b = averaged_a.copy()
+        extremes_b = extremes_a.copy()
+        joined_b = joined_a.copy()
+        rng_a, rng_b = make_rng(12), make_rng(12)
+        buffers = ExchangeBuffers(64, averaged_b.shape[1], averaged_b.dtype)
+        for _ in range(10):
+            kernel(averaged_a, extremes_a, joined_a, rng_a)
+            kernel(averaged_b, extremes_b, joined_b, rng_b, buffers=buffers)
+        assert np.array_equal(averaged_a, averaged_b)
+        assert np.array_equal(extremes_a, extremes_b)
+        assert np.array_equal(joined_a, joined_b)
+        # Both generators consumed identically: the next draw agrees.
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+    def test_buffered_with_exclusions(self, kernel):
+        averaged_a, extremes_a, joined_a = make_state(48)
+        joined_a[:] = True
+        excluded = np.zeros(48, dtype=bool)
+        excluded[[3, 17]] = True
+        joined_a[[3, 17]] = False
+        averaged_b, extremes_b, joined_b = (
+            averaged_a.copy(), extremes_a.copy(), joined_a.copy()
+        )
+        buffers = ExchangeBuffers(48, averaged_b.shape[1], averaged_b.dtype)
+        kernel(averaged_a, extremes_a, joined_a, make_rng(13), excluded=excluded)
+        kernel(
+            averaged_b, extremes_b, joined_b, make_rng(13),
+            excluded=excluded, buffers=buffers,
+        )
+        assert np.array_equal(averaged_a, averaged_b)
+        assert np.array_equal(extremes_a, extremes_b)
+
+    def test_steady_state_round_allocates_nothing_new(self, kernel):
+        averaged, extremes, joined = make_state(32)
+        joined[:] = True
+        buffers = ExchangeBuffers(32, averaged.shape[1], averaged.dtype)
+        scratch_ids = {id(buffers.order), id(buffers.partners), id(buffers.rows_a)}
+        kernel(averaged, extremes, joined, make_rng(14), buffers=buffers)
+        # The buffers object keeps the same arrays: reuse, not realloc.
+        assert {id(buffers.order), id(buffers.partners), id(buffers.rows_a)} == scratch_ids
+
+
+class TestBufferedPartners:
+    def test_partner_never_self_with_buffers(self):
+        buffers = ExchangeBuffers(50, 3, np.float64)
+        rng = make_rng(15)
+        for _ in range(20):
+            order, partners = random_partners(50, rng, buffers)
+            assert (order != partners).all()
+            assert (0 <= partners).all() and (partners < 50).all()
+
+    def test_buffered_partners_match_unbuffered_stream(self):
+        buffers = ExchangeBuffers(40, 3, np.float64)
+        order_a, partners_a = random_partners(40, make_rng(16))
+        order_b, partners_b = random_partners(40, make_rng(16), buffers)
+        assert np.array_equal(order_a, order_b)
+        assert np.array_equal(partners_a, partners_b)
 
 
 class TestLiteralJoin:

@@ -77,8 +77,8 @@ def test_fastsim_detects_mass_leak():
     sim = _fast_sim()
     inner = sim.kernel
 
-    def leaky_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None):
-        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded)
+    def leaky_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None, buffers=None):
+        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded, buffers=buffers)
         averaged[:, 0] += 1e-3  # create fraction mass out of thin air
         return active
 
@@ -96,8 +96,8 @@ def test_fastsim_detects_non_monotone_estimate():
     sim = _fast_sim(config=Adam2Config(points=6, rounds_per_instance=8, join_mode="literal"))
     inner = sim.kernel
 
-    def scrambling_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None):
-        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded)
+    def scrambling_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None, buffers=None):
+        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded, buffers=buffers)
         averaged[0, 0] = 0.9  # F(t_0) > F(t_1): no longer a CDF
         averaged[0, 1] = 0.1
         return active
@@ -118,8 +118,8 @@ def test_fastsim_detects_weight_violation():
     sim = _fast_sim(config=Adam2Config(points=6, rounds_per_instance=8, join_mode="literal"))
     inner = sim.kernel
 
-    def inflating_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None):
-        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded)
+    def inflating_kernel(averaged, extremes, joined, rng, join_mode="symmetric", excluded=None, buffers=None):
+        active = inner(averaged, extremes, joined, rng, join_mode, excluded=excluded, buffers=buffers)
         averaged[0, -1] = 1.5  # a size weight above 1 is impossible
         return active
 

@@ -170,3 +170,32 @@ class TestStdoutSummarySink:
         out = capsys.readouterr().out
         assert "[obs] fast n=64 seed=7" in out
         assert "instance 0" in out
+
+
+class TestRoundInstrumentCache:
+    def _sample(self, round_index):
+        return RoundSample(
+            instance=0, round=round_index, mass_sum=2.5, weight_sum=1.0,
+            reached=10, spread=0.1, convergence_rate=None,
+            messages=20, bytes=800,
+        )
+
+    def test_instruments_resolved_once(self):
+        hub = ObserverHub([RunObserver()])
+        assert hub._round_instruments is None
+        hub.round_sample(self._sample(1))
+        cached = hub._round_instruments
+        assert cached is not None
+        hub.round_sample(self._sample(2))
+        # The hot round loop must not re-resolve registry names.
+        assert hub._round_instruments is cached
+
+    def test_cached_instruments_still_aggregate(self):
+        hub = ObserverHub([RunObserver()])
+        for i in range(3):
+            hub.round_sample(self._sample(i + 1))
+        snapshot = hub.metrics.snapshot()
+        assert snapshot["counters"]["rounds_total"] == 3
+        assert snapshot["counters"]["messages_total"] == 60
+        assert snapshot["counters"]["bytes_total"] == 2400
+        assert snapshot["gauges"]["reached"] == 10
