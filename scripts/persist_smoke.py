@@ -1,0 +1,278 @@
+"""CI smoke test for durable serving: publish, SIGKILL, restart, recover.
+
+Starts the real ``serve`` CLI with a ``--store-dir`` snapshot log and the
+HTTP status surface, waits until at least ``--cycles`` snapshot versions
+are published, captures the served estimate over HTTP, and SIGKILLs the
+process mid-flight.  A second serve process then restarts over the same
+log (with a long refresh pause, so nothing new is published during the
+checks) and must:
+
+* answer its **first TCP query from the recovered snapshot** within the
+  ``--first-query-budget`` (default 1 s) of the client connecting — a
+  recovered service never waits for a fresh scheduler cycle;
+* serve the recovered version's polyline **bit-identically** over
+  ``GET /estimate?version=N`` (same JSON floats, element for element);
+* report a restart count of at least 2 and a sane version/staleness
+  pair on ``GET /status``.
+
+Usage::
+
+    python scripts/persist_smoke.py --cycles 3 --refresh 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+
+class SmokeError(Exception):
+    """A phase of the smoke failed in a way that ends the run."""
+
+
+def _serve_argv(args: argparse.Namespace, store_dir: str, refresh: float) -> list[str]:
+    return [
+        sys.executable, "-u", "-m", "repro.experiments.cli", "serve",
+        "--backend", "fast",
+        "--nodes", str(args.nodes),
+        "--points", str(args.points),
+        "--rounds", str(args.rounds),
+        "--seed", str(args.seed),
+        "--host", args.host,
+        "--port", "0",
+        "--http-port", "0",
+        "--store-dir", store_dir,
+        "--fsync", args.fsync,
+        "--refresh", str(refresh),
+    ]
+
+
+def _spawn(argv: list[str], deadline_s: float) -> tuple[subprocess.Popen[str], int, int]:
+    """Start a serve process; returns (process, tcp_port, http_port).
+
+    The CLI announces ``serving on host:port`` and ``status on
+    http://host:port/status`` on stdout once both surfaces are bound.
+    """
+    from repro.obs import wall_clock
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    tcp_port: int | None = None
+    http_port: int | None = None
+    started = wall_clock()
+    assert process.stdout is not None
+    for line in process.stdout:
+        line = line.strip()
+        if line.startswith("serving on "):
+            tcp_port = int(line.split()[2].rsplit(":", 1)[1])
+        elif line.startswith("status on "):
+            http_port = int(
+                line.split()[2].rsplit("/", 1)[0].rsplit(":", 1)[1]
+            )
+        if tcp_port is not None and http_port is not None:
+            return process, tcp_port, http_port
+        if wall_clock() - started > deadline_s:
+            break
+    process.kill()
+    process.wait()
+    raise SmokeError(
+        f"serve process never announced its ports within {deadline_s}s "
+        f"(exit code {process.returncode})"
+    )
+
+
+def _http_json(host: str, port: int, path: str, timeout: float = 5.0) -> object:
+    url = f"http://{host}:{port}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.load(response)
+
+
+def _wait_for_version(
+    host: str, port: int, want: int, deadline_s: float
+) -> dict[str, object]:
+    """Poll ``/status`` until the published version reaches ``want``."""
+    from repro.obs import wall_clock
+
+    started = wall_clock()
+    while wall_clock() - started < deadline_s:
+        try:
+            status = _http_json(host, port, "/status")
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.05)
+            continue
+        assert isinstance(status, dict)
+        latest = status.get("latest")
+        if isinstance(latest, dict) and int(latest.get("version", 0)) >= want:
+            return status
+        time.sleep(0.05)
+    raise SmokeError(f"no version >= {want} published within {deadline_s}s")
+
+
+def _first_query(host: str, port: int, deadline_s: float) -> tuple[dict[str, object], float]:
+    """Connect to the restarted endpoint; returns (status, first-query seconds).
+
+    The connection itself is retried (the listener may still be binding)
+    but the query clock starts at the *connect*: a recovered service must
+    answer instantly, not after its first fresh cycle.
+    """
+    import asyncio
+
+    from repro.net.service_endpoint import ServiceClient
+    from repro.obs import wall_clock
+
+    async def _ask() -> tuple[dict[str, object], float]:
+        client = ServiceClient(host, port)
+        started = wall_clock()
+        while True:
+            try:
+                await client.connect()
+                break
+            except (ConnectionError, OSError):
+                if wall_clock() - started > deadline_s:
+                    raise
+                await asyncio.sleep(0.05)
+        try:
+            asked = wall_clock()
+            status = await client.status()
+            return status, wall_clock() - asked
+        finally:
+            await client.close()
+
+    return asyncio.run(_ask())
+
+
+def _kill(process: subprocess.Popen[str]) -> None:
+    if process.poll() is None:
+        process.kill()
+    process.wait()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=400)
+    parser.add_argument("--points", type=int, default=20)
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--cycles", type=int, default=3,
+                        help="snapshot versions to publish before the kill")
+    parser.add_argument("--refresh", type=float, default=0.2,
+                        help="scheduler pause in phase one (fast publishing)")
+    parser.add_argument("--fsync", choices=("always", "rotate", "never"),
+                        default="rotate")
+    parser.add_argument("--first-query-budget", type=float, default=1.0,
+                        help="seconds the restarted service has to answer "
+                        "its first query from the recovered snapshot")
+    parser.add_argument("--timeout", type=int, default=120,
+                        help="hard wall-clock budget in seconds (SIGALRM; 0 disables)")
+    args = parser.parse_args(argv)
+
+    if args.timeout > 0:
+        def _expired(signum: int, frame: object) -> None:
+            raise TimeoutError(f"persist smoke exceeded {args.timeout}s budget")
+
+        signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(args.timeout)
+
+    failures: list[str] = []
+    report: dict[str, object] = {}
+    with tempfile.TemporaryDirectory(prefix="adam2-persist-smoke-") as store_dir:
+        # Phase 1: publish >= --cycles versions, capture, SIGKILL.
+        process, _tcp, http = _spawn(
+            _serve_argv(args, store_dir, args.refresh), deadline_s=60.0
+        )
+        try:
+            status = _wait_for_version(args.host, http, args.cycles, 60.0)
+            latest = status["latest"]
+            assert isinstance(latest, dict)
+            version = int(latest["version"])  # the version that must survive
+            estimate = _http_json(args.host, http, f"/estimate?version={version}")
+            assert isinstance(estimate, dict)
+        finally:
+            _kill(process)
+        report["killed_at_version"] = version
+
+        # Phase 2: restart over the same log; nothing new is published
+        # during the checks (the refresh pause is far longer than them).
+        process, tcp, http = _spawn(
+            _serve_argv(args, store_dir, refresh=600.0), deadline_s=60.0
+        )
+        try:
+            first_status, first_query_s = _first_query(
+                args.host, tcp, deadline_s=30.0
+            )
+            report["first_query_s"] = first_query_s
+            if first_query_s > args.first_query_budget:
+                failures.append(
+                    f"first post-restart query took {first_query_s:.3f}s "
+                    f"(budget {args.first_query_budget}s)"
+                )
+            served = first_status.get("latest")
+            if not (isinstance(served, dict) and int(served.get("version", 0)) == version):
+                failures.append(
+                    f"first query served {served!r}, wanted recovered "
+                    f"version {version}"
+                )
+
+            recovered = _http_json(args.host, http, f"/estimate?version={version}")
+            assert isinstance(recovered, dict)
+            if recovered["polyline"] != estimate["polyline"]:
+                failures.append(
+                    f"recovered polyline for version {version} is not "
+                    "bit-identical to the pre-kill one"
+                )
+            if recovered["meta"] != estimate["meta"]:
+                failures.append(
+                    f"recovered metadata for version {version} differs: "
+                    f"{recovered['meta']!r} != {estimate['meta']!r}"
+                )
+
+            http_status = _http_json(args.host, http, "/status")
+            assert isinstance(http_status, dict)
+            persistence = http_status.get("persistence")
+            if not isinstance(persistence, dict):
+                failures.append(f"/status carries no persistence info: {http_status!r}")
+            else:
+                report["persistence"] = persistence
+                if int(persistence.get("restarts", 0)) < 2:
+                    failures.append(
+                        f"restart count {persistence.get('restarts')!r} < 2 "
+                        "after a kill + restart"
+                    )
+                if int(persistence.get("recovered_snapshots", 0)) < 1:
+                    failures.append("restart recovered no snapshots")
+            served_latest = http_status.get("latest")
+            staleness = http_status.get("staleness")
+            if not (isinstance(served_latest, dict)
+                    and int(served_latest.get("version", 0)) == version):
+                failures.append(
+                    f"/status latest is {served_latest!r}, wanted version {version}"
+                )
+            if not isinstance(staleness, int) or staleness < 0:
+                failures.append(f"/status staleness {staleness!r} is not a sane tick count")
+        finally:
+            _kill(process)
+    signal.alarm(0)
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

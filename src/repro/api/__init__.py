@@ -195,6 +195,11 @@ def serve(
     snapshot.  Remaining keyword arguments are forwarded to
     :func:`repro.service.build_service` (``policy``, ``drift``,
     ``cache_size``, ``warm_cycles``, ``hub``, ``options``, ...).
+    Passing ``store_dir`` makes the service *durable*: every published
+    snapshot is written behind to an append-only log there
+    (:mod:`repro.persist`) and a restarted service recovers the logged
+    history before serving — see also ``fsync``, ``retention`` and
+    ``compact_every``.
 
     To put the handle on the network, hand it to
     :func:`repro.net.service_endpoint.serve_blocking` — with

@@ -52,6 +52,16 @@ class ServiceError(ReproError):
         self.code = code
 
 
+class PersistError(ReproError):
+    """A durable snapshot-log operation failed (:mod:`repro.persist`).
+
+    Raised for unusable log directories, invalid policies, and records
+    that cannot be decoded.  Recovery itself never raises it for
+    *corruption* — torn tails are truncated and corrupt records skipped
+    (and counted) so a crashed service always restarts.
+    """
+
+
 class NetworkError(ReproError):
     """A real-network operation failed (:mod:`repro.net` runtime)."""
 

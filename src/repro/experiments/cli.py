@@ -252,6 +252,17 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="serving workers; >1 serves from an SO_REUSEPORT "
                         "worker-process pool fed by store snapshots "
                         "(threaded fallback where the kernel lacks support)")
+    parser.add_argument("--store-dir", metavar="DIR", default=None,
+                        help="durable snapshot-log directory; a restarted "
+                        "service recovers its history from here and serves "
+                        "the last published estimate instantly")
+    parser.add_argument("--fsync", choices=("always", "rotate", "never"),
+                        default="rotate",
+                        help="snapshot-log durability policy (with --store-dir)")
+    parser.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                        help="also expose the read-only HTTP status surface "
+                        "(/status /estimate /history /metrics) on this port "
+                        "(0 picks an ephemeral port)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="append a JSONL query/run event trace to PATH")
     return parser
@@ -274,6 +285,8 @@ def _run_serve(argv: list[str]) -> int:
         n_nodes=args.nodes,
         seed=args.seed,
         hub=hub,
+        store_dir=args.store_dir,
+        fsync=args.fsync,
     )
     try:
         serve_blocking(
@@ -283,6 +296,7 @@ def _run_serve(argv: list[str]) -> int:
             refresh_every=args.refresh,
             max_cycles=args.cycles,
             workers=args.workers,
+            http_port=args.http_port,
         )
     except KeyboardInterrupt:
         print("\nshutting down")

@@ -20,6 +20,15 @@ The driver/tooling packages exempt from ADM007 keep their wall-clock
 exemption, but even they may not open sockets: all real networking goes
 through :mod:`repro.net`, the one place with retry, dedup, and fault
 machinery.
+
+Durable-file primitives (``os.fsync`` / ``os.fdatasync``) get the same
+treatment with a different home: they are allowed only in
+:mod:`repro.persist`, the snapshot-log subsystem whose crash-recovery
+contract is built on controlled sync points.  An fsync anywhere else is
+either dead weight on a hot path or an undeclared durability claim —
+and ``repro.persist`` itself stays subject to the socket/endpoint
+checks (persistence is local-disk only; it never talks to the
+network).
 """
 
 from __future__ import annotations
@@ -49,10 +58,21 @@ _ENDPOINT_CALLS = {
     ("loop", "create_unix_server"),
 }
 
+#: (chain-suffix) durable-file sync points, fenced to ``repro.persist``
+_DURABLE_CALLS = {
+    ("os", "fsync"),
+    ("os", "fdatasync"),
+}
+
 
 def _in_net_package(module: ModuleContext) -> bool:
     parts = module.module_name.split(".")
     return len(parts) >= 2 and parts[0] == "repro" and parts[1] == "net"
+
+
+def _in_persist_package(module: ModuleContext) -> bool:
+    parts = module.module_name.split(".")
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] == "persist"
 
 
 def _clock_exempt(module: ModuleContext) -> bool:
@@ -65,10 +85,19 @@ class NetOutsideRuntime(Rule):
 
     code = "ADM008"
     name = "net-outside-runtime"
-    hint = "route real networking and real time through repro.net (the only non-deterministic substrate)"
+    hint = (
+        "route real networking and real time through repro.net, and "
+        "durable-file syncs through repro.persist (the only "
+        "host-coupled substrates)"
+    )
 
     def check(self, module: ModuleContext) -> Iterator[Violation]:
+        in_persist = _in_persist_package(module)
         if _in_net_package(module):
+            # The networking runtime owns sockets and real time, but an
+            # fsync there would smuggle a durability claim out of
+            # repro.persist — check just that.
+            yield from self._check_durable_calls(module)
             return
         clock_exempt = _clock_exempt(module)
         for node in ast.walk(module.tree):
@@ -102,3 +131,21 @@ class NetOutsideRuntime(Rule):
                         module, node,
                         f"wall-clock read {'.'.join(chain)}() outside repro.net",
                     )
+                elif suffix in _DURABLE_CALLS and not in_persist:
+                    yield self.violation(
+                        module, node,
+                        f"durable-file sync {'.'.join(chain)}() outside repro.persist",
+                    )
+
+    def _check_durable_calls(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None or len(chain) < 2:
+                continue
+            if (chain[-2], chain[-1]) in _DURABLE_CALLS:
+                yield self.violation(
+                    module, node,
+                    f"durable-file sync {'.'.join(chain)}() outside repro.persist",
+                )

@@ -12,8 +12,8 @@ endpoint (whose whole design rests on zero-copy snapshot sharing).
 The rule tracks which names in a module are snapshot-typed — via
 ``EstimateSnapshot`` annotations (parameters, variables, returns of
 project-resolved functions) and via assignments from store lookups
-(``*store*.latest()`` / ``*store*.get(...)`` / ``*store*.pin(...)``) —
-and flags, outside the store module:
+(``*store*.latest()`` / ``*store*.get(...)`` / ``*store*.pin(...)`` /
+``*store*.adopt(...)``) — and flags, outside the store module:
 
 * attribute assignment, augmented assignment, or deletion on a
   snapshot-typed name (``snap.version = ...``);
@@ -37,8 +37,9 @@ __all__ = ["SnapshotImmutability"]
 #: the snapshot type name the annotations refer to
 _SNAPSHOT_TYPE = "EstimateSnapshot"
 
-#: store-lookup methods that hand out snapshots
-_STORE_LOOKUPS = {"latest", "get", "pin"}
+#: store-lookup methods that hand out snapshots (``adopt`` is the
+#: replica/recovery insertion path — its return is the shared snapshot)
+_STORE_LOOKUPS = {"latest", "get", "pin", "adopt"}
 
 #: method names that mutate their receiver in place
 _MUTATING_METHODS = {
@@ -49,14 +50,35 @@ _MUTATING_METHODS = {
 
 
 def _is_store_module(module: ModuleContext) -> bool:
+    """Only the *publishing* store module may construct/mutate snapshots.
+
+    ``repro.persist.store`` (the durable write-behind wrapper) is named
+    ``store`` too but holds no such privilege: it moves immutable
+    snapshots between the log and the live store, so it is checked like
+    any other module.
+    """
     parts = module.module_name.split(".")
-    return bool(parts) and parts[-1] == "store"
+    if not parts or parts[-1] != "store":
+        return False
+    return parts[:2] != ["repro", "persist"]
 
 
 def _annotation_is_snapshot(annotation: ast.expr | None) -> bool:
+    """The annotation names a snapshot *itself*, not a container of them.
+
+    ``EstimateSnapshot`` (quoted or not, optional or not) is a snapshot;
+    ``dict[int, EstimateSnapshot]`` is a mapping — rebinding its entries
+    replaces which shared snapshot a key points at, it does not mutate
+    any snapshot.
+    """
     if annotation is None:
         return False
-    return _SNAPSHOT_TYPE in ast.unparse(annotation)
+    text = ast.unparse(annotation).replace("'", "").replace('"', "")
+    alternatives = {part.strip() for part in text.split("|")}
+    alternatives.discard("None")
+    return alternatives <= {_SNAPSHOT_TYPE, f"Optional[{_SNAPSHOT_TYPE}]"} and bool(
+        alternatives
+    )
 
 
 def _is_store_lookup(value: ast.expr) -> bool:

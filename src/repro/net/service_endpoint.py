@@ -666,6 +666,8 @@ def serve_blocking(
     max_cycles: int | None = None,
     announce: Any = print,
     workers: int = 1,
+    http_port: int | None = None,
+    http_host: str | None = None,
 ) -> None:
     """Serve a handle over TCP, refreshing the estimate in the background.
 
@@ -679,40 +681,78 @@ def serve_blocking(
     workers through the store's snapshot feed.  With ``max_cycles`` the
     loop exits after that many refreshes (smoke tests); otherwise it
     serves until interrupted.
+
+    ``http_port`` additionally exposes the read-only HTTP status surface
+    (:mod:`repro.net.httpstatus`) on ``http_host`` (default: ``host``):
+    on the serving loop itself in the single-loop path, on a dedicated
+    thread in the worker-pool path.  When the handle is durable
+    (:attr:`ServiceHandle.persistence`), the log is sealed on exit.
     """
+    status_host = http_host if http_host is not None else host
     if workers > 1:
         import time
 
+        from repro.net.httpstatus import StatusServerThread
         from repro.net.service_worker import ServiceWorkerPool
 
         pool = ServiceWorkerPool(
             handle.store, workers=workers, host=host, port=port
         )
         pool.start()
+        status: StatusServerThread | None = None
         try:
+            if http_port is not None:
+                status = StatusServerThread(
+                    handle, host=status_host, port=http_port
+                )
+                status.start()
             if announce is not None:
                 announce(
                     f"serving on {host}:{pool.port} "
                     f"({pool.workers} workers, {pool.mode})"
                 )
+                if status is not None:
+                    announce(
+                        f"status on http://{status.host}:{status.port}/status"
+                    )
             cycles = 0
             while max_cycles is None or cycles < max_cycles:
                 time.sleep(refresh_every)
                 handle.scheduler.run_cycle()
                 cycles += 1
         finally:
+            if status is not None:
+                status.stop()
             pool.stop()
+            handle.close()
         return
 
     async def _serve() -> None:
+        from repro.net.httpstatus import StatusServer
+
         loop = asyncio.get_running_loop()
         async with ServiceEndpoint(handle, host=host, port=port) as endpoint:
-            if announce is not None:
-                announce(f"serving on {endpoint.host}:{endpoint.port}")
-            cycles = 0
-            while max_cycles is None or cycles < max_cycles:
-                await asyncio.sleep(refresh_every)
-                await loop.run_in_executor(None, handle.scheduler.run_cycle)
-                cycles += 1
+            status: StatusServer | None = None
+            if http_port is not None:
+                status = StatusServer(handle, host=status_host, port=http_port)
+                await status.start()
+            try:
+                if announce is not None:
+                    announce(f"serving on {endpoint.host}:{endpoint.port}")
+                    if status is not None:
+                        announce(
+                            f"status on http://{status.host}:{status.port}/status"
+                        )
+                cycles = 0
+                while max_cycles is None or cycles < max_cycles:
+                    await asyncio.sleep(refresh_every)
+                    await loop.run_in_executor(None, handle.scheduler.run_cycle)
+                    cycles += 1
+            finally:
+                if status is not None:
+                    await status.stop()
 
-    asyncio.run(_serve())
+    try:
+        asyncio.run(_serve())
+    finally:
+        handle.close()

@@ -63,10 +63,24 @@ METRIC_NAMES = frozenset({
     "query_cache_hits_total",
     "query_cache_misses_total",
     "query_errors_total",
+    "queries_unavailable_total",
     "query_latency_s",
     "service_cycles_total",
     "service_restarts_total",
     "service_tick",
+    "persist_snapshots_written_total",
+    "persist_bytes_written_total",
+    "persist_snapshots_recovered_total",
+    "persist_records_corrupt_total",
+    "persist_bytes_truncated_total",
+    "persist_compactions_total",
+    "persist_write_errors_total",
+    "persist_snapshots_retired_total",
+    "persist_restarts_total",
+    "persist_segments",
+    "persist_recovery_s",
+    "http_requests_total",
+    "http_errors_total",
 })
 
 #: templated metric families (``{placeholder}`` marks the variable part)

@@ -98,7 +98,7 @@ class ObserverHub:
         # measurable fraction of that budget, so the instruments are
         # resolved once and kept.
         self._query_instruments: (
-            tuple[Counter, Counter, Counter, Counter, Histogram] | None
+            tuple[Counter, Counter, Counter, Counter, Counter, Histogram] | None
         ) = None
         self._query_op_counters: dict[str, Counter] = {}
         # Same reasoning for the round loop: a million-node sweep emits
@@ -176,9 +176,10 @@ class ObserverHub:
                 metrics.counter("query_cache_hits_total"),
                 metrics.counter("query_cache_misses_total"),
                 metrics.counter("query_errors_total"),
+                metrics.counter("queries_unavailable_total"),
                 metrics.histogram("query_latency_s"),
             )
-        total, cache_hits, cache_misses, errors, latency = cached
+        total, cache_hits, cache_misses, errors, unavailable, latency = cached
         total.inc()
         op_counter = self._query_op_counters.get(event.op)
         if op_counter is None:
@@ -192,6 +193,12 @@ class ObserverHub:
             cache_misses.inc()
         if not event.ok:
             errors.inc()
+            # Queries rejected because nothing is published (or the
+            # requested version was evicted) get their own counter: a
+            # restarted service answering "unavailable" is an
+            # operational signal distinct from caller mistakes.
+            if event.error == "unavailable":
+                unavailable.inc()
         if event.latency_s is not None:
             latency.observe(event.latency_s)
         for observer in self.observers:

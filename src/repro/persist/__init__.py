@@ -1,0 +1,41 @@
+"""Durable persistence for the estimation service (:mod:`repro.service`).
+
+The paper's service story is an *always-available* estimate; an
+in-memory :class:`~repro.service.store.EstimateStore` dies with its
+process and a restarted service would serve nothing until a full
+refinement cycle completed.  This package closes that gap:
+
+* :mod:`repro.persist.codec` — a struct-packed snapshot codec in the
+  style of the query-frame codec (:mod:`repro.net.frames`): explicit
+  lengths, strict validation, raw float64 arrays so a decoded polyline
+  is bit-identical to the published one.
+* :mod:`repro.persist.log` — an append-only, CRC-checksummed segment
+  log with a versioned header, torn-tail truncation, corrupt-record
+  skipping, segment rotation and an fsync policy knob.
+* :mod:`repro.persist.retention` — time-faded retention in the spirit
+  of P2PTFHH (arXiv:1812.01450): the newest K versions at full
+  fidelity, older generations thinned exponentially, pinned versions
+  exempt.
+* :mod:`repro.persist.store` — :class:`DurableEstimateStore`, the
+  write-behind wrapper that subscribes to a live store's snapshot feed
+  and recovers the full usable history on startup.
+
+Everything here is deterministic given the snapshots it is fed: the
+package opens files, never sockets, and reads no clocks outside
+:func:`repro.obs.wall_clock` (the ADM008 fence applies — durable-file
+primitives such as ``os.fsync`` are allowed *only* here).
+"""
+
+from repro.persist.codec import decode_snapshot, encode_snapshot
+from repro.persist.log import RecoveredLog, SnapshotLog
+from repro.persist.retention import RetentionPolicy
+from repro.persist.store import DurableEstimateStore
+
+__all__ = [
+    "DurableEstimateStore",
+    "RecoveredLog",
+    "RetentionPolicy",
+    "SnapshotLog",
+    "decode_snapshot",
+    "encode_snapshot",
+]

@@ -1,0 +1,211 @@
+"""The snapshot payload codec: one EstimateSnapshot <-> one byte blob.
+
+Mirrors the framing discipline of :mod:`repro.net.frames` — struct-packed
+little-endian fields, explicit lengths, strict validation, a version
+byte bumped on any incompatible change — but for durable storage rather
+than the wire.  The CDF arrays are stored as raw float64 bytes
+(``ndarray.tobytes()``), so a decoded estimate reproduces the published
+polyline *bit-identically*: :class:`~repro.core.cdf.EstimatedCDF`
+re-sorts thresholds with a stable sort and the stored arrays are already
+in sorted order, making construction a no-op permutation.
+
+Payload layout (all little-endian)::
+
+    <B payload version> <B flags> <q version> <q published_tick>
+    <q n_nodes> <I instances> <I rounds> <H backend length> <backend utf8>
+    <I points> <thresholds float64[points]> <fractions float64[points]>
+    <d minimum> <d maximum>
+    [<d system_size>] [<d size_estimate>] [<2d confidence>]
+    [<d published_at>] [<d divergence>]
+
+Optional trailing fields are present iff their flag bit is set;
+``restarted`` is itself a flag bit.  Decoding validates every length and
+raises :class:`~repro.errors.PersistError` on any truncation, unknown
+version, unknown flag, or trailing bytes — a half-parsed snapshot never
+escapes.  Integrity against *bit corruption* is the log's job (each
+record carries a CRC32, :mod:`repro.persist.log`); the codec's job is to
+never crash and never mis-parse structurally broken input.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.cdf import EstimatedCDF
+from repro.errors import PersistError
+from repro.service.store import EstimateSnapshot
+
+__all__ = ["PAYLOAD_VERSION", "decode_snapshot", "encode_snapshot"]
+
+#: snapshot payload format version; bumped on incompatible layout change
+PAYLOAD_VERSION = 1
+
+_FIXED = struct.Struct("<BBqqqII")  # payload version, flags, version, tick, n_nodes, instances, rounds
+_BACKEND_LEN = struct.Struct("<H")
+_POINTS = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_2F64 = struct.Struct("<dd")
+
+_HAS_SYSTEM_SIZE = 0x01
+_HAS_SIZE_ESTIMATE = 0x02
+_HAS_CONFIDENCE = 0x04
+_HAS_PUBLISHED_AT = 0x08
+_HAS_DIVERGENCE = 0x10
+_RESTARTED = 0x20
+
+_KNOWN_FLAGS = (
+    _HAS_SYSTEM_SIZE | _HAS_SIZE_ESTIMATE | _HAS_CONFIDENCE
+    | _HAS_PUBLISHED_AT | _HAS_DIVERGENCE | _RESTARTED
+)
+
+#: interpolation points a record may carry (far above any real config)
+_MAX_POINTS = 1 << 20
+
+
+def encode_snapshot(snapshot: EstimateSnapshot) -> bytes:
+    """One snapshot as a self-contained byte blob."""
+    estimate = snapshot.estimate
+    thresholds = np.ascontiguousarray(estimate.thresholds, dtype=np.float64)
+    fractions = np.ascontiguousarray(estimate.fractions, dtype=np.float64)
+    if thresholds.shape != fractions.shape or thresholds.ndim != 1:
+        raise PersistError(
+            f"snapshot v{snapshot.version} has mismatched CDF arrays "
+            f"({thresholds.shape} thresholds, {fractions.shape} fractions)"
+        )
+    backend = snapshot.backend.encode("utf-8")
+    if len(backend) > 0xFFFF:
+        raise PersistError(f"backend name of {len(backend)} bytes is implausible")
+
+    flags = 0
+    tail = b""
+    if estimate.system_size is not None:
+        flags |= _HAS_SYSTEM_SIZE
+        tail += _F64.pack(float(estimate.system_size))
+    if snapshot.size_estimate is not None:
+        flags |= _HAS_SIZE_ESTIMATE
+        tail += _F64.pack(float(snapshot.size_estimate))
+    if snapshot.confidence is not None:
+        flags |= _HAS_CONFIDENCE
+        tail += _2F64.pack(float(snapshot.confidence[0]), float(snapshot.confidence[1]))
+    if snapshot.published_at is not None:
+        flags |= _HAS_PUBLISHED_AT
+        tail += _F64.pack(float(snapshot.published_at))
+    if snapshot.divergence is not None:
+        flags |= _HAS_DIVERGENCE
+        tail += _F64.pack(float(snapshot.divergence))
+    if snapshot.restarted:
+        flags |= _RESTARTED
+
+    return b"".join((
+        _FIXED.pack(
+            PAYLOAD_VERSION, flags, snapshot.version, snapshot.published_tick,
+            snapshot.n_nodes, snapshot.instances, snapshot.rounds,
+        ),
+        _BACKEND_LEN.pack(len(backend)), backend,
+        _POINTS.pack(int(thresholds.size)),
+        thresholds.tobytes(), fractions.tobytes(),
+        _2F64.pack(estimate.minimum, estimate.maximum),
+        tail,
+    ))
+
+
+def decode_snapshot(payload: bytes) -> EstimateSnapshot:
+    """The inverse of :func:`encode_snapshot`; strict on every byte."""
+    if len(payload) < _FIXED.size:
+        raise PersistError(
+            f"snapshot payload of {len(payload)} bytes is truncated "
+            f"inside the fixed header"
+        )
+    (payload_version, flags, version, tick, n_nodes,
+     instances, rounds) = _FIXED.unpack_from(payload, 0)
+    if payload_version != PAYLOAD_VERSION:
+        raise PersistError(
+            f"unsupported snapshot payload version {payload_version} "
+            f"(speak {PAYLOAD_VERSION})"
+        )
+    if flags & ~_KNOWN_FLAGS:
+        raise PersistError(f"unknown snapshot flags 0x{flags:02x}")
+    if version < 1:
+        raise PersistError(f"snapshot payload carries version {version} < 1")
+    offset = _FIXED.size
+
+    if len(payload) < offset + _BACKEND_LEN.size:
+        raise PersistError("snapshot payload truncated before the backend name")
+    (backend_len,) = _BACKEND_LEN.unpack_from(payload, offset)
+    offset += _BACKEND_LEN.size
+    if len(payload) < offset + backend_len:
+        raise PersistError("snapshot payload truncated inside the backend name")
+    try:
+        backend = payload[offset : offset + backend_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise PersistError(f"snapshot backend name is not UTF-8: {exc}") from exc
+    offset += backend_len
+
+    if len(payload) < offset + _POINTS.size:
+        raise PersistError("snapshot payload truncated before the point count")
+    (points,) = _POINTS.unpack_from(payload, offset)
+    offset += _POINTS.size
+    if points > _MAX_POINTS:
+        raise PersistError(f"snapshot announces {points} interpolation points")
+    array_bytes = points * _F64.size
+    if len(payload) < offset + 2 * array_bytes + _2F64.size:
+        raise PersistError("snapshot payload truncated inside the CDF arrays")
+    thresholds = np.frombuffer(
+        payload, dtype="<f8", count=points, offset=offset
+    ).copy()
+    offset += array_bytes
+    fractions = np.frombuffer(
+        payload, dtype="<f8", count=points, offset=offset
+    ).copy()
+    offset += array_bytes
+    minimum, maximum = _2F64.unpack_from(payload, offset)
+    offset += _2F64.size
+
+    system_size, offset = _optional_f64(payload, offset, flags, _HAS_SYSTEM_SIZE)
+    size_estimate, offset = _optional_f64(payload, offset, flags, _HAS_SIZE_ESTIMATE)
+    confidence: tuple[float, float] | None = None
+    if flags & _HAS_CONFIDENCE:
+        if len(payload) < offset + _2F64.size:
+            raise PersistError("snapshot payload truncated inside the confidence pair")
+        confidence = _2F64.unpack_from(payload, offset)
+        offset += _2F64.size
+    published_at, offset = _optional_f64(payload, offset, flags, _HAS_PUBLISHED_AT)
+    divergence, offset = _optional_f64(payload, offset, flags, _HAS_DIVERGENCE)
+
+    if offset != len(payload):
+        raise PersistError(
+            f"{len(payload) - offset} trailing bytes after snapshot payload"
+        )
+    try:
+        estimate = EstimatedCDF(
+            thresholds, fractions, minimum, maximum, system_size=system_size
+        )
+    except Exception as exc:  # structurally valid bytes, semantically broken CDF
+        raise PersistError(f"snapshot payload holds an unusable estimate: {exc}") from exc
+    return EstimateSnapshot(
+        version=int(version),
+        estimate=estimate,
+        backend=backend,
+        n_nodes=int(n_nodes),
+        instances=int(instances),
+        rounds=int(rounds),
+        size_estimate=size_estimate,
+        confidence=confidence,
+        published_tick=int(tick),
+        published_at=published_at,
+        restarted=bool(flags & _RESTARTED),
+        divergence=divergence,
+    )
+
+
+def _optional_f64(
+    payload: bytes, offset: int, flags: int, bit: int
+) -> tuple[float | None, int]:
+    if not flags & bit:
+        return None, offset
+    if len(payload) < offset + _F64.size:
+        raise PersistError("snapshot payload truncated inside an optional field")
+    (value,) = _F64.unpack_from(payload, offset)
+    return float(value), offset + _F64.size

@@ -1,0 +1,448 @@
+"""The append-only snapshot log: CRC-checksummed records in segments.
+
+On disk a log is a directory of segment files named
+``segment-<16 hex digits>.a2sl``.  Every segment starts with a 6-byte
+header (magic ``b"A2SL"``, format version, fsync-policy-independent) and
+then carries length-prefixed records in the framing style of
+:mod:`repro.net.frames`::
+
+    segment := <4s magic "A2SL"> <B version> <B reserved> record*
+    record  := <2s magic "AR"> <B kind> <B reserved> <I payload length>
+               <I crc32(payload)> <payload>
+
+Record kinds: ``snapshot`` (payload is one
+:func:`repro.persist.codec.encode_snapshot` blob) and ``restart``
+(payload is one little-endian u64 — the cumulative restart count, so
+compaction can fold a marker trail into one record).
+
+**Recovery invariants** (tested byte-by-byte in
+``tests/persist/test_log.py``):
+
+* a *torn tail* — a record whose header or payload runs past EOF, as a
+  crash mid-write leaves behind — is truncated: everything before it is
+  recovered, the tail is discarded and the byte count reported;
+* a record whose payload fails its CRC (bit corruption) is *skipped*
+  and counted; scanning resumes at the announced record boundary, and
+  if that boundary does not hold a valid record magic the remainder of
+  the segment is treated as torn (a corrupted length cannot be trusted
+  to resynchronise);
+* recovery never raises for corruption — only for an unusable
+  directory or an alien file format — so a crashed service can always
+  restart on whatever prefix survived.
+
+Durability knob (``fsync``): ``"always"`` fsyncs after every record
+(safe against power loss, slowest), ``"rotate"`` fsyncs on segment
+rotation and close (the default — safe against process crashes, which
+leave the page cache intact), ``"never"`` leaves flushing to the OS.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.errors import PersistError
+from repro.persist.codec import decode_snapshot, encode_snapshot
+from repro.service.store import EstimateSnapshot
+
+__all__ = ["RecoveredLog", "SnapshotLog"]
+
+SEGMENT_MAGIC = b"A2SL"
+SEGMENT_VERSION = 1
+SEGMENT_HEADER = struct.Struct("<4sBB")
+
+RECORD_MAGIC = b"AR"
+RECORD_HEADER = struct.Struct("<2sBBII")  # magic, kind, reserved, length, crc32
+
+KIND_SNAPSHOT = 1
+KIND_RESTART = 2
+_KINDS = frozenset({KIND_SNAPSHOT, KIND_RESTART})
+
+_RESTART_PAYLOAD = struct.Struct("<Q")
+
+_FSYNC_POLICIES = ("always", "rotate", "never")
+
+#: hard ceiling on one record's payload; a corrupted length field can
+#: never make recovery allocate unbounded buffers
+MAX_RECORD_BYTES = 64 << 20
+
+_SEGMENT_SUFFIX = ".a2sl"
+_SEGMENT_PREFIX = "segment-"
+
+
+@dataclass
+class RecoveredLog:
+    """What :meth:`SnapshotLog.recover` salvaged from disk.
+
+    Attributes:
+        snapshots: every decodable snapshot record, in log order
+            (deduplicated by version, last write wins).
+        restarts: cumulative restart count (max over restart markers).
+        corrupt_records: records skipped for CRC/decode failure.
+        truncated_bytes: torn-tail bytes discarded across segments.
+        segments: segment files scanned.
+    """
+
+    snapshots: list[EstimateSnapshot] = field(default_factory=list)
+    restarts: int = 0
+    corrupt_records: int = 0
+    truncated_bytes: int = 0
+    segments: int = 0
+
+
+class SnapshotLog:
+    """An append-only snapshot log rooted at one directory.
+
+    Args:
+        root: log directory; created (with parents) when missing.
+        fsync: durability policy — ``"always"`` / ``"rotate"`` /
+            ``"never"`` (see the module docstring).
+        max_segment_bytes: rotation threshold; a record that would push
+            the open segment past this size goes into a fresh segment.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        fsync: str = "rotate",
+        max_segment_bytes: int = 4 << 20,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise PersistError(
+                f"unknown fsync policy {fsync!r}; supported: "
+                + ", ".join(_FSYNC_POLICIES)
+            )
+        if max_segment_bytes < SEGMENT_HEADER.size + RECORD_HEADER.size:
+            raise PersistError(
+                f"max_segment_bytes {max_segment_bytes} cannot fit one record"
+            )
+        self.root = Path(root)
+        self.fsync = fsync
+        self.max_segment_bytes = max_segment_bytes
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PersistError(f"cannot create log directory {self.root}: {exc}") from exc
+        if not self.root.is_dir():
+            raise PersistError(f"log root {self.root} is not a directory")
+        self._handle: BinaryIO | None = None
+        self._open_path: Path | None = None
+        self._open_size = 0
+        self._next_segment = self._highest_segment_index() + 1
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append_snapshot(self, snapshot: EstimateSnapshot) -> int:
+        """Append one snapshot record; returns the bytes written."""
+        return self._append(KIND_SNAPSHOT, encode_snapshot(snapshot))
+
+    def append_restart(self, count: int) -> int:
+        """Append a restart marker carrying the cumulative count."""
+        if count < 0:
+            raise PersistError(f"restart count {count} must be >= 0")
+        return self._append(KIND_RESTART, _RESTART_PAYLOAD.pack(count))
+
+    def _append(self, kind: int, payload: bytes) -> int:
+        if len(payload) > MAX_RECORD_BYTES:
+            raise PersistError(
+                f"record payload of {len(payload)} bytes exceeds the "
+                f"{MAX_RECORD_BYTES}-byte record budget"
+            )
+        record = RECORD_HEADER.pack(
+            RECORD_MAGIC, kind, 0, len(payload), zlib.crc32(payload)
+        ) + payload
+        handle = self._writable(len(record))
+        try:
+            handle.write(record)
+            handle.flush()
+            if self.fsync == "always":
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistError(f"cannot append to {self._open_path}: {exc}") from exc
+        self._open_size += len(record)
+        return len(record)
+
+    def _writable(self, incoming: int) -> BinaryIO:
+        if (
+            self._handle is not None
+            and self._open_size + incoming > self.max_segment_bytes
+        ):
+            self._rotate()
+        if self._handle is None:
+            self._open_segment()
+        assert self._handle is not None
+        return self._handle
+
+    def _open_segment(self) -> None:
+        path = self.root / (
+            f"{_SEGMENT_PREFIX}{self._next_segment:016x}{_SEGMENT_SUFFIX}"
+        )
+        self._next_segment += 1
+        try:
+            handle = open(path, "xb")
+            handle.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, 0))
+            handle.flush()
+        except OSError as exc:
+            raise PersistError(f"cannot open segment {path}: {exc}") from exc
+        self._handle = handle
+        self._open_path = path
+        self._open_size = SEGMENT_HEADER.size
+
+    def _rotate(self) -> None:
+        self._close_open_segment(sync=self.fsync in ("always", "rotate"))
+
+    def _close_open_segment(self, *, sync: bool) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+        finally:
+            self._handle.close()
+            self._handle = None
+            self._open_path = None
+            self._open_size = 0
+
+    def close(self) -> None:
+        """Flush (and per policy fsync) the open segment and release it."""
+        self._close_open_segment(sync=self.fsync in ("always", "rotate"))
+
+    def __enter__(self) -> "SnapshotLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def segment_paths(self) -> list[Path]:
+        """Segment files in append order."""
+        return sorted(
+            p for p in self.root.iterdir()
+            if p.name.startswith(_SEGMENT_PREFIX)
+            and p.name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of every segment."""
+        return sum(p.stat().st_size for p in self.segment_paths())
+
+    def _highest_segment_index(self) -> int:
+        highest = 0
+        for path in self.segment_paths():
+            stem = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+            try:
+                highest = max(highest, int(stem, 16))
+            except ValueError:
+                raise PersistError(
+                    f"alien file {path.name!r} in log directory {self.root}"
+                ) from None
+        return highest
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, *, truncate_torn_tail: bool = True) -> RecoveredLog:
+        """Scan every segment; salvage all usable records.
+
+        With ``truncate_torn_tail`` (the default) the torn bytes at the
+        end of the final segment are physically truncated, so subsequent
+        appends start at a clean record boundary.  Must be called before
+        the first append (the writer owns the tail afterwards).
+        """
+        if self._handle is not None:
+            if truncate_torn_tail:
+                raise PersistError(
+                    "recovery with tail truncation must run before the "
+                    "first append (the writer owns the tail)"
+                )
+            # A read-only scan under a live writer is fine once the
+            # buffered bytes are visible to the reader below.
+            try:
+                self._handle.flush()
+            except OSError as exc:
+                raise PersistError(f"cannot flush {self._open_path}: {exc}") from exc
+        result = RecoveredLog()
+        by_version: dict[int, EstimateSnapshot] = {}
+        order: list[int] = []
+        paths = self.segment_paths()
+        result.segments = len(paths)
+        for index, path in enumerate(paths):
+            is_last = index == len(paths) - 1
+            keep_bytes = self._scan_segment(path, result, by_version, order)
+            if keep_bytes is not None and truncate_torn_tail and is_last:
+                self._truncate(path, keep_bytes)
+        result.snapshots = [by_version[v] for v in order]
+        return result
+
+    def _scan_segment(
+        self,
+        path: Path,
+        result: RecoveredLog,
+        by_version: dict[int, EstimateSnapshot],
+        order: list[int],
+    ) -> int | None:
+        """Scan one segment; returns the clean prefix length if torn."""
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise PersistError(f"cannot read segment {path}: {exc}") from exc
+        if len(data) < SEGMENT_HEADER.size:
+            result.truncated_bytes += len(data)
+            return 0
+        magic, version, _reserved = SEGMENT_HEADER.unpack_from(data, 0)
+        if magic != SEGMENT_MAGIC:
+            raise PersistError(f"{path} is not a snapshot segment (magic {magic!r})")
+        if version != SEGMENT_VERSION:
+            raise PersistError(
+                f"{path} speaks segment version {version} (speak {SEGMENT_VERSION})"
+            )
+        offset = SEGMENT_HEADER.size
+        while offset < len(data):
+            advance = self._scan_record(data, offset, result, by_version, order)
+            if advance is None:
+                # torn or unrecoverable tail: everything from here is lost
+                result.truncated_bytes += len(data) - offset
+                return offset
+            offset += advance
+        return None
+
+    def _scan_record(
+        self,
+        data: bytes,
+        offset: int,
+        result: RecoveredLog,
+        by_version: dict[int, EstimateSnapshot],
+        order: list[int],
+    ) -> int | None:
+        """One record at ``offset``; returns its full size, or None if torn."""
+        if len(data) < offset + RECORD_HEADER.size:
+            return None  # torn inside the record header
+        magic, kind, _reserved, length, crc = RECORD_HEADER.unpack_from(data, offset)
+        if magic != RECORD_MAGIC or kind not in _KINDS or length > MAX_RECORD_BYTES:
+            # A bad header means the previous record's announced length
+            # lied (or the header itself is corrupt): the boundary is
+            # untrustworthy, so the rest of the segment is torn.
+            return None
+        start = offset + RECORD_HEADER.size
+        end = start + length
+        if end > len(data):
+            return None  # torn inside the payload
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            # Bit corruption within one record: skip it, keep scanning at
+            # the announced boundary (validated by the next header check).
+            result.corrupt_records += 1
+            return RECORD_HEADER.size + length
+        if kind == KIND_RESTART:
+            if length == _RESTART_PAYLOAD.size:
+                (count,) = _RESTART_PAYLOAD.unpack(payload)
+                result.restarts = max(result.restarts, int(count))
+            else:
+                result.corrupt_records += 1
+            return RECORD_HEADER.size + length
+        try:
+            snapshot = decode_snapshot(payload)
+        except PersistError:
+            result.corrupt_records += 1
+            return RECORD_HEADER.size + length
+        if snapshot.version not in by_version:
+            order.append(snapshot.version)
+        by_version[snapshot.version] = snapshot
+        return RECORD_HEADER.size + length
+
+    @staticmethod
+    def _truncate(path: Path, keep_bytes: int) -> None:
+        try:
+            with open(path, "r+b") as handle:
+                handle.truncate(keep_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistError(f"cannot truncate torn tail of {path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(
+        self,
+        keep_versions: set[int],
+        *,
+        restarts: int,
+    ) -> int:
+        """Rewrite *sealed* segments keeping only ``keep_versions``.
+
+        The open segment (if any) is sealed first, so compaction always
+        operates on immutable files.  Retained snapshots are rewritten
+        in their original order into fresh segments, followed by one
+        restart marker carrying ``restarts``; each rewritten segment
+        replaces its sources atomically (temp file + ``os.replace``),
+        and source segments are removed only after the replacement is
+        durable.  Returns the number of snapshot records dropped.
+
+        Duplicated delivery on a crash mid-compaction is harmless: log
+        consumers deduplicate by version
+        (:meth:`~repro.service.store.EstimateStore.adopt` is idempotent).
+        """
+        self._close_open_segment(sync=self.fsync in ("always", "rotate"))
+        recovered = self.recover()
+        keep = [s for s in recovered.snapshots if s.version in keep_versions]
+        dropped = len(recovered.snapshots) - len(keep)
+        restarts = max(restarts, recovered.restarts)
+
+        old_paths = self.segment_paths()
+        new_path = self.root / (
+            f"{_SEGMENT_PREFIX}{self._next_segment:016x}{_SEGMENT_SUFFIX}"
+        )
+        self._next_segment += 1
+        tmp_path = new_path.with_suffix(".tmp")
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, 0))
+                for snapshot in keep:
+                    payload = encode_snapshot(snapshot)
+                    handle.write(RECORD_HEADER.pack(
+                        RECORD_MAGIC, KIND_SNAPSHOT, 0,
+                        len(payload), zlib.crc32(payload),
+                    ) + payload)
+                marker = _RESTART_PAYLOAD.pack(restarts)
+                handle.write(RECORD_HEADER.pack(
+                    RECORD_MAGIC, KIND_RESTART, 0,
+                    len(marker), zlib.crc32(marker),
+                ) + marker)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, new_path)
+        except OSError as exc:
+            raise PersistError(f"compaction into {new_path} failed: {exc}") from exc
+        finally:
+            if tmp_path.exists():  # pragma: no cover - failure cleanup
+                tmp_path.unlink()
+        for path in old_paths:
+            try:
+                path.unlink()
+            except OSError as exc:
+                raise PersistError(f"cannot drop sealed segment {path}: {exc}") from exc
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Iteration (diagnostics)
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[EstimateSnapshot]:
+        """Recovered snapshots, log order (fresh scan per call)."""
+        return iter(self.recover(truncate_torn_tail=False).snapshots)

@@ -1,0 +1,82 @@
+"""Time-faded snapshot retention: recent at full fidelity, old thinned.
+
+The policy follows the time-faded sketch discipline of P2PTFHH
+(arXiv:1812.01450): information is not hard-dropped at a horizon but
+*decayed* — the newest ``keep_last`` versions are all retained, and
+older versions are thinned exponentially by generation, so a query
+"CDF as of cycle k" stays answerable at ever coarser granularity while
+disk cost stays ``O(keep_last + log(age))``.
+
+Generations are age buckets measured in *versions behind the newest*:
+generation 0 is ages ``[0, keep_last)`` (kept in full); generation
+``g >= 1`` covers ages ``[keep_last * base**(g-1), keep_last * base**g)``
+and keeps only its single newest member.  Pinned versions are always
+retained regardless of age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Sequence
+
+from repro.errors import PersistError
+
+__all__ = ["RetentionPolicy"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Which logged versions compaction keeps.
+
+    Attributes:
+        keep_last: newest versions retained at full fidelity.
+        base: exponential thinning factor for older generations
+            (each generation spans ``base`` times the ages of the
+            previous one and keeps one snapshot).
+    """
+
+    keep_last: int = 8
+    base: int = 2
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 1:
+            raise PersistError("retention keep_last must be >= 1")
+        if self.base < 2:
+            raise PersistError("retention base must be >= 2")
+
+    def retained(
+        self, versions: Sequence[int], pinned: Collection[int] = ()
+    ) -> set[int]:
+        """The subset of ``versions`` the policy keeps.
+
+        ``versions`` need not be sorted or unique; age is counted in
+        *positions* behind the newest version present, so gaps left by
+        earlier compactions do not accelerate decay.
+        """
+        ordered = sorted(set(versions), reverse=True)  # newest first
+        pinned_set = set(pinned)
+        keep: set[int] = {v for v in ordered if v in pinned_set}
+        seen_generations: set[int] = set()
+        for age, version in enumerate(ordered):
+            if age < self.keep_last:
+                keep.add(version)
+                continue
+            generation = self._generation(age)
+            if generation not in seen_generations:
+                # the newest member of each older generation survives
+                seen_generations.add(generation)
+                keep.add(version)
+        return keep
+
+    def _generation(self, age: int) -> int:
+        """Generation index for an age ``>= keep_last``.
+
+        Generation ``g`` covers ages ``[keep_last * base**(g-1),
+        keep_last * base**g)``.
+        """
+        bound = self.keep_last * self.base
+        generation = 1
+        while age >= bound:
+            bound *= self.base
+            generation += 1
+        return generation

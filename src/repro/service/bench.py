@@ -17,7 +17,13 @@ Three measurement modes:
   binary frame codec and batched requests, driven by closed-loop
   clients with think time (see :data:`DEFAULT_THINK_S`): a
   qps-vs-clients curve at the full worker pool and a qps-vs-workers
-  curve under a saturating 16-client load.
+  curve under a saturating 16-client load;
+* **persist** — the durable-serving cost model: in-process qps with the
+  :mod:`repro.persist` write-behind attached vs. detached (the
+  attachment must stay within a few percent — queries never touch the
+  log), the publish-path cost per cycle, and a recovery entry (how many
+  snapshots a cold restart recovered, how long recovery took, and the
+  latency of the first post-restart query).
 
 Sandboxes that forbid socket binding record the TCP modes as skipped
 instead of failing the benchmark.  All TCP throughput numbers are
@@ -161,6 +167,8 @@ def profile_service(
     tcp: bool = True,
     tcp_queries: int = 2000,
     pool_queries: int = 24_000,
+    persist: bool = True,
+    persist_cycles: int = 6,
     seed: int = 0,
 ) -> dict[str, object]:
     """Benchmark the query layer; returns the benchmark document.
@@ -174,7 +182,9 @@ def profile_service(
     closed-loop clients with :data:`DEFAULT_THINK_S` think time): the
     qps-vs-clients curve at ``pool_workers`` workers and the
     qps-vs-workers curve over ``worker_counts`` under a saturating
-    16-client load.
+    16-client load.  When ``persist``, the durable-serving section
+    (``persist_cycles`` published cycles per leg) measures the
+    write-behind attachment on/off, the publish path, and recovery.
     """
     hub = ObserverHub()
     handle = build_service(
@@ -228,6 +238,14 @@ def profile_service(
         )
         entries.extend(pool_entries)
         skipped.extend(pool_skips)
+
+    # (e) durable serving: write-behind on/off, publish path, recovery
+    if persist:
+        entries.extend(_profile_persistence(
+            workload, config,
+            backend=backend, n_nodes=n_nodes, queries=queries,
+            cycles=persist_cycles, seed=seed,
+        ))
 
     return {
         "benchmark": "adam2-service",
@@ -353,3 +371,88 @@ def _profile_pool(
             clients=16, workers=int(workers),
         )
     return entries, skipped
+
+
+def _profile_persistence(
+    workload: AttributeWorkload,
+    config: Adam2Config,
+    *,
+    backend: str,
+    n_nodes: int,
+    queries: Sequence[tuple[str, tuple[float, ...]]],
+    cycles: int,
+    seed: int,
+) -> list[dict[str, object]]:
+    """The durable-serving section: on/off query qps, publish cost, recovery.
+
+    Four entries, all ``mode="persist"``:
+
+    * ``inproc_persist_off`` — the mixed workload against a hot engine
+      with no durability attached (the baseline);
+    * ``inproc_persist_on`` — identical, with the write-behind log
+      subscribed; queries never touch the log, so the two must agree to
+      within noise (the acceptance bar is <10%);
+    * ``publish`` — per-cycle publish latency with the write-behind
+      attached (encode + append + fsync policy), measured over
+      ``cycles`` scheduler cycles;
+    * ``recovery`` — a cold restart over the written log: snapshots
+      recovered, recovery seconds, and the first post-restart query
+      latency (served from the recovered history, no warm cycle).
+    """
+    import tempfile
+
+    entries: list[dict[str, object]] = []
+
+    def fresh(store_dir: str | None) -> ServiceHandle:
+        return build_service(
+            config, workload,
+            backend=backend, n_nodes=n_nodes, seed=seed,
+            store_dir=store_dir, warm_cycles=1,
+        )
+
+    # Baseline: no durability attached.
+    baseline = fresh(None)
+    baseline.refresh(cycles)
+    _execute(baseline.engine, queries)  # populate the LRU
+    off = _execute(baseline.engine, queries)
+    entries.append(_entry("persist", "inproc_persist_off", off, {
+        "cycles": cycles,
+    }))
+
+    with tempfile.TemporaryDirectory(prefix="adam2-persist-bench-") as root:
+        durable = fresh(root)
+        assert durable.persistence is not None
+        publish: list[float] = []
+        for _ in range(cycles):
+            started = wall_clock()
+            durable.refresh(1)
+            publish.append(wall_clock() - started)
+        _execute(durable.engine, queries)  # populate the LRU
+        on = _execute(durable.engine, queries)
+        entries.append(_entry("persist", "inproc_persist_on", on, {
+            "cycles": cycles,
+            "persistence": durable.persistence.info(),
+        }))
+        entries.append(_entry("persist", "publish", publish, {
+            "cycles": cycles,
+            "bytes_logged": durable.persistence.log.size_bytes(),
+        }))
+        durable.close()
+
+        # Cold restart: recovery happens inside build_service, before
+        # the handle exists — the first query is served from the
+        # recovered history (warm_cycles is skipped on recovery).
+        build_started = wall_clock()
+        restarted = fresh(root)
+        build_s = wall_clock() - build_started
+        assert restarted.persistence is not None
+        info = restarted.persistence.info()
+        first = _execute(restarted.engine, queries[:1] or [("size", ())])
+        entries.append(_entry("persist", "recovery", first, {
+            "recovered_snapshots": info["recovered_snapshots"],
+            "recovery_s": info["recovery_s"],
+            "build_s": build_s,
+            "restarts": info["restarts"],
+        }))
+        restarted.close()
+    return entries

@@ -10,7 +10,8 @@ client can move between them without code changes).  Build one with
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+import os
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.config import Adam2Config
 from repro.errors import ServiceError
@@ -21,11 +22,22 @@ from repro.service.store import EstimateSnapshot, EstimateStore
 from repro.workloads.base import AttributeWorkload
 from repro.workloads.dynamic import DriftModel
 
+if TYPE_CHECKING:  # runtime import stays lazy (repro.persist imports this package)
+    from repro.persist import DurableEstimateStore, RetentionPolicy
+
 __all__ = ["ServiceHandle", "build_service"]
 
 
 class ServiceHandle:
-    """Queries plus lifecycle control over one continuous service."""
+    """Queries plus lifecycle control over one continuous service.
+
+    ``persistence`` is the optional
+    :class:`~repro.persist.DurableEstimateStore` write-behind attachment
+    (built by :func:`build_service` when given a ``store_dir``): with it,
+    every published snapshot lands in an append-only log and a restarted
+    service recovers its history before serving — :meth:`close` detaches
+    and seals the log.
+    """
 
     def __init__(
         self,
@@ -33,11 +45,13 @@ class ServiceHandle:
         store: EstimateStore,
         engine: QueryEngine,
         hub: ObserverHub = NULL_HUB,
+        persistence: "DurableEstimateStore | None" = None,
     ) -> None:
         self.scheduler = scheduler
         self.store = store
         self.engine = engine
         self.hub = hub
+        self.persistence = persistence
 
     # -- queries (delegated to the engine, with its cache + metrics) ----
 
@@ -74,6 +88,17 @@ class ServiceHandle:
         """Release a pinned version."""
         self.store.unpin(version)
 
+    def close(self) -> None:
+        """Release owned resources (detach + seal the snapshot log)."""
+        if self.persistence is not None:
+            self.persistence.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- introspection --------------------------------------------------
 
     def status(self) -> dict[str, object]:
@@ -95,6 +120,9 @@ class ServiceHandle:
             "versions": self.store.versions(),
             "pinned": self.store.pinned(),
             "cache": self.engine.cache_info(),
+            "persistence": (
+                self.persistence.info() if self.persistence is not None else None
+            ),
         }
 
     def history(self) -> list[dict[str, object]]:
@@ -120,6 +148,10 @@ def build_service(
     hub: ObserverHub = NULL_HUB,
     clock: Callable[[], float] = wall_clock,
     warm_cycles: int = 1,
+    store_dir: str | os.PathLike[str] | None = None,
+    fsync: str = "rotate",
+    retention: "RetentionPolicy | None" = None,
+    compact_every: int = 64,
     options: Mapping[str, object] | None = None,
 ) -> ServiceHandle:
     """Assemble a service and (by default) warm it with one cycle.
@@ -138,10 +170,40 @@ def build_service(
         hub: observability hub shared by scheduler and query engine.
         clock: latency/staleness clock (injectable for tests).
         warm_cycles: cycles to run before returning, so the handle can
-            answer queries immediately; 0 returns a cold service.
+            answer queries immediately; 0 returns a cold service.  When
+            ``store_dir`` recovery yields at least one snapshot, warming
+            is skipped — the recovered history answers the first query
+            without waiting on a fresh cycle.
+        store_dir: directory for the durable snapshot log; ``None``
+            (the default) serves purely in-memory.  Setting it attaches
+            a :class:`~repro.persist.DurableEstimateStore`: recovery
+            runs *before* warm-up, so a restarted service serves the
+            last durably published estimate instantly.
+        fsync: snapshot-log durability policy
+            (``always``/``rotate``/``never``; only with ``store_dir``).
+        retention: time-faded compaction policy for the log (default
+            :class:`~repro.persist.RetentionPolicy`).
+        compact_every: appended snapshots between compaction passes;
+            ``0`` disables automatic compaction.
         options: backend-specific options for every cycle's run.
     """
     store = EstimateStore(max_history=max_history)
+    persistence: "DurableEstimateStore | None" = None
+    if store_dir is not None:
+        # Late import: repro.persist imports this package, so a
+        # module-level import here would be circular.
+        from repro.persist import DurableEstimateStore
+        from repro.persist.log import SnapshotLog
+
+        log = SnapshotLog(store_dir, fsync=fsync)
+        persistence = DurableEstimateStore(
+            store,
+            log,
+            retention=retention,
+            compact_every=compact_every,
+            hub=hub,
+            clock=clock,
+        )
     scheduler = ContinuousScheduler(
         config,
         workload,
@@ -155,7 +217,11 @@ def build_service(
         options=options,
     )
     engine = QueryEngine(store, cache_size=cache_size, hub=hub, clock=clock)
-    handle = ServiceHandle(scheduler, store, engine, hub=hub)
+    handle = ServiceHandle(
+        scheduler, store, engine, hub=hub, persistence=persistence
+    )
+    if persistence is not None and persistence.recovered_snapshots > 0:
+        warm_cycles = 0  # recovered history serves the first query
     if warm_cycles > 0:
         scheduler.run_cycles(warm_cycles)
     return handle

@@ -101,6 +101,14 @@ class EstimateStore:
         max_history: recent versions retained.  Older versions are
             evicted on publish unless pinned; the latest snapshot is
             never evicted.
+
+    Pinning contract: a pinned version is retained *beyond* the
+    ``max_history`` budget (the store may temporarily hold more than
+    ``max_history`` snapshots), stays listed by :meth:`versions` and
+    :meth:`history` (flagged ``pinned: true`` there) and servable
+    through :meth:`get` for as long as the pin holds.  :meth:`unpin`
+    makes the version ordinarily evictable again and drains any
+    pin-caused overflow immediately — oldest unpinned versions first.
     """
 
     def __init__(self, max_history: int = 8) -> None:
@@ -241,15 +249,30 @@ class EstimateStore:
             return snapshot
 
     def versions(self) -> list[int]:
-        """All retained versions, oldest first."""
+        """All retained versions, oldest first.
+
+        Contract: *every* retained version is listed — pinned versions
+        that outlived the ``max_history`` budget included.  A version in
+        this list is always servable through :meth:`get`.
+        """
         with self._lock:
             return sorted(self._snapshots)
 
     def history(self) -> list[dict[str, object]]:
-        """Metadata of every retained snapshot, oldest first."""
+        """Metadata of every retained snapshot, oldest first.
+
+        Each entry is the snapshot's :meth:`EstimateSnapshot.meta` dict
+        plus a ``"pinned"`` flag, so frontends can tell an old version
+        that survived eviction *because it is pinned* from one still
+        inside the history budget.  Pinned versions are always present
+        (same contract as :meth:`versions`).
+        """
         with self._lock:
             return [
-                self._snapshots[version].meta()
+                {
+                    **self._snapshots[version].meta(),
+                    "pinned": version in self._pinned,
+                }
                 for version in sorted(self._snapshots)
             ]
 

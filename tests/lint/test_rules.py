@@ -378,6 +378,59 @@ class TestADM008NetOutsideRuntime:
         assert codes(src, path="src/repro/net/service_worker.py") == []
         assert "ADM008" in codes(src, path="src/repro/service/worker.py")
 
+    def test_fsync_outside_persist_is_fenced(self):
+        src = """
+            import os
+
+            def seal(handle):
+                handle.flush()
+                os.fsync(handle.fileno())
+        """
+        assert "ADM008" in codes(src, path="src/repro/service/store.py")
+
+    def test_fdatasync_outside_persist_is_fenced(self):
+        src = """
+            import os
+
+            def seal(fd):
+                os.fdatasync(fd)
+        """
+        assert "ADM008" in codes(src, path="src/repro/obs/sinks.py")
+
+    def test_net_package_is_not_exempt_from_the_durable_fence(self):
+        """repro.net owns sockets and clocks, not durability: an fsync
+        there is as much a layering leak as anywhere else."""
+        src = """
+            import os
+
+            def seal(handle):
+                os.fsync(handle.fileno())
+        """
+        assert "ADM008" in codes(src, path="src/repro/net/httpstatus.py")
+
+    def test_persist_package_owns_durable_syncs(self):
+        src = """
+            import os
+
+            def seal(handle):
+                os.fsync(handle.fileno())
+                os.fdatasync(handle.fileno())
+        """
+        assert codes(src, path="src/repro/persist/log.py") == []
+
+    def test_persist_package_is_still_fenced_from_sockets(self):
+        """The durability layer is local-disk only: sockets, endpoints
+        and raw clocks stay illegal inside repro.persist."""
+        src = """
+            import socket
+            import time
+
+            def probe():
+                return socket.socket(), time.monotonic()
+        """
+        found = codes(src, path="src/repro/persist/log.py")
+        assert found.count("ADM008") == 2
+
     def test_real_service_sources_lint_clean(self):
         from pathlib import Path
 

@@ -262,6 +262,48 @@ class TestSnapshotImmutability:
         report = lint_paths([str(store)], select={"ADM011"})
         assert report.violations == []
 
+    def test_adopt_result_is_tracked(self):
+        violations = lint_source(
+            "def replay(store, snap):\n"
+            "    mine = store.adopt(snap)\n"
+            "    mine.version = 99\n",
+            select={"ADM011"},
+        )
+        assert _codes(violations) == ["ADM011"]
+
+    def test_container_annotations_are_not_snapshots(self):
+        # A dict *holding* snapshots is mutable; only a direct
+        # EstimateSnapshot annotation marks the value itself frozen.
+        violations = lint_source(
+            "def collect(by_version: dict[int, EstimateSnapshot], snap):\n"
+            "    by_version[snap.version] = snap\n",
+            select={"ADM011"},
+        )
+        assert violations == []
+
+    def test_optional_and_quoted_annotations_are_tracked(self):
+        violations = lint_source(
+            "def poke(snap: 'EstimateSnapshot | None'):\n"
+            "    if snap is not None:\n"
+            "        snap.version = 99\n",
+            select={"ADM011"},
+        )
+        assert _codes(violations) == ["ADM011"]
+
+    def test_persist_store_module_is_not_exempt(self, tmp_path):
+        # repro.persist.store wraps stores but holds no construction
+        # privilege: the bare store.py exemption must not leak to it.
+        pkg = tmp_path / "repro" / "persist"
+        pkg.mkdir(parents=True)
+        for init in (tmp_path / "repro", pkg):
+            (init / "__init__.py").write_text("")
+        (pkg / "store.py").write_text(
+            "def poke(snap: EstimateSnapshot):\n"
+            "    object.__setattr__(snap, 'version', 1)\n"
+        )
+        report = lint_paths([str(tmp_path)], select={"ADM011"})
+        assert _codes(report.violations) == ["ADM011"]
+
     def test_cross_file_return_annotation(self, tmp_path):
         report = _lint_pkg(
             tmp_path,

@@ -133,6 +133,35 @@ class TestSnapshotFeed:
         assert snapshot.version in seen
         assert set(baseline) <= set(seen)
 
+    @pytest.mark.parametrize("mode", MODES)
+    def test_workers_adopt_recovered_snapshots_before_ready(self, tmp_path, mode):
+        # Restart path: recovery happens in build_service *before* the
+        # pool starts, so worker replicas see the recovered versions in
+        # the initial store — the first query after start serves them
+        # with no warm-up publish in the new process.
+        first = make_handle(store_dir=tmp_path)
+        first.refresh()
+        want = first.store.latest().version
+        expected = first.cdf(500.0)
+        first.close()
+
+        restarted = make_handle(store_dir=tmp_path, warm_cycles=0)
+        try:
+            assert restarted.scheduler.tick == 0  # nothing published here
+
+            async def scenario(port):
+                async with ServiceClient("127.0.0.1", port) as client:
+                    return await client.status(), await client.cdf(500.0)
+
+            with ServiceWorkerPool(
+                restarted.store, workers=2, mode=mode
+            ) as pool:
+                status, cdf = run(scenario(pool.port))
+        finally:
+            restarted.close()
+        assert want in status["versions"]
+        assert cdf == expected  # bit-identical polyline, not approx
+
     def test_stopping_unsubscribes_the_feed(self, handle):
         pool = ServiceWorkerPool(handle.store, workers=1, mode="threads")
         with pool:

@@ -1,0 +1,52 @@
+"""Shared factories for the persistence tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cdf import EstimatedCDF
+from repro.service.store import EstimateSnapshot
+
+
+def make_snapshot(
+    version: int = 1,
+    *,
+    points: int = 5,
+    offset: float = 0.0,
+    system_size: float | None = 100.0,
+    size_estimate: float | None = 100.0,
+    confidence: tuple[float, float] | None = None,
+    published_at: float | None = None,
+    restarted: bool = False,
+    divergence: float | None = None,
+    backend: str = "fast",
+) -> EstimateSnapshot:
+    thresholds = np.linspace(10.0, 90.0, points) + offset
+    fractions = np.linspace(0.1, 0.9, points)
+    estimate = EstimatedCDF(
+        thresholds=thresholds,
+        fractions=fractions,
+        minimum=0.0 + offset,
+        maximum=100.0 + offset,
+        system_size=system_size,
+    )
+    return EstimateSnapshot(
+        version=version,
+        estimate=estimate,
+        backend=backend,
+        n_nodes=100,
+        instances=1,
+        rounds=25,
+        size_estimate=size_estimate,
+        confidence=confidence,
+        published_tick=version,
+        published_at=published_at,
+        restarted=restarted,
+        divergence=divergence,
+    )
+
+
+@pytest.fixture
+def snapshot() -> EstimateSnapshot:
+    return make_snapshot()

@@ -1,0 +1,92 @@
+"""Time-faded retention: full recent fidelity, exponential thinning, pins."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PersistError
+from repro.persist.retention import RetentionPolicy
+
+
+class TestValidation:
+    def test_rejects_zero_keep_last(self):
+        with pytest.raises(PersistError):
+            RetentionPolicy(keep_last=0)
+
+    def test_rejects_base_below_two(self):
+        with pytest.raises(PersistError):
+            RetentionPolicy(base=1)
+
+
+class TestRetained:
+    def test_everything_recent_is_kept(self):
+        policy = RetentionPolicy(keep_last=8)
+        versions = list(range(1, 9))
+        assert policy.retained(versions) == set(versions)
+
+    def test_exponential_thinning_by_generation(self):
+        # keep_last=4, base=2: ages 0-3 kept, ages [4,8) keep their
+        # newest, ages [8,16) keep their newest, and so on.
+        policy = RetentionPolicy(keep_last=4, base=2)
+        kept = sorted(policy.retained(range(1, 41)))
+        assert kept == [8, 24, 32, 36, 37, 38, 39, 40]
+
+    def test_gaps_do_not_accelerate_decay(self):
+        # Age is positional: a previously-compacted log (sparse versions)
+        # decays at the same rate as a dense one.
+        policy = RetentionPolicy(keep_last=2, base=2)
+        dense = policy.retained(range(1, 7))
+        sparse = policy.retained([10, 20, 30, 40, 50, 60])
+        assert len(dense) == len(sparse)
+
+    def test_pinned_versions_are_exempt_from_thinning(self):
+        policy = RetentionPolicy(keep_last=2, base=2)
+        kept = policy.retained(range(1, 41), pinned=[3, 17])
+        assert {3, 17} <= kept
+        unpinned = policy.retained(range(1, 41))
+        assert kept - {3, 17} == unpinned - {3, 17}
+
+    def test_duplicates_and_order_do_not_matter(self):
+        policy = RetentionPolicy(keep_last=3)
+        shuffled = [5, 1, 3, 2, 4, 4, 1]
+        assert policy.retained(shuffled) == policy.retained([1, 2, 3, 4, 5])
+
+    def test_empty_input(self):
+        assert RetentionPolicy().retained([]) == set()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        versions=st.lists(st.integers(min_value=1, max_value=10_000), max_size=200),
+        keep_last=st.integers(min_value=1, max_value=16),
+        base=st.integers(min_value=2, max_value=5),
+    )
+    def test_invariants(self, versions, keep_last, base):
+        policy = RetentionPolicy(keep_last=keep_last, base=base)
+        kept = policy.retained(versions)
+        distinct = sorted(set(versions), reverse=True)
+        # retained is a subset of the input
+        assert kept <= set(distinct)
+        # the newest keep_last versions always survive
+        assert set(distinct[:keep_last]) <= kept
+        # cost is O(keep_last + log(age)): generations are bounded
+        if distinct:
+            ages = len(distinct)
+            generations = 0
+            bound = keep_last
+            while bound < ages:
+                generations += 1
+                bound *= base
+            assert len(kept) <= keep_last + generations
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=100),
+        pin=st.integers(min_value=1, max_value=100),
+    )
+    def test_pin_always_survives(self, count, pin):
+        policy = RetentionPolicy(keep_last=1, base=2)
+        versions = list(range(1, count + 1))
+        pinned = [min(pin, count)]
+        assert set(pinned) <= policy.retained(versions, pinned=pinned)

@@ -198,3 +198,28 @@ class TestObservability:
         event = sink.queries[-1]
         assert not event.ok
         assert event.error == "bad_request"
+
+    def test_cold_store_queries_count_as_unavailable_not_errors_only(self):
+        # A restarted service with nothing recovered answers
+        # "unavailable" — an operational signal tracked separately from
+        # caller mistakes (which only land in query_errors_total).
+        hub = ObserverHub()
+        engine = QueryEngine(EstimateStore(), hub=hub, clock=FakeClock())
+        with pytest.raises(ServiceError) as excinfo:
+            engine.cdf(15.0)
+        assert excinfo.value.code == "unavailable"
+        with pytest.raises(ServiceError):
+            engine.quantile(2.0)  # caller mistake: bad_request
+        counters = hub.metrics.snapshot()["counters"]
+        assert counters["queries_unavailable_total"] == 1
+        assert counters["query_errors_total"] == 2
+
+    def test_evicted_version_counts_as_unavailable(self, store):
+        hub = ObserverHub()
+        engine = QueryEngine(store, hub=hub, clock=FakeClock())
+        with pytest.raises(ServiceError) as excinfo:
+            engine.cdf(15.0, version=42)
+        assert excinfo.value.code == "unavailable"
+        assert (
+            hub.metrics.counter("queries_unavailable_total").snapshot() == 1
+        )

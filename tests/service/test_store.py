@@ -133,6 +133,41 @@ class TestPinning:
         store.unpin(1)  # never pinned: a no-op
         assert store.versions() == [1]
 
+    def test_pin_evict_unpin_lifecycle(self):
+        # The full contract in one pass: a pin taken *before* the
+        # version would age out keeps it queryable through arbitrarily
+        # many publishes, and releasing the pin surrenders it to the
+        # very next eviction sweep — not retroactively.
+        store = EstimateStore(max_history=2)
+        publish(store)
+        store.pin(1)
+        for _ in range(6):
+            publish(store)
+        assert store.get(1).version == 1
+        assert store.versions()[0] == 1
+        store.unpin(1)
+        # no overflow at this point (exactly max_history retained), so
+        # the unpinned version lives until the next publish overflows
+        assert 1 in store.versions()
+        publish(store)
+        assert 1 not in store.versions()
+        with pytest.raises(ServiceError):
+            store.get(1)
+
+    def test_history_reports_pin_state(self):
+        store = EstimateStore(max_history=4)
+        publish(store)
+        publish(store)
+        publish(store)
+        store.pin(2)
+        by_version = {entry["version"]: entry for entry in store.history()}
+        assert by_version[2]["pinned"] is True
+        assert by_version[1]["pinned"] is False
+        assert by_version[3]["pinned"] is False
+        store.unpin(2)
+        by_version = {entry["version"]: entry for entry in store.history()}
+        assert by_version[2]["pinned"] is False
+
 
 class TestMetadata:
     def test_staleness_counts_ticks_since_publish(self):
